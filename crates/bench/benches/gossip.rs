@@ -1,0 +1,60 @@
+//! Benchmarks of the replica-subnetwork operations (Eq. 9's gossip and
+//! Eq. 16's replica flood) at the Table 1 replication factor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_gossip::{ReplicaGroup, VersionedStore, VersionedValue};
+use pdht_sim::Metrics;
+use pdht_types::{Key, Liveness, PeerId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn group_of(n: usize) -> (ReplicaGroup, Liveness) {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let members: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
+    (ReplicaGroup::new(members, &mut rng).unwrap(), Liveness::all_online(n))
+}
+
+fn bench_push(c: &mut Criterion) {
+    let (group, live) = group_of(50);
+    let mut rng = SmallRng::seed_from_u64(22);
+    c.bench_function("gossip/push_update_50", |b| {
+        let mut m = Metrics::new();
+        let mut version = 0u64;
+        b.iter(|| {
+            version += 1;
+            let mut store = VersionedStore::new(50);
+            black_box(group.push_update(
+                PeerId(0),
+                Key(7),
+                VersionedValue { version, data: version },
+                &mut store,
+                &live,
+                &mut rng,
+                &mut m,
+            ))
+        })
+    });
+}
+
+fn bench_flood_query(c: &mut Criterion) {
+    let (group, live) = group_of(50);
+    c.bench_function("gossip/flood_query_50", |b| {
+        let mut m = Metrics::new();
+        b.iter(|| black_box(group.flood_query(PeerId(0), |local| local == 37, &live, &mut m)))
+    });
+}
+
+fn bench_flood_all(c: &mut Criterion) {
+    let (group, live) = group_of(50);
+    c.bench_function("gossip/flood_all_50", |b| {
+        let mut m = Metrics::new();
+        b.iter(|| {
+            let mut delivered = 0u32;
+            group.flood_all(PeerId(0), |_| delivered += 1, &live, &mut m);
+            black_box(delivered)
+        })
+    });
+}
+
+criterion_group!(benches, bench_push, bench_flood_query, bench_flood_all);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Whole-harness benchmark: one simulated round of the full network per
+//! strategy, at the integration-test scale. This is the number that
+//! determines how long the S2/S3 experiments take.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_core::{PdhtConfig, PdhtNetwork, Strategy};
+use pdht_model::Scenario;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network/step_round");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("partial", Strategy::Partial),
+        ("index_all", Strategy::IndexAll),
+        ("no_index", Strategy::NoIndex),
+    ] {
+        // 1 000 peers at the busy load.
+        let cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, strategy);
+        let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        net.run(50); // past the initial fill
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                net.step_round();
+                black_box(net.indexed_keys())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network/build");
+    group.sample_size(10);
+    group.bench_function("partial_1k_peers", |b| {
+        b.iter(|| {
+            let cfg =
+                PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, Strategy::Partial);
+            black_box(PdhtNetwork::new(cfg).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks of the structured overlays: lookups and maintenance rounds at
+//! the population sizes the experiments use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdht_overlay::{ChordOverlay, Overlay, TrieOverlay};
+use pdht_sim::Metrics;
+use pdht_types::{Key, Liveness, PeerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/lookup");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trie = TrieOverlay::build(n, 50, &mut rng).unwrap();
+        let chord = ChordOverlay::build(n, 50, &mut rng).unwrap();
+        let live = Liveness::all_online(n);
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, &n| {
+            let mut m = Metrics::new();
+            b.iter(|| {
+                let from = PeerId::from_idx(rng.random_range(0..n));
+                let key = Key(rng.random::<u64>());
+                black_box(trie.lookup(from, key, &live, &mut rng, &mut m).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chord", n), &n, |b, &n| {
+            let mut m = Metrics::new();
+            b.iter(|| {
+                let from = PeerId::from_idx(rng.random_range(0..n));
+                let key = Key(rng.random::<u64>());
+                black_box(chord.lookup(from, key, &live, &mut rng, &mut m).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut trie = TrieOverlay::build(n, 50, &mut rng).unwrap();
+    let live = Liveness::all_online(n);
+    c.bench_function("overlay/trie_maintenance_round_10k", |b| {
+        let mut m = Metrics::new();
+        b.iter(|| trie.maintenance_round(black_box(1.0 / 14.0), &live, &mut rng, &mut m))
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("overlay/trie_build_10k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            black_box(TrieOverlay::build(10_000, 50, &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookups, bench_maintenance, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks of the per-peer TTL store — the innermost data structure of
+//! the selection algorithm (hit/miss check on every routed query).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_core::PartialIndex;
+use pdht_gossip::VersionedValue;
+use pdht_types::Key;
+
+fn filled(capacity: usize, n: usize) -> PartialIndex {
+    let mut idx = PartialIndex::new(capacity);
+    for i in 0..n as u64 {
+        idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, 1_000);
+    }
+    idx
+}
+
+fn bench_hit(c: &mut Criterion) {
+    let mut idx = filled(128, 100);
+    c.bench_function("index/get_hit", |b| {
+        let mut now = 1u64;
+        b.iter(|| {
+            now += 1;
+            black_box(idx.get_and_refresh(Key(now % 100), now, 1_000))
+        })
+    });
+}
+
+fn bench_miss(c: &mut Criterion) {
+    let mut idx = filled(128, 100);
+    c.bench_function("index/get_miss", |b| {
+        b.iter(|| black_box(idx.get_and_refresh(Key(9_999_999), 1, 1_000)))
+    });
+}
+
+fn bench_insert_with_eviction(c: &mut Criterion) {
+    // The worst case: the store is at capacity, every insert scans for the
+    // soonest-expiring victim.
+    c.bench_function("index/insert_evicting_100", |b| {
+        let mut idx = filled(100, 100);
+        let mut k = 1_000u64;
+        b.iter(|| {
+            k += 1;
+            black_box(idx.insert(Key(k), VersionedValue { version: 1, data: k }, 10, 500))
+        })
+    });
+}
+
+fn bench_purge(c: &mut Criterion) {
+    c.bench_function("index/purge_half_of_200", |b| {
+        b.iter_batched(
+            || {
+                let mut idx = PartialIndex::new(256);
+                for i in 0..200u64 {
+                    let ttl = if i % 2 == 0 { 10 } else { 1_000 };
+                    idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, ttl);
+                }
+                idx
+            },
+            |mut idx| black_box(idx.purge_expired(100)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_hit, bench_miss, bench_insert_with_eviction, bench_purge);
+criterion_main!(benches);

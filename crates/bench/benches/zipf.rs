@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the Zipf machinery — these functions sit inside the
+//! per-query hot path of every workload generator and inside the 40 000-term
+//! model sums.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_zipf::{RoundModel, ZipfDistribution};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("zipf/new_40k", |b| {
+        b.iter(|| ZipfDistribution::new(black_box(40_000), black_box(1.2)).unwrap())
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let dist = ZipfDistribution::new(40_000, 1.2).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("zipf/sample_40k", |b| b.iter(|| black_box(dist.sample(&mut rng))));
+}
+
+fn bench_head_mass(c: &mut Criterion) {
+    let dist = ZipfDistribution::new(40_000, 1.2).unwrap();
+    c.bench_function("zipf/head_mass", |b| b.iter(|| black_box(dist.head_mass(black_box(25_000)))));
+}
+
+fn bench_ttl_sums(c: &mut Criterion) {
+    let model = RoundModel::new(40_000, 1.2, 666.7).unwrap();
+    c.bench_function("zipf/p_indexed_ttl_40k", |b| {
+        b.iter(|| black_box(model.p_indexed_ttl(black_box(1500.0))))
+    });
+    c.bench_function("zipf/index_size_ttl_40k", |b| {
+        b.iter(|| black_box(model.expected_index_size_ttl(black_box(1500.0))))
+    });
+}
+
+fn bench_max_rank(c: &mut Criterion) {
+    let model = RoundModel::new(40_000, 1.2, 666.7).unwrap();
+    c.bench_function("zipf/max_rank_bisect", |b| {
+        b.iter(|| black_box(model.max_rank(black_box(7.2e-4))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_sampling,
+    bench_head_mass,
+    bench_ttl_sums,
+    bench_max_rank
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment F1 — Fig. 1: total sent messages per second vs query
+//! frequency for `indexAll` (Eq. 11), `noIndex` (Eq. 12) and ideal
+//! `partial` indexing (Eq. 13).
+
+use pdht_bench::{f1, print_table, write_csv};
+use pdht_model::figures::{fig1, freq_label};
+use pdht_model::Scenario;
+
+fn main() {
+    let s = Scenario::table1();
+    let rows = fig1(&s).expect("model evaluates on Table 1");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                freq_label(r.f_qry),
+                f1(r.index_all),
+                f1(r.no_index),
+                f1(r.partial),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1 — total msg/s vs query frequency",
+        &["fQry [1/s]", "indexAll", "noIndex", "partial"],
+        &table,
+    );
+
+    println!("\nShape checks against the paper:");
+    let busiest = &rows[0];
+    let calmest = &rows[rows.len() - 1];
+    println!(
+        "  indexAll ~flat: {:.0} -> {:.0} msg/s (240x load change)",
+        busiest.index_all, calmest.index_all
+    );
+    println!("  noIndex linear in load: {:.0} -> {:.0} msg/s", busiest.no_index, calmest.no_index);
+    println!(
+        "  partial wins everywhere: max(partial/min(others)) = {:.3}",
+        rows.iter()
+            .map(|r| r.partial / r.index_all.min(r.no_index))
+            .fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    let path = write_csv(
+        "fig1_total_cost",
+        &["f_qry", "index_all", "no_index", "partial"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.8}", r.f_qry),
+                    f1(r.index_all),
+                    f1(r.no_index),
+                    f1(r.partial),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write results CSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,47 @@
+//! Experiment F2 — Fig. 2: savings of ideal partial indexing compared to
+//! indexing all keys and compared to broadcasting all queries.
+
+use pdht_bench::{f3, print_table, write_csv};
+use pdht_model::figures::{fig2, freq_label};
+use pdht_model::Scenario;
+
+fn main() {
+    let s = Scenario::table1();
+    let rows = fig2(&s).expect("model evaluates on Table 1");
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![freq_label(r.f_qry), f3(r.vs_index_all), f3(r.vs_no_index)])
+        .collect();
+    print_table(
+        "Fig. 2 — savings of ideal partial indexing",
+        &["fQry [1/s]", "vs indexAll", "vs noIndex"],
+        &table,
+    );
+
+    println!("\nShape checks against the paper:");
+    println!(
+        "  vs indexAll grows as load drops: {:.3} -> {:.3}",
+        rows[0].vs_index_all,
+        rows[rows.len() - 1].vs_index_all
+    );
+    println!(
+        "  vs noIndex stays high at busy loads: {:.3} at 1/30",
+        rows[0].vs_no_index
+    );
+    println!(
+        "  all savings positive: min = {:.3}",
+        rows.iter().map(|r| r.vs_index_all.min(r.vs_no_index)).fold(f64::INFINITY, f64::min)
+    );
+
+    let path = write_csv(
+        "fig2_savings_ideal",
+        &["f_qry", "vs_index_all", "vs_no_index"],
+        &rows
+            .iter()
+            .map(|r| vec![format!("{:.8}", r.f_qry), f3(r.vs_index_all), f3(r.vs_no_index)])
+            .collect::<Vec<_>>(),
+    )
+    .expect("write results CSV");
+    println!("wrote {}", path.display());
+}

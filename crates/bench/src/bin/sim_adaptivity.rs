@@ -1,0 +1,98 @@
+//! Experiment S3 — §5.2/§6: the selection algorithm adapts to changing
+//! query distributions.
+//!
+//! A 1/20-scale network runs the selection algorithm; at the midpoint the
+//! popularity ranking is rotated by half the key space (yesterday's cold
+//! keys become today's head). The index hit rate must collapse at the shift
+//! and then recover as the TTL mechanism re-learns the head — without any
+//! coordination or reconfiguration.
+
+use pdht_bench::{f1, f3, print_table, write_csv};
+use pdht_core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht_model::Scenario;
+use pdht_zipf::{PopularityShift, RankMap};
+
+fn main() {
+    let scenario = Scenario::table1_scaled(20); // 1 000 peers, 2 000 keys
+    let keys = scenario.keys as usize;
+    let shift_round = 400u64;
+    let total_rounds = 900u64;
+    let window = 50u64;
+
+    let shift = PopularityShift::new(vec![
+        (0, RankMap::identity(keys)),
+        (shift_round, RankMap::rotation(keys, keys / 2)),
+    ])
+    .expect("valid schedule");
+
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 30.0, Strategy::Partial);
+    cfg.shift = Some(shift);
+    // A modest fixed TTL keeps the re-learning period visible at this time
+    // scale (the Table-1 TTL of ~10^3 rounds would stretch the plot).
+    cfg.ttl_policy = TtlPolicy::Fixed(120);
+    cfg.purge_stride = 4;
+    cfg.seed = 0xada_2004;
+
+    let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    net.run(total_rounds);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut hit_before = 0.0f64;
+    let mut hit_at_shift = f64::INFINITY;
+    let mut hit_after = 0.0f64;
+    for start in (0..total_rounds).step_by(window as usize) {
+        let end = (start + window - 1).min(total_rounds - 1);
+        let rep = net.report(start, end);
+        rows.push(vec![
+            format!("{start}..{end}"),
+            f3(rep.p_indexed),
+            f1(rep.indexed_keys),
+            f1(rep.msgs_per_round),
+            if start < shift_round && end >= shift_round { "<- shift".into() } else { String::new() },
+        ]);
+        csv_rows.push(vec![
+            format!("{start}"),
+            f3(rep.p_indexed),
+            f1(rep.indexed_keys),
+            f1(rep.msgs_per_round),
+        ]);
+        if end < shift_round && end + window >= shift_round {
+            hit_before = rep.p_indexed;
+        }
+        if start >= shift_round && start < shift_round + window {
+            hit_at_shift = rep.p_indexed;
+        }
+        if start >= total_rounds - window {
+            hit_after = rep.p_indexed;
+        }
+    }
+    print_table(
+        "S3 adaptivity — hit rate and index size across a popularity shift",
+        &["rounds", "pIndxd", "indexed keys", "msg/round", ""],
+        &rows,
+    );
+
+    println!("\nAdaptivity summary:");
+    println!("  steady-state hit rate before shift : {hit_before:.3}");
+    println!("  hit rate in the window after shift : {hit_at_shift:.3} (collapse)");
+    println!("  hit rate at the end of the run     : {hit_after:.3} (recovered)");
+    // The collapse is shallow by design: insert-on-miss re-learns a hot key
+    // the first time it is queried, so recovery begins within one window.
+    println!(
+        "  verdict: {}",
+        if hit_at_shift < hit_before - 0.05 && hit_after > hit_before - 0.05 {
+            "index re-adapted to the new distribution (paper's §5.2 claim reproduced)"
+        } else {
+            "adaptation pattern not clearly visible — inspect the series"
+        }
+    );
+
+    let path = write_csv(
+        "sim_adaptivity",
+        &["window_start", "p_indexed", "indexed_keys", "msgs_per_round"],
+        &csv_rows,
+    )
+    .expect("write results CSV");
+    println!("wrote {}", path.display());
+}

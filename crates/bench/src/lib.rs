@@ -1,0 +1,97 @@
+//! Shared plumbing for the experiment binaries: fixed-width table printing
+//! and CSV emission into `results/`.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see the experiment index in `DESIGN.md`) by printing the series to
+//! stdout and writing `results/<name>.csv`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The workspace `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    // crates/bench → workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a CSV file into `results/`, returning its path.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_csv(
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Prints a fixed-width table: header row, separator, data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with three significant decimals for tables.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with one decimal for msg/s columns.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips() {
+        let p = write_csv(
+            "unit_test_artifact",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(719.96), "720.0");
+    }
+}

@@ -1,0 +1,157 @@
+//! Index admission policies.
+//!
+//! Section 5.1 notes the selection algorithm "does not take the relative
+//! frequency of queries into account, but only the temporal Boolean
+//! distribution of whether there was any query". Consequence: every miss —
+//! including one-hit wonders deep in the Zipf tail — pays a full insert
+//! flood and occupies index space for `keyTtl` rounds (cause II of the
+//! §5.1 overhead list).
+//!
+//! [`AdmissionPolicy::SecondChance`] is the classic cache-admission remedy:
+//! insert only keys that missed **twice** within a window, i.e. keys with a
+//! demonstrated repeat frequency. The `ablation_admission` experiment
+//! quantifies the trade-off (fewer insert floods and smaller index vs a
+//! second broadcast for the keys that do repeat).
+
+use pdht_types::{fasthash, FastHashMap, Key};
+
+/// When a broadcast-found key is admitted into the index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// The paper's algorithm: admit on every miss.
+    #[default]
+    Always,
+    /// Admit only on the second miss within `window_rounds` (frequency-aware
+    /// admission; our extension).
+    SecondChance {
+        /// How long a first miss is remembered.
+        window_rounds: u64,
+    },
+}
+
+/// Tracks recent first-misses for [`AdmissionPolicy::SecondChance`].
+#[derive(Debug)]
+pub struct AdmissionFilter {
+    policy: AdmissionPolicy,
+    /// Key → round of its remembered first miss.
+    first_miss: FastHashMap<Key, u64>,
+    /// Rounds between sweeps of expired entries.
+    sweep_every: u64,
+    last_sweep: u64,
+}
+
+impl AdmissionFilter {
+    /// Creates a filter for `policy`.
+    pub fn new(policy: AdmissionPolicy) -> AdmissionFilter {
+        AdmissionFilter {
+            policy,
+            first_miss: fasthash::map_with_capacity(1024),
+            sweep_every: 64,
+            last_sweep: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of keys currently remembered as first-missed.
+    pub fn pending(&self) -> usize {
+        self.first_miss.len()
+    }
+
+    /// Reports a miss of `key` at `now`; returns `true` if the key should
+    /// be admitted to the index.
+    pub fn on_miss(&mut self, key: Key, now: u64) -> bool {
+        match self.policy {
+            AdmissionPolicy::Always => true,
+            AdmissionPolicy::SecondChance { window_rounds } => {
+                self.maybe_sweep(now, window_rounds);
+                match self.first_miss.get(&key) {
+                    Some(&first) if now.saturating_sub(first) <= window_rounds => {
+                        self.first_miss.remove(&key);
+                        true
+                    }
+                    _ => {
+                        self.first_miss.insert(key, now);
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Amortized cleanup of expired first-miss records (keeps the map
+    /// proportional to the active tail, not the whole history).
+    fn maybe_sweep(&mut self, now: u64, window_rounds: u64) {
+        if now.saturating_sub(self.last_sweep) < self.sweep_every {
+            return;
+        }
+        self.last_sweep = now;
+        self.first_miss.retain(|_, &mut first| now.saturating_sub(first) <= window_rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_admits_everything() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::Always);
+        assert!(f.on_miss(Key(1), 0));
+        assert!(f.on_miss(Key(1), 0));
+        assert!(f.on_miss(Key(2), 99));
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn second_chance_requires_a_repeat() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::SecondChance { window_rounds: 10 });
+        assert!(!f.on_miss(Key(1), 0), "first miss is remembered, not admitted");
+        assert_eq!(f.pending(), 1);
+        assert!(f.on_miss(Key(1), 5), "second miss within window admits");
+        assert_eq!(f.pending(), 0, "admission consumes the record");
+    }
+
+    #[test]
+    fn second_chance_window_expires() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::SecondChance { window_rounds: 10 });
+        assert!(!f.on_miss(Key(1), 0));
+        // Too late: treated as a fresh first miss.
+        assert!(!f.on_miss(Key(1), 11));
+        // …but the clock restarted, so a prompt repeat admits.
+        assert!(f.on_miss(Key(1), 12));
+    }
+
+    #[test]
+    fn keys_are_tracked_independently() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::SecondChance { window_rounds: 100 });
+        assert!(!f.on_miss(Key(1), 0));
+        assert!(!f.on_miss(Key(2), 0));
+        assert!(f.on_miss(Key(2), 1));
+        assert!(f.on_miss(Key(1), 2));
+    }
+
+    #[test]
+    fn sweep_bounds_memory() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::SecondChance { window_rounds: 10 });
+        for i in 0..1000u64 {
+            f.on_miss(Key(i), i);
+        }
+        // All but the last window's worth must have been swept.
+        assert!(
+            f.pending() < 100,
+            "sweep should bound pending records, got {}",
+            f.pending()
+        );
+    }
+
+    #[test]
+    fn boundary_inclusive_window() {
+        let mut f = AdmissionFilter::new(AdmissionPolicy::SecondChance { window_rounds: 10 });
+        assert!(!f.on_miss(Key(1), 0));
+        assert!(f.on_miss(Key(1), 10), "exactly at the window edge still admits");
+    }
+}

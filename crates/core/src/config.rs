@@ -1,0 +1,182 @@
+//! Configuration of the full-network simulation harness.
+
+use crate::admission::AdmissionPolicy;
+use crate::ttl::TtlPolicy;
+use pdht_model::Scenario;
+use pdht_overlay::ChurnConfig;
+use pdht_types::{PdhtError, Result};
+use pdht_zipf::PopularityShift;
+
+/// Which indexing strategy the network runs (the three lines of Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's contribution: TTL-based query-adaptive partial indexing
+    /// (Section 5.1).
+    Partial,
+    /// Index every key proactively (Eq. 11).
+    IndexAll,
+    /// No index; broadcast every query (Eq. 12).
+    NoIndex,
+}
+
+/// Full harness configuration.
+#[derive(Clone, Debug)]
+pub struct PdhtConfig {
+    /// The Table 1 parameters (possibly scaled).
+    pub scenario: Scenario,
+    /// Per-peer query frequency (1/s).
+    pub f_qry: f64,
+    /// Indexing strategy.
+    pub strategy: Strategy,
+    /// keyTtl policy (only meaningful for [`Strategy::Partial`]).
+    pub ttl_policy: TtlPolicy,
+    /// Index admission policy (only meaningful for [`Strategy::Partial`]).
+    pub admission: AdmissionPolicy,
+    /// Churn model. [`ChurnConfig::none`] reproduces the analytical setting
+    /// where `env` alone prices maintenance.
+    pub churn: ChurnConfig,
+    /// Optional popularity-shift schedule (adaptivity experiments).
+    pub shift: Option<PopularityShift>,
+    /// Metadata keys per article (Table 1: 20).
+    pub keys_per_article: u32,
+    /// Parallel walkers of the unstructured search.
+    pub walkers: usize,
+    /// Walk budget = `walk_budget_factor × num_peers` steps.
+    pub walk_budget_factor: u32,
+    /// Peers purge expired entries every `purge_stride` rounds (staggered);
+    /// trades gauge freshness for per-round work.
+    pub purge_stride: u64,
+    /// Mean degree of the unstructured overlay graph.
+    pub mean_degree: usize,
+    /// Adjustment window (rounds) of the adaptive TTL controller.
+    pub adaptive_window: u64,
+    /// Master seed; every component derives its own stream from it.
+    pub seed: u64,
+}
+
+impl PdhtConfig {
+    /// A configuration with the defaults used throughout the experiments.
+    pub fn new(scenario: Scenario, f_qry: f64, strategy: Strategy) -> PdhtConfig {
+        PdhtConfig {
+            scenario,
+            f_qry,
+            strategy,
+            ttl_policy: TtlPolicy::FromModel { factor: 1.0 },
+            admission: AdmissionPolicy::Always,
+            churn: ChurnConfig::none(),
+            shift: None,
+            keys_per_article: 20,
+            walkers: 16,
+            walk_budget_factor: 6,
+            purge_stride: 16,
+            mean_degree: 5,
+            adaptive_window: 50,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns the first domain violation found.
+    pub fn validate(&self) -> Result<()> {
+        self.scenario.validate()?;
+        if !self.f_qry.is_finite() || self.f_qry < 0.0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "f_qry",
+                reason: format!("must be finite and >= 0, got {}", self.f_qry),
+            });
+        }
+        if self.keys_per_article == 0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "keys_per_article",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.walkers == 0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "walkers",
+                reason: "need at least one walker".into(),
+            });
+        }
+        if self.walk_budget_factor == 0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "walk_budget_factor",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.purge_stride == 0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "purge_stride",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.mean_degree < 2 {
+            return Err(PdhtError::InvalidConfig {
+                param: "mean_degree",
+                reason: "graph needs mean degree >= 2".into(),
+            });
+        }
+        if let TtlPolicy::FromModel { factor } = self.ttl_policy {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(PdhtError::InvalidConfig {
+                    param: "ttl_policy.factor",
+                    reason: format!("must be finite and > 0, got {factor}"),
+                });
+            }
+        }
+        if let AdmissionPolicy::SecondChance { window_rounds } = self.admission {
+            if window_rounds == 0 {
+                return Err(PdhtError::InvalidConfig {
+                    param: "admission.window_rounds",
+                    reason: "second-chance window must be >= 1 round".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Default master seed (arbitrary constant; override per experiment).
+pub const DEFAULT_SEED: u64 = 0x9d47_11ce_2004_edb7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PdhtConfig {
+        PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 120.0, Strategy::Partial)
+    }
+
+    #[test]
+    fn defaults_validate() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_are_caught() {
+        let mut c = base();
+        c.f_qry = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.keys_per_article = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.walkers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.mean_degree = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.ttl_policy = TtlPolicy::FromModel { factor: 0.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.purge_stride = 0;
+        assert!(c.validate().is_err());
+    }
+}

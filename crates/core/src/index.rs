@@ -1,0 +1,270 @@
+//! The per-peer partial index with TTL-based admission (Section 5.1).
+//!
+//! "Each key has an expiration time keyTtl … The expiration time of a key
+//! is reset to a predefined value whenever the peer that stores the key
+//! receives a query for it. Therefore, peers evict those keys from their
+//! local storage that have not been queried for keyTtl rounds."
+//!
+//! Capacity is bounded (`stor` in Table 1): when full, the entry expiring
+//! soonest is evicted first — it is the entry the TTL policy already deems
+//! least worth keeping.
+
+use pdht_gossip::VersionedValue;
+use pdht_types::{fasthash, FastHashMap, Key};
+
+/// One stored entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The stored value.
+    pub value: VersionedValue,
+    /// Round at which the entry expires (exclusive: an entry with
+    /// `expires_at == now` is already gone).
+    pub expires_at: u64,
+}
+
+/// Outcome of an [`PartialIndex::insert`]: whether the key was new to this
+/// store, and any entry evicted to make room. The harness uses both to keep
+/// its global indexed-key refcount exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertResult {
+    /// `true` if the key was not present before.
+    pub was_new: bool,
+    /// A pre-existing key evicted due to the capacity bound.
+    pub evicted: Option<Key>,
+}
+
+/// A bounded TTL key-value store.
+#[derive(Clone, Debug)]
+pub struct PartialIndex {
+    entries: FastHashMap<Key, IndexEntry>,
+    capacity: usize,
+}
+
+impl PartialIndex {
+    /// An empty index bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> PartialIndex {
+        PartialIndex { entries: fasthash::map_with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Number of live entries (expired-but-unpurged entries included; call
+    /// [`PartialIndex::purge_expired`] at round boundaries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key` at round `now`. On a hit the entry's expiry is reset
+    /// to `now + ttl` (the query-refresh rule that makes the index
+    /// query-adaptive). Expired entries are treated as absent.
+    pub fn get_and_refresh(&mut self, key: Key, now: u64, ttl: u64) -> Option<VersionedValue> {
+        match self.entries.get_mut(&key) {
+            Some(e) if e.expires_at > now => {
+                e.expires_at = now.saturating_add(ttl);
+                Some(e.value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Peeks without refreshing (diagnostics).
+    pub fn peek(&self, key: Key, now: u64) -> Option<VersionedValue> {
+        self.entries.get(&key).filter(|e| e.expires_at > now).map(|e| e.value)
+    }
+
+    /// Inserts `key` with expiry `now + ttl`, overwriting only with newer
+    /// versions. If at capacity, evicts the soonest-expiring entry.
+    pub fn insert(&mut self, key: Key, value: VersionedValue, now: u64, ttl: u64) -> InsertResult {
+        let expires_at = now.saturating_add(ttl);
+        if let Some(existing) = self.entries.get_mut(&key) {
+            if existing.value.version <= value.version {
+                existing.value = value;
+            }
+            existing.expires_at = existing.expires_at.max(expires_at);
+            return InsertResult { was_new: false, evicted: None };
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            // Evict the entry closest to expiry (ties: smallest key, for
+            // determinism).
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.expires_at, k.0))
+            {
+                self.entries.remove(&victim);
+                evicted = Some(victim);
+            }
+        }
+        if self.capacity > 0 {
+            self.entries.insert(key, IndexEntry { value, expires_at });
+            InsertResult { was_new: true, evicted }
+        } else {
+            InsertResult { was_new: false, evicted }
+        }
+    }
+
+    /// Removes `key` outright. Returns whether it was present.
+    pub fn remove(&mut self, key: Key) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Drops all entries with `expires_at <= now`; returns them (the
+    /// harness keeps a global refcount of indexed keys).
+    pub fn purge_expired(&mut self, now: u64) -> Vec<Key> {
+        let mut gone = Vec::new();
+        self.entries.retain(|&k, e| {
+            let keep = e.expires_at > now;
+            if !keep {
+                gone.push(k);
+            }
+            keep
+        });
+        gone
+    }
+
+    /// Iterates live entries (diagnostics/pull-synchronization).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, IndexEntry)> + '_ {
+        self.entries.iter().map(|(&k, &e)| (k, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(version: u64) -> VersionedValue {
+        VersionedValue { version, data: version * 10 }
+    }
+
+    #[test]
+    fn insert_then_get_within_ttl() {
+        let mut idx = PartialIndex::new(10);
+        idx.insert(Key(1), v(1), 0, 5);
+        assert_eq!(idx.get_and_refresh(Key(1), 4, 5), Some(v(1)));
+        assert_eq!(idx.peek(Key(2), 0), None);
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let mut idx = PartialIndex::new(10);
+        idx.insert(Key(1), v(1), 0, 5);
+        // Expiry at round 5 is exclusive.
+        assert_eq!(idx.peek(Key(1), 4), Some(v(1)));
+        assert_eq!(idx.peek(Key(1), 5), None);
+        assert_eq!(idx.get_and_refresh(Key(1), 5, 5), None);
+    }
+
+    #[test]
+    fn queries_refresh_expiry() {
+        let mut idx = PartialIndex::new(10);
+        idx.insert(Key(1), v(1), 0, 5);
+        // Touch at round 4: new expiry 9.
+        assert!(idx.get_and_refresh(Key(1), 4, 5).is_some());
+        assert_eq!(idx.peek(Key(1), 8), Some(v(1)));
+        assert_eq!(idx.peek(Key(1), 9), None);
+    }
+
+    #[test]
+    fn unqueried_keys_time_out_queried_keys_survive() {
+        // The selection mechanism in miniature: two keys, one queried every
+        // round, one never; after ttl rounds only the queried key remains.
+        let mut idx = PartialIndex::new(10);
+        idx.insert(Key(1), v(1), 0, 3);
+        idx.insert(Key(2), v(1), 0, 3);
+        for now in 1..10 {
+            idx.get_and_refresh(Key(1), now, 3);
+            idx.purge_expired(now);
+        }
+        assert!(idx.peek(Key(1), 9).is_some());
+        assert!(idx.peek(Key(2), 9).is_none());
+    }
+
+    #[test]
+    fn purge_returns_expired_keys() {
+        let mut idx = PartialIndex::new(10);
+        idx.insert(Key(1), v(1), 0, 2);
+        idx.insert(Key(2), v(1), 0, 4);
+        let mut gone = idx.purge_expired(2);
+        gone.sort_unstable();
+        assert_eq!(gone, vec![Key(1)]);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_soonest_expiring() {
+        let mut idx = PartialIndex::new(2);
+        assert!(idx.insert(Key(1), v(1), 0, 10).was_new);
+        assert!(idx.insert(Key(2), v(1), 0, 3).was_new); // soonest to expire
+        let res = idx.insert(Key(3), v(1), 0, 7);
+        assert!(res.was_new);
+        assert_eq!(res.evicted, Some(Key(2)));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.peek(Key(1), 0).is_some());
+        assert!(idx.peek(Key(3), 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_reports_not_new() {
+        let mut idx = PartialIndex::new(4);
+        assert!(idx.insert(Key(1), v(1), 0, 5).was_new);
+        let res = idx.insert(Key(1), v(2), 1, 5);
+        assert!(!res.was_new);
+        assert_eq!(res.evicted, None);
+    }
+
+    #[test]
+    fn reinsert_extends_but_never_downgrades_version() {
+        let mut idx = PartialIndex::new(4);
+        idx.insert(Key(1), v(3), 0, 5);
+        // Stale version: value kept, expiry extended.
+        idx.insert(Key(1), v(2), 2, 5);
+        assert_eq!(idx.peek(Key(1), 6).unwrap().version, 3);
+        // Newer version replaces.
+        idx.insert(Key(1), v(4), 3, 5);
+        assert_eq!(idx.peek(Key(1), 4).unwrap().version, 4);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_never_shortens_expiry() {
+        let mut idx = PartialIndex::new(4);
+        idx.insert(Key(1), v(1), 0, 10);
+        idx.insert(Key(1), v(1), 1, 2); // would expire at 3 < 10
+        assert!(idx.peek(Key(1), 9).is_some(), "expiry must keep the max");
+    }
+
+    #[test]
+    fn zero_capacity_index_stores_nothing() {
+        let mut idx = PartialIndex::new(0);
+        idx.insert(Key(1), v(1), 0, 5);
+        assert!(idx.is_empty());
+        assert_eq!(idx.peek(Key(1), 0), None);
+    }
+
+    #[test]
+    fn remove_and_iter() {
+        let mut idx = PartialIndex::new(4);
+        idx.insert(Key(1), v(1), 0, 5);
+        idx.insert(Key(2), v(2), 0, 5);
+        assert_eq!(idx.iter().count(), 2);
+        assert!(idx.remove(Key(1)));
+        assert!(!idx.remove(Key(1)));
+        assert_eq!(idx.iter().count(), 1);
+    }
+
+    #[test]
+    fn saturating_ttl_does_not_overflow() {
+        let mut idx = PartialIndex::new(2);
+        idx.insert(Key(1), v(1), u64::MAX - 1, u64::MAX);
+        assert!(idx.peek(Key(1), u64::MAX - 1).is_some());
+    }
+}

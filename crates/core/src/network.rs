@@ -1,0 +1,876 @@
+//! The full-network simulation harness.
+//!
+//! Wires every substrate together exactly as the paper's system sketch
+//! (Sections 3–5): a trie DHT over the *active* peers holds the (partial)
+//! index; all peers form a Gnutella-like unstructured overlay storing the
+//! replicated content; replica groups gossip/flood among themselves; churn
+//! and probing price the routing tables; the Zipf workload drives queries
+//! and the replacement process drives updates.
+//!
+//! The query pipeline of the selection algorithm (Section 5.1):
+//!
+//! 1. route to a responsible peer and check its local TTL index,
+//! 2. on a local miss, flood the replica subnetwork (Eq. 16),
+//! 3. on an index miss, broadcast-search the unstructured overlay,
+//! 4. insert the found key at all responsible replicas with `keyTtl`.
+//!
+//! Deviations from the idealized model, all surfaced in `EXPERIMENTS.md`:
+//! entry messages from non-participating peers are counted separately
+//! (`MessageKind::QueryEntry`); the trie's power-of-two leaf count can make
+//! per-leaf key load exceed `stor` under [`Strategy::IndexAll`], in which
+//! case store capacity is raised to fit (the model assumes exact packing);
+//! per-entry probe rates are calibrated so that per-peer maintenance equals
+//! the model's `env·log2(nap)` (\[MaCa03\]'s own calibration).
+
+use crate::admission::AdmissionFilter;
+use crate::config::{PdhtConfig, Strategy};
+use crate::index::PartialIndex;
+use crate::ttl::{model_key_ttl, AdaptiveTtl, TtlPolicy};
+use pdht_gossip::{ReplicaGroup, VersionedValue};
+use pdht_model::{CostModel, SelectionModel};
+use pdht_overlay::{ChurnModel, Overlay, TrieOverlay};
+use pdht_sim::{Metrics, RoundDriver};
+use pdht_types::{
+    fasthash, FastHashMap, Key, MessageKind, PeerId, Result, RngStreams, Round,
+};
+use pdht_unstructured::{random_walks, Replication, Topology};
+use pdht_workload::{Query, QueryWorkload, UpdateProcess};
+use rand::rngs::SmallRng;
+
+/// TTL used for entries that must never expire (IndexAll stores).
+const NEVER: u64 = u64::MAX / 4;
+
+/// The assembled network.
+pub struct PdhtNetwork {
+    cfg: PdhtConfig,
+    /// Dense key index → routed key.
+    keys: Vec<Key>,
+    /// Dense key index → owning article.
+    article_of: Vec<u32>,
+    /// Article → its key indices.
+    keys_by_article: Vec<Vec<u32>>,
+    churn: ChurnModel,
+    /// The structured overlay over the first `nap` peers (None when no
+    /// index is maintained).
+    overlay: Option<TrieOverlay>,
+    nap: usize,
+    /// One replica group per trie leaf.
+    groups: Vec<ReplicaGroup>,
+    /// Per-active-peer TTL store.
+    stores: Vec<PartialIndex>,
+    /// The unstructured overlay over all peers.
+    topo: Topology,
+    /// Content placement per article.
+    content: Replication,
+    updates: UpdateProcess,
+    workload: QueryWorkload,
+    adaptive: Option<AdaptiveTtl>,
+    admission: AdmissionFilter,
+    /// Current keyTtl in rounds (fixed policies keep it constant).
+    ttl_rounds: u64,
+    /// Per-entry probe rate calibrated to `env·log2(nap)` per peer.
+    probe_rate: f64,
+    /// Replica copies per key currently in some index store.
+    indexed_copies: FastHashMap<Key, u32>,
+    metrics: Metrics,
+    driver: RoundDriver,
+    // Component RNG streams.
+    rng_churn: SmallRng,
+    rng_workload: SmallRng,
+    rng_overlay: SmallRng,
+    rng_search: SmallRng,
+    rng_updates: SmallRng,
+    // Cumulative outcome counters.
+    hits: u64,
+    misses: u64,
+    stale_hits: u64,
+    lookup_failures: u64,
+    search_failures: u64,
+    skipped_offline: u64,
+}
+
+/// Aggregated results over a round window.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The window `[from, to]` in rounds.
+    pub rounds: (u64, u64),
+    /// Mean total messages per round.
+    pub msgs_per_round: f64,
+    /// Mean messages per round by kind.
+    pub by_kind: Vec<(MessageKind, f64)>,
+    /// Measured fraction of queries answered from the index.
+    pub p_indexed: f64,
+    /// Mean distinct keys resident in the index.
+    pub indexed_keys: f64,
+    /// Mean availability over the window.
+    pub availability: f64,
+    /// Queries whose broadcast search failed.
+    pub search_failures: u64,
+    /// Queries whose index routing failed.
+    pub lookup_failures: u64,
+    /// Hits that returned a stale version.
+    pub stale_hits: u64,
+    /// Queries skipped because their origin was offline.
+    pub skipped_offline: u64,
+}
+
+impl SimReport {
+    /// Mean messages per round excluding the entry messages the analytical
+    /// model does not price.
+    pub fn msgs_per_round_model_view(&self) -> f64 {
+        let entry: f64 = self
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::QueryEntry)
+            .map(|&(_, v)| v)
+            .sum();
+        self.msgs_per_round - entry
+    }
+}
+
+impl PdhtNetwork {
+    /// Builds the network.
+    ///
+    /// # Errors
+    /// Propagates configuration/model/substrate construction failures.
+    pub fn new(cfg: PdhtConfig) -> Result<PdhtNetwork> {
+        cfg.validate()?;
+        let streams = RngStreams::new(cfg.seed);
+        let mut rng_build = streams.stream("build");
+        let s = &cfg.scenario;
+        let num_peers = s.num_peers as usize;
+        let num_keys = s.keys as usize;
+
+        // Synthetic key universe: hashed dense indices.
+        let keys: Vec<Key> =
+            (0..num_keys).map(|i| Key::hash_bytes(&(i as u64).to_le_bytes())).collect();
+        let kpa = cfg.keys_per_article as usize;
+        let num_articles = num_keys.div_ceil(kpa);
+        let article_of: Vec<u32> = (0..num_keys).map(|i| (i / kpa) as u32).collect();
+        let mut keys_by_article: Vec<Vec<u32>> = vec![Vec::with_capacity(kpa); num_articles];
+        for (i, &a) in article_of.iter().enumerate() {
+            keys_by_article[a as usize].push(i as u32);
+        }
+
+        // Active-peer population per strategy.
+        let cost = CostModel::new(s);
+        let nap = match cfg.strategy {
+            Strategy::NoIndex => 0,
+            Strategy::IndexAll => cost.num_active_peers(f64::from(s.keys)) as usize,
+            Strategy::Partial => {
+                let ttl_for_sizing = match cfg.ttl_policy {
+                    TtlPolicy::Fixed(t) => t as f64,
+                    TtlPolicy::FromModel { factor } => model_key_ttl(s, cfg.f_qry)? * factor,
+                    TtlPolicy::Adaptive { .. } => model_key_ttl(s, cfg.f_qry)?,
+                };
+                let sel = SelectionModel::evaluate_with_ttl(s, cfg.f_qry, ttl_for_sizing)?;
+                cost.num_active_peers(sel.index_size) as usize
+            }
+        };
+
+        // Structured side.
+        let (overlay, groups) = if nap >= 2 {
+            let overlay = TrieOverlay::build(nap, s.repl as usize, &mut rng_build)?;
+            let mut groups = Vec::with_capacity(overlay.leaf_count());
+            for leaf in 0..overlay.leaf_count() {
+                groups.push(ReplicaGroup::new(
+                    overlay.leaf_members(leaf).to_vec(),
+                    &mut rng_build,
+                )?);
+            }
+            (Some(overlay), groups)
+        } else {
+            (None, Vec::new())
+        };
+
+        // Store capacity: `stor`, raised if power-of-two leaf rounding (or
+        // hash skew) makes a leaf's key load exceed it under IndexAll (see
+        // module docs). Uses the *actual* per-leaf loads, not the average —
+        // hashed keys spread with Poisson fluctuation.
+        let store_capacity = match (&overlay, cfg.strategy) {
+            (Some(o), Strategy::IndexAll) => {
+                let mut loads = vec![0usize; o.leaf_count()];
+                for &key in &keys {
+                    loads[o.leaf_of_key(key)] += 1;
+                }
+                let max_leaf_load = loads.into_iter().max().unwrap_or(0);
+                (s.stor as usize).max(max_leaf_load + 8)
+            }
+            _ => s.stor as usize,
+        };
+        let mut stores: Vec<PartialIndex> =
+            (0..nap).map(|_| PartialIndex::new(store_capacity)).collect();
+
+        // Unstructured side.
+        let topo = Topology::random(num_peers, cfg.mean_degree, &mut rng_build)?;
+        let content =
+            Replication::place(num_articles, s.repl as usize, num_peers, &mut rng_build)?;
+
+        // Processes.
+        let churn = ChurnModel::new(num_peers, cfg.churn, &mut streams.stream("churn"));
+        let updates = UpdateProcess::new(num_articles, 1.0 / s.f_upd.max(1e-12))?;
+        let workload =
+            QueryWorkload::new(num_keys, s.alpha, s.num_peers, cfg.f_qry, cfg.shift.clone())?;
+
+        // TTL policy.
+        let model_ttl = model_key_ttl(s, cfg.f_qry)?;
+        let (ttl_rounds, adaptive) = match cfg.ttl_policy {
+            TtlPolicy::Fixed(t) => (t.max(1), None),
+            TtlPolicy::FromModel { factor } => {
+                (((model_ttl * factor).round() as u64).max(1), None)
+            }
+            TtlPolicy::Adaptive { target_hit_rate } => {
+                let ctl = AdaptiveTtl::new(model_ttl, target_hit_rate, cfg.adaptive_window);
+                (ctl.ttl_rounds(), Some(ctl))
+            }
+        };
+
+        // Probe-rate calibration (see module docs): per-peer maintenance
+        // must cost env·log2(nap) messages per second.
+        let probe_rate = match &overlay {
+            Some(o) if nap > 1 => {
+                let total_entries: usize =
+                    (0..nap).map(|p| o.routing_entries(PeerId::from_idx(p))).sum();
+                let avg = total_entries as f64 / nap as f64;
+                if avg > 0.0 {
+                    (s.env * (nap as f64).log2() / avg).min(1.0)
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        };
+
+        let cfg_admission = cfg.admission;
+        let mut indexed_copies = fasthash::map_with_capacity(num_keys.min(65_536));
+
+        // IndexAll: preload every key at its whole replica group.
+        if cfg.strategy == Strategy::IndexAll {
+            if let Some(o) = &overlay {
+                for (i, &key) in keys.iter().enumerate() {
+                    let value = VersionedValue { version: 1, data: i as u64 };
+                    let leaf = o.leaf_of_key(key);
+                    for &member in o.leaf_members(leaf) {
+                        let res = stores[member.idx()].insert(key, value, 0, NEVER);
+                        debug_assert!(res.evicted.is_none(), "preload must fit");
+                        if res.was_new {
+                            *indexed_copies.entry(key).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(PdhtNetwork {
+            rng_churn: streams.stream("churn-run"),
+            rng_workload: streams.stream("workload"),
+            rng_overlay: streams.stream("overlay"),
+            rng_search: streams.stream("search"),
+            rng_updates: streams.stream("updates"),
+            cfg,
+            keys,
+            article_of,
+            keys_by_article,
+            churn,
+            overlay,
+            nap,
+            groups,
+            stores,
+            topo,
+            content,
+            updates,
+            workload,
+            adaptive,
+            admission: AdmissionFilter::new(cfg_admission),
+            ttl_rounds,
+            probe_rate,
+            indexed_copies,
+            metrics: Metrics::new(),
+            driver: RoundDriver::new(),
+            hits: 0,
+            misses: 0,
+            stale_hits: 0,
+            lookup_failures: 0,
+            search_failures: 0,
+            skipped_offline: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PdhtConfig {
+        &self.cfg
+    }
+
+    /// Peers participating in the structured overlay.
+    pub fn num_active_peers(&self) -> usize {
+        self.nap
+    }
+
+    /// Current keyTtl in rounds.
+    pub fn ttl_rounds(&self) -> u64 {
+        self.ttl_rounds
+    }
+
+    /// Distinct keys currently resident in the index.
+    pub fn indexed_keys(&self) -> usize {
+        self.indexed_copies.len()
+    }
+
+    /// Direct access to the metrics (read-only).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Next round to execute.
+    pub fn next_round(&self) -> u64 {
+        self.driver.next_round().0
+    }
+
+    /// Failure injection: knocks a uniform `fraction` of all peers offline
+    /// at once; they rejoin through the configured churn process.
+    pub fn force_blackout(&mut self, fraction: f64) {
+        self.churn.force_blackout(fraction, &mut self.rng_churn);
+    }
+
+    /// Runs `n` rounds.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_round();
+        }
+    }
+
+    /// Executes one round: churn → maintenance → purges → updates → queries
+    /// → bookkeeping.
+    pub fn step_round(&mut self) {
+        let round = self.driver.next_round().0;
+
+        // 1. Churn; rejoining active peers pull missed updates (IndexAll —
+        //    the proactive-consistency strategy; the selection algorithm
+        //    relies on replica flooding instead, Section 5.1).
+        let transitions = self.churn.step_second(&mut self.rng_churn);
+        if self.cfg.strategy == Strategy::IndexAll {
+            for (peer, now_online) in &transitions {
+                if *now_online && peer.idx() < self.nap {
+                    self.pull_on_rejoin(*peer, round);
+                }
+            }
+        }
+
+        // 2. Routing-table maintenance (probing at the calibrated rate).
+        if let Some(o) = &mut self.overlay {
+            o.maintenance_round(
+                self.probe_rate,
+                self.churn.liveness(),
+                &mut self.rng_overlay,
+                &mut self.metrics,
+            );
+        }
+
+        // 3. Staggered purge of expired entries.
+        if self.cfg.strategy == Strategy::Partial {
+            let stride = self.cfg.purge_stride;
+            let phase = round % stride;
+            for p in 0..self.nap {
+                if p as u64 % stride == phase {
+                    for key in self.stores[p].purge_expired(round) {
+                        Self::drop_copy(&mut self.indexed_copies, key);
+                    }
+                }
+            }
+        }
+
+        // 4. Content updates.
+        let replacements = self.updates.round_updates(&mut self.rng_updates);
+        for rep in &replacements {
+            self.content.replace_item(rep.article as usize, &mut self.rng_updates);
+        }
+        if self.cfg.strategy == Strategy::IndexAll {
+            for rep in replacements {
+                self.propagate_update(rep.article, rep.new_version, round);
+            }
+        }
+
+        // 5. Queries.
+        let queries = self.workload.round_queries(round, &mut self.rng_workload);
+        for q in queries {
+            self.process_query(q, round);
+        }
+
+        // 6. Round bookkeeping.
+        if let Some(ctl) = &mut self.adaptive {
+            if ctl.end_round() {
+                self.ttl_rounds = ctl.ttl_rounds();
+            }
+        }
+        self.metrics.gauge("indexed_keys", Round(round), self.indexed_copies.len() as f64);
+        self.metrics.gauge("availability", Round(round), self.churn.liveness().availability());
+        self.metrics.gauge("hits", Round(round), self.hits as f64);
+        self.metrics.gauge("misses", Round(round), self.misses as f64);
+        self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
+        self.metrics.mark_round(Round(round));
+        self.driver.advance();
+    }
+
+    fn drop_copy(map: &mut FastHashMap<Key, u32>, key: Key) {
+        if let Some(c) = map.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// IndexAll rejoin path: pull the donor's store (2 messages).
+    fn pull_on_rejoin(&mut self, peer: PeerId, round: u64) {
+        let Some(o) = &self.overlay else { return };
+        let leaf = o.leaf_of_member(peer);
+        let live = self.churn.liveness();
+        let donor = o
+            .leaf_members(leaf)
+            .iter()
+            .copied()
+            .find(|&m| m != peer && live.is_online(m));
+        let Some(donor) = donor else { return };
+        self.metrics.record_n(MessageKind::GossipPull, 2);
+        let donated: Vec<(Key, VersionedValue)> =
+            self.stores[donor.idx()].iter().map(|(k, e)| (k, e.value)).collect();
+        for (key, value) in donated {
+            let res = self.stores[peer.idx()].insert(key, value, round, NEVER);
+            if res.was_new {
+                *self.indexed_copies.entry(key).or_insert(0) += 1;
+            }
+            if let Some(victim) = res.evicted {
+                Self::drop_copy(&mut self.indexed_copies, victim);
+            }
+        }
+    }
+
+    /// IndexAll update path (Eq. 9): route to a responsible peer, then
+    /// gossip the new version through the replica group.
+    fn propagate_update(&mut self, article: u32, new_version: u64, round: u64) {
+        let Some(o) = &self.overlay else { return };
+        let live = self.churn.liveness();
+        let Some(entry) = o.entry_peer(live, &mut self.rng_overlay) else { return };
+        let key_indices = self.keys_by_article[article as usize].clone();
+        for ki in key_indices {
+            let key = self.keys[ki as usize];
+            let value = VersionedValue { version: new_version, data: u64::from(ki) };
+            // Route (cSIndx part of cUpd) — hops are update traffic.
+            let mut scratch = Metrics::new();
+            let arrival = {
+                let live = self.churn.liveness();
+                o.lookup(entry, key, live, &mut self.rng_overlay, &mut scratch)
+            };
+            let hops = scratch.totals()[MessageKind::RouteHop];
+            self.metrics.record_n(MessageKind::GossipPush, hops);
+            let Ok(outcome) = arrival else { continue };
+            // Gossip within the leaf group (repl·dup2 part).
+            let leaf = o.leaf_of_key(key);
+            let group = &self.groups[leaf];
+            let stores = &mut self.stores;
+            let copies = &mut self.indexed_copies;
+            group.push_rumor(
+                outcome.peer,
+                |member_local| {
+                    let member = group.members()[member_local];
+                    let store = &mut stores[member.idx()];
+                    // "Fresh" means this delivery changed the member's
+                    // state — the rumor-death condition. (Reporting "member
+                    // is current" instead would keep spreaders alive
+                    // forever once everyone converged.)
+                    let prior = store.peek(key, round).map(|v| v.version);
+                    let res = store.insert(key, value, round, NEVER);
+                    if res.was_new {
+                        *copies.entry(key).or_insert(0) += 1;
+                    }
+                    if let Some(victim) = res.evicted {
+                        Self::drop_copy(copies, victim);
+                    }
+                    prior.is_none_or(|pv| pv < new_version)
+                },
+                self.churn.liveness(),
+                &mut self.rng_overlay,
+                &mut self.metrics,
+            );
+        }
+    }
+
+    /// The full query pipeline.
+    fn process_query(&mut self, q: Query, round: u64) {
+        if !self.churn.liveness().is_online(q.origin) {
+            self.skipped_offline += 1;
+            return;
+        }
+        let key = self.keys[q.key_index];
+        let article = self.article_of[q.key_index];
+
+        match self.cfg.strategy {
+            Strategy::NoIndex => {
+                let found = self.broadcast_search(q.origin, article);
+                if found.is_none() {
+                    self.search_failures += 1;
+                } else {
+                    self.misses += 1; // every query is a "miss" in index terms
+                }
+            }
+            Strategy::IndexAll | Strategy::Partial => {
+                let is_partial = self.cfg.strategy == Strategy::Partial;
+                let ttl = if is_partial { self.ttl_rounds } else { NEVER };
+
+                // Entry into the DHT.
+                let entry = self.dht_entry(q.origin);
+                let Some(entry) = entry else {
+                    // Index unreachable: fall back to pure broadcast.
+                    if self.broadcast_search(q.origin, article).is_none() {
+                        self.search_failures += 1;
+                    }
+                    self.record_outcome(false, article, None);
+                    return;
+                };
+
+                // Route to a responsible peer.
+                let arrival = {
+                    let o = self.overlay.as_ref().expect("entry implies overlay");
+                    let live = self.churn.liveness();
+                    o.lookup(entry, key, live, &mut self.rng_overlay, &mut self.metrics)
+                };
+                let responsible = match arrival {
+                    Ok(out) => out.peer,
+                    Err(_) => {
+                        self.lookup_failures += 1;
+                        if self.broadcast_search(q.origin, article).is_none() {
+                            self.search_failures += 1;
+                        }
+                        self.record_outcome(false, article, None);
+                        return;
+                    }
+                };
+
+                // Local index check (refreshes TTL on hit).
+                if let Some(v) =
+                    self.stores[responsible.idx()].get_and_refresh(key, round, ttl)
+                {
+                    self.record_outcome(true, article, Some(v));
+                    return;
+                }
+
+                // Replica-subnetwork flood (Eq. 16) — the selection
+                // algorithm's consistency net. IndexAll uses it too (its
+                // replicas can drift during churn).
+                let leaf =
+                    self.overlay.as_ref().expect("overlay present").leaf_of_key(key);
+                let flood_hit = {
+                    let group = &self.groups[leaf];
+                    let stores = &self.stores;
+                    let (found, _msgs) = group.flood_query(
+                        responsible,
+                        |member_local| {
+                            let member = group.members()[member_local];
+                            stores[member.idx()].peek(key, round).is_some()
+                        },
+                        self.churn.liveness(),
+                        &mut self.metrics,
+                    );
+                    found
+                };
+                if let Some(answering) = flood_hit {
+                    let v = self.stores[answering.idx()]
+                        .get_and_refresh(key, round, ttl)
+                        .expect("peeked entry must be readable");
+                    self.record_outcome(true, article, Some(v));
+                    return;
+                }
+
+                // Index miss: broadcast search the unstructured overlay.
+                let found = self.broadcast_search(q.origin, article);
+                let Some(_holder) = found else {
+                    self.search_failures += 1;
+                    self.record_outcome(false, article, None);
+                    return;
+                };
+                let value = VersionedValue {
+                    version: self.updates.version(article),
+                    data: q.key_index as u64,
+                };
+
+                // Admission check: the paper admits every miss; the
+                // frequency-aware extension requires a repeat miss first.
+                if is_partial && !self.admission.on_miss(key, round) {
+                    self.record_outcome(false, article, None);
+                    return;
+                }
+
+                // Insert the result at the responsible replicas
+                // (route, counted as IndexInsert, then replica flood).
+                let mut scratch = Metrics::new();
+                let insert_arrival = {
+                    let o = self.overlay.as_ref().expect("overlay present");
+                    let live = self.churn.liveness();
+                    o.lookup(entry, key, live, &mut self.rng_search, &mut scratch)
+                };
+                self.metrics.record_n(
+                    MessageKind::IndexInsert,
+                    scratch.totals()[MessageKind::RouteHop],
+                );
+                if let Ok(out) = insert_arrival {
+                    let group = &self.groups[leaf];
+                    let stores = &mut self.stores;
+                    let copies = &mut self.indexed_copies;
+                    group.flood_all(
+                        out.peer,
+                        |member_local| {
+                            let member = group.members()[member_local];
+                            let res = stores[member.idx()].insert(key, value, round, ttl);
+                            if res.was_new {
+                                *copies.entry(key).or_insert(0) += 1;
+                            }
+                            if let Some(victim) = res.evicted {
+                                Self::drop_copy(copies, victim);
+                            }
+                        },
+                        self.churn.liveness(),
+                        &mut self.metrics,
+                    );
+                }
+                self.record_outcome(false, article, None);
+            }
+        }
+    }
+
+    /// Finds an online DHT peer to hand the query to; free if the origin
+    /// itself participates, one `QueryEntry` message otherwise.
+    fn dht_entry(&mut self, origin: PeerId) -> Option<PeerId> {
+        let o = self.overlay.as_ref()?;
+        let live = self.churn.liveness();
+        if origin.idx() < self.nap && live.is_online(origin) {
+            return Some(origin);
+        }
+        let entry = o.entry_peer(live, &mut self.rng_overlay)?;
+        self.metrics.record(MessageKind::QueryEntry);
+        Some(entry)
+    }
+
+    /// k-random-walk broadcast search for a holder of `article`.
+    fn broadcast_search(&mut self, origin: PeerId, article: u32) -> Option<PeerId> {
+        let budget =
+            u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
+        let live = self.churn.liveness();
+        let content = &self.content;
+        let out = random_walks(
+            &self.topo,
+            origin,
+            self.cfg.walkers,
+            budget,
+            |p| content.is_holder(article as usize, p),
+            live,
+            &mut self.rng_search,
+            &mut self.metrics,
+        );
+        out.found
+    }
+
+    fn record_outcome(&mut self, hit: bool, article: u32, value: Option<VersionedValue>) {
+        if hit {
+            self.hits += 1;
+            if let Some(v) = value {
+                if v.version < self.updates.version(article) {
+                    self.stale_hits += 1;
+                }
+            }
+        } else {
+            self.misses += 1;
+        }
+        if let Some(ctl) = &mut self.adaptive {
+            ctl.observe(hit);
+        }
+    }
+
+    /// Aggregates a report over rounds `[from, to]` (inclusive; rounds must
+    /// already have run).
+    ///
+    /// # Panics
+    /// Panics if the window was not simulated.
+    pub fn report(&self, from: u64, to: u64) -> SimReport {
+        let counts = self
+            .metrics
+            .counts_between(Round(from), Round(to))
+            .expect("window must have been simulated");
+        let span = (to - from + 1) as f64;
+        let by_kind: Vec<(MessageKind, f64)> =
+            counts.iter().map(|(k, v)| (k, v as f64 / span)).collect();
+        let hits = Self::gauge_window_delta(&self.metrics, "hits", from, to);
+        let misses = Self::gauge_window_delta(&self.metrics, "misses", from, to);
+        let answered = hits + misses;
+        SimReport {
+            rounds: (from, to),
+            msgs_per_round: counts.total() as f64 / span,
+            by_kind,
+            p_indexed: if answered > 0.0 { hits / answered } else { 0.0 },
+            indexed_keys: self
+                .metrics
+                .gauge_mean("indexed_keys", Round(from), Round(to))
+                .unwrap_or(0.0),
+            availability: self
+                .metrics
+                .gauge_mean("availability", Round(from), Round(to))
+                .unwrap_or(1.0),
+            search_failures: self.search_failures,
+            lookup_failures: self.lookup_failures,
+            stale_hits: self.stale_hits,
+            skipped_offline: self.skipped_offline,
+        }
+    }
+
+    /// Difference of a cumulative gauge across the window (gauges store
+    /// cumulative counters sampled per round).
+    fn gauge_window_delta(metrics: &Metrics, name: &str, from: u64, to: u64) -> f64 {
+        let series = metrics.gauge_series(name);
+        let at = |round: u64| -> f64 {
+            match series.binary_search_by_key(&Round(round), |&(r, _)| r) {
+                Ok(i) => series[i].1,
+                Err(0) => 0.0,
+                Err(i) => series[i - 1].1,
+            }
+        };
+        let start = if from == 0 { 0.0 } else { at(from - 1) };
+        at(to) - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdht_model::Scenario;
+
+    fn cfg(strategy: Strategy, f_qry: f64) -> PdhtConfig {
+        // 1 000 peers, 2 000 keys — fast enough for unit tests.
+        PdhtConfig::new(Scenario::table1_scaled(20), f_qry, strategy)
+    }
+
+    #[test]
+    fn builds_for_all_strategies() {
+        for strategy in [Strategy::Partial, Strategy::IndexAll, Strategy::NoIndex] {
+            let net = PdhtNetwork::new(cfg(strategy, 1.0 / 60.0)).expect("buildable");
+            match strategy {
+                Strategy::NoIndex => assert_eq!(net.num_active_peers(), 0),
+                _ => assert!(net.num_active_peers() >= 2),
+            }
+        }
+    }
+
+    #[test]
+    fn index_all_preloads_every_key() {
+        let net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        assert_eq!(net.indexed_keys(), 2_000);
+    }
+
+    #[test]
+    fn partial_starts_empty_and_fills_with_queries() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 30.0)).unwrap();
+        assert_eq!(net.indexed_keys(), 0);
+        net.run(30);
+        assert!(net.indexed_keys() > 0, "queries must populate the index");
+        let report = net.report(0, 29);
+        assert!(report.p_indexed > 0.0, "repeat queries should start hitting");
+        assert!(report.msgs_per_round > 0.0);
+    }
+
+    #[test]
+    fn no_index_never_indexes_and_always_broadcasts() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::NoIndex, 1.0 / 30.0)).unwrap();
+        net.run(20);
+        assert_eq!(net.indexed_keys(), 0);
+        let report = net.report(0, 19);
+        assert_eq!(report.p_indexed, 0.0);
+        let walk: f64 = report
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::WalkStep)
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(walk > 0.0, "NoIndex must pay broadcast search");
+        let probes: f64 = report
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::Probe)
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(probes, 0.0, "NoIndex maintains no routing tables");
+    }
+
+    #[test]
+    fn index_all_hits_after_preload() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 30.0)).unwrap();
+        net.run(20);
+        let report = net.report(5, 19);
+        assert!(
+            report.p_indexed > 0.95,
+            "preloaded index should answer nearly everything, got {}",
+            report.p_indexed
+        );
+        assert_eq!(report.search_failures, 0);
+    }
+
+    #[test]
+    fn maintenance_cost_matches_env_calibration() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 120.0)).unwrap();
+        let nap = net.num_active_peers() as f64;
+        net.run(30);
+        let report = net.report(5, 29);
+        let probes: f64 = report
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::Probe)
+            .map(|&(_, v)| v)
+            .sum();
+        let expected = net.config().scenario.env * nap.log2() * nap;
+        assert!(
+            (probes - expected).abs() / expected < 0.1,
+            "probe rate {probes}/round should be ≈ env·log2(nap)·nap = {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut c = cfg(Strategy::Partial, 1.0 / 60.0);
+            c.seed = seed;
+            let mut net = PdhtNetwork::new(c).unwrap();
+            net.run(15);
+            let r = net.report(0, 14);
+            (r.msgs_per_round, r.p_indexed, net.indexed_keys())
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn ttl_eviction_shrinks_index_after_popularity_dies() {
+        // Run with a tiny fixed TTL and a burst of load, then stop querying:
+        // the index must drain.
+        let mut c = cfg(Strategy::Partial, 1.0 / 30.0);
+        c.ttl_policy = TtlPolicy::Fixed(5);
+        c.purge_stride = 1;
+        let mut net = PdhtNetwork::new(c).unwrap();
+        net.run(20);
+        let filled = net.indexed_keys();
+        assert!(filled > 0);
+        // Cut the load to zero by swapping in a zero-rate workload.
+        net.workload = QueryWorkload::new(2_000, 1.2, 1_000, 0.0, None).unwrap();
+        net.run(10);
+        assert!(
+            net.indexed_keys() < filled / 4,
+            "index should drain after queries stop: {} -> {}",
+            filled,
+            net.indexed_keys()
+        );
+    }
+
+    #[test]
+    fn report_excludes_entry_messages_in_model_view() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        net.run(10);
+        let r = net.report(0, 9);
+        assert!(r.msgs_per_round_model_view() <= r.msgs_per_round);
+    }
+}

@@ -1,0 +1,508 @@
+//! A replica group and its unstructured subnetwork.
+//!
+//! Message accounting matches the model's terms: update pushes are
+//! [`MessageKind::GossipPush`], rejoin pulls are
+//! [`MessageKind::GossipPull`], and intra-group query floods (Eq. 16) are
+//! [`MessageKind::ReplicaFlood`].
+
+use crate::store::{VersionedStore, VersionedValue};
+use pdht_sim::Metrics;
+use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result};
+use pdht_unstructured::Topology;
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+
+/// Degree of the replica subnetwork graph.
+const SUBNET_DEGREE: usize = 4;
+
+/// Push fanout per infected peer per gossip round.
+const PUSH_FANOUT: usize = 2;
+
+/// Consecutive fruitless pushes before a peer stops spreading a rumor
+/// (feedback/"coin death" from the rumor-spreading literature).
+const DEATH_THRESHOLD: u32 = 3;
+
+/// A replica group: the set of peers jointly responsible for a key region,
+/// plus the random subnetwork they gossip over.
+pub struct ReplicaGroup {
+    members: Vec<PeerId>,
+    /// Subnetwork over *local* indices `0..members.len()`.
+    subnet: Topology,
+}
+
+impl ReplicaGroup {
+    /// Builds the group and its subnetwork.
+    ///
+    /// # Errors
+    /// Fails for empty groups.
+    pub fn new(members: Vec<PeerId>, rng: &mut SmallRng) -> Result<ReplicaGroup> {
+        if members.is_empty() {
+            return Err(PdhtError::InvalidConfig {
+                param: "members",
+                reason: "replica group cannot be empty".into(),
+            });
+        }
+        let n = members.len();
+        let subnet = if n >= 3 {
+            Topology::random(n, SUBNET_DEGREE.min(n - 1).max(2), rng)?
+        } else {
+            // 1–2 members: a trivial/linked topology.
+            Topology::random(n.max(2), 2, rng)?
+        };
+        Ok(ReplicaGroup { members, subnet })
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` for empty groups (unreachable through the constructor).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in construction order.
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    /// Local index of `peer` within the group.
+    pub fn local_index(&self, peer: PeerId) -> Option<usize> {
+        self.members.iter().position(|&m| m == peer)
+    }
+
+    fn online_locals(&self, live: &Liveness) -> Vec<usize> {
+        (0..self.members.len()).filter(|&i| live.is_online(self.members[i])).collect()
+    }
+
+    /// Floods a query through the replica subnetwork from `origin` (Eq. 16):
+    /// every online member receives it; `answers(member_local_idx)` reports
+    /// whether that member can answer. Returns `(first answering peer,
+    /// messages spent)`. Messages are counted as
+    /// [`MessageKind::ReplicaFlood`].
+    pub fn flood_query<F>(
+        &self,
+        origin: PeerId,
+        answers: F,
+        live: &Liveness,
+        metrics: &mut Metrics,
+    ) -> (Option<PeerId>, u64)
+    where
+        F: Fn(usize) -> bool,
+    {
+        let Some(start) = self.local_index(origin) else {
+            return (None, 0);
+        };
+        if !live.is_online(origin) {
+            return (None, 0);
+        }
+        if answers(start) {
+            return (Some(origin), 0);
+        }
+        // Breadth-first flood over the *subnet*, mapping liveness through
+        // the member list; every transmission counts, duplicates included.
+        let n = self.members.len();
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut messages = 0u64;
+        let mut found = None;
+        while let Some(cur) = queue.pop_front() {
+            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
+                let nb = nb.idx();
+                if nb >= n {
+                    continue; // padding node from the 2-member special case
+                }
+                messages += 1;
+                metrics.record(MessageKind::ReplicaFlood);
+                if visited[nb] || !live.is_online(self.members[nb]) {
+                    continue;
+                }
+                visited[nb] = true;
+                if found.is_none() && answers(nb) {
+                    found = Some(self.members[nb]);
+                }
+                queue.push_back(nb);
+            }
+        }
+        (found, messages)
+    }
+
+    /// Floods the subnetwork from `origin`, delivering to **every** online
+    /// member exactly once (`deliver(local_idx)`), duplicates counted as
+    /// [`MessageKind::ReplicaFlood`]. This is the insert path of the
+    /// selection algorithm: a key found by broadcast is distributed to all
+    /// responsible replicas (Eq. 16's second `cSIndx2`). Returns the
+    /// messages spent.
+    pub fn flood_all<F>(
+        &self,
+        origin: PeerId,
+        mut deliver: F,
+        live: &Liveness,
+        metrics: &mut Metrics,
+    ) -> u64
+    where
+        F: FnMut(usize),
+    {
+        let Some(start) = self.local_index(origin) else {
+            return 0;
+        };
+        if !live.is_online(origin) {
+            return 0;
+        }
+        let n = self.members.len();
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        deliver(start);
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut messages = 0u64;
+        while let Some(cur) = queue.pop_front() {
+            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
+                let nb = nb.idx();
+                if nb >= n {
+                    continue;
+                }
+                messages += 1;
+                metrics.record(MessageKind::ReplicaFlood);
+                if visited[nb] || !live.is_online(self.members[nb]) {
+                    continue;
+                }
+                visited[nb] = true;
+                deliver(nb);
+                queue.push_back(nb);
+            }
+        }
+        messages
+    }
+
+    /// Generic rumor spreading: like [`ReplicaGroup::push_update`] but the
+    /// state transition is a caller-supplied closure
+    /// (`deliver(local_idx) -> fresh?`), so any store type can ride the
+    /// gossip. Returns members reached.
+    pub fn push_rumor<F>(
+        &self,
+        origin: PeerId,
+        mut deliver: F,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> usize
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let Some(start) = self.local_index(origin) else {
+            return 0;
+        };
+        if !live.is_online(origin) {
+            return 0;
+        }
+        deliver(start);
+        let n = self.members.len();
+        let mut infected = vec![false; n];
+        infected[start] = true;
+        let mut reached = 1usize;
+        let mut active: Vec<(usize, u32)> = vec![(start, 0)];
+        while !active.is_empty() {
+            let mut next_active: Vec<(usize, u32)> = Vec::with_capacity(active.len());
+            for (spreader, mut fruitless) in active {
+                let neighbors: Vec<usize> = self
+                    .subnet
+                    .neighbors(PeerId::from_idx(spreader))
+                    .iter()
+                    .map(|p| p.idx())
+                    .filter(|&i| i < n)
+                    .collect();
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let mut was_fresh = false;
+                for _ in 0..PUSH_FANOUT {
+                    let &target = neighbors.as_slice().choose(rng).expect("non-empty");
+                    metrics.record(MessageKind::GossipPush);
+                    if !live.is_online(self.members[target]) {
+                        continue;
+                    }
+                    if deliver(target) {
+                        was_fresh = true;
+                    }
+                    if !infected[target] {
+                        infected[target] = true;
+                        reached += 1;
+                        next_active.push((target, 0));
+                    }
+                }
+                if was_fresh {
+                    fruitless = 0;
+                } else {
+                    fruitless += 1;
+                }
+                if fruitless < DEATH_THRESHOLD {
+                    next_active.push((spreader, fruitless));
+                }
+            }
+            active = next_active;
+        }
+        reached
+    }
+
+    /// Gossips an update through the group: push rounds with fanout
+    /// `PUSH_FANOUT` and feedback death (\[DaHa03\]'s push phase). Online
+    /// members apply the update into `store`; offline members miss it and
+    /// must [`ReplicaGroup::pull_on_rejoin`] later. Returns the number of
+    /// members reached (including the origin).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_update(
+        &self,
+        origin: PeerId,
+        key: Key,
+        value: VersionedValue,
+        store: &mut VersionedStore,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> usize {
+        self.push_rumor(origin, |member| store.apply(member, key, value), live, rng, metrics)
+    }
+
+    /// Anti-entropy pull performed by `member` when it comes back online:
+    /// it contacts one random online group member and adopts any newer
+    /// versions for `keys`. Costs 2 messages (request + response), counted
+    /// as [`MessageKind::GossipPull`]. Returns the number of keys updated.
+    pub fn pull_on_rejoin(
+        &self,
+        member: PeerId,
+        keys: &[Key],
+        store: &mut VersionedStore,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> usize {
+        let Some(me) = self.local_index(member) else {
+            return 0;
+        };
+        let candidates: Vec<usize> =
+            self.online_locals(live).into_iter().filter(|&i| i != me).collect();
+        let Some(&donor) = candidates.as_slice().choose(rng) else {
+            return 0;
+        };
+        metrics.record_n(MessageKind::GossipPull, 2);
+        let mut updated = 0usize;
+        for &key in keys {
+            if let Some(v) = store.get(donor, key) {
+                if store.apply(me, key, v) {
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(4242)
+    }
+
+    fn group(n: usize) -> (ReplicaGroup, VersionedStore) {
+        let members: Vec<PeerId> = (100..100 + n as u32).map(PeerId).collect();
+        let g = ReplicaGroup::new(members, &mut rng()).unwrap();
+        let s = VersionedStore::new(n);
+        (g, s)
+    }
+
+    fn all_online(n: usize) -> Liveness {
+        // Members are ids 100.., so build a large-enough population.
+        Liveness::all_online(100 + n)
+    }
+
+    const K: Key = Key(0xbeef);
+
+    #[test]
+    fn push_reaches_every_online_member() {
+        let (g, mut s) = group(50);
+        let live = all_online(50);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let reached = g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 1, data: 5 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        // Coin-death rumor spreading reaches almost everyone; the few
+        // stragglers are the price of bounded message cost ([DaHa03]) and
+        // are reconciled by pulls.
+        assert!(reached >= 45, "push should infect ≥90% of 50 members, reached {reached}");
+        assert!(s.consistency_among(K, 0..50) >= 0.9);
+        assert!(m.totals()[MessageKind::GossipPush] >= 44);
+    }
+
+    #[test]
+    fn push_cost_is_linear_with_small_constant() {
+        let (g, mut s) = group(50);
+        let live = all_online(50);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 1, data: 5 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        let msgs = m.totals()[MessageKind::GossipPush];
+        // Rumor spreading costs O(n log n) worst case; with feedback death
+        // it stays within a small multiple of the group size.
+        assert!(msgs < 50 * 8, "push used {msgs} messages for 50 members");
+    }
+
+    #[test]
+    fn offline_members_miss_updates_then_pull() {
+        let (g, mut s) = group(20);
+        let mut live = all_online(20);
+        // Member local 5 (peer 105) is offline during the update.
+        live.set(PeerId(105), false);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 7, data: 9 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        assert_eq!(s.get(5, K), None, "offline member must not receive the push");
+        assert!(s.consistency_among(K, 0..20) < 1.0);
+
+        // It rejoins and pulls.
+        live.set(PeerId(105), true);
+        let updated = g.pull_on_rejoin(PeerId(105), &[K], &mut s, &live, &mut r, &mut m);
+        assert_eq!(updated, 1);
+        assert_eq!(s.get(5, K).unwrap().version, 7);
+        assert_eq!(m.totals()[MessageKind::GossipPull], 2);
+        assert!((s.consistency_among(K, 0..20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newer_version_supersedes_older_where_delivered() {
+        let (g, mut s) = group(30);
+        let live = all_online(30);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        g.push_update(PeerId(100), K, VersionedValue { version: 1, data: 1 }, &mut s, &live, &mut r, &mut m);
+        g.push_update(PeerId(115), K, VersionedValue { version: 2, data: 2 }, &mut s, &live, &mut r, &mut m);
+        assert_eq!(s.latest_version(K), Some(2));
+        // Rumor spreading with coin death may strand a few members on the
+        // old version (they catch up via pull — the "hybrid" part of
+        // [DaHa03]); the push alone must still reach the vast majority.
+        assert!(s.consistency_among(K, 0..30) >= 0.9);
+        // No member may ever hold version 2 with the wrong payload.
+        for member in 0..30 {
+            let v = s.get(member, K).unwrap();
+            assert_eq!(v.data, v.version, "payload must match its version");
+        }
+        // Stragglers reconcile by pulling.
+        for member in 0..30u32 {
+            g.pull_on_rejoin(PeerId(100 + member), &[K], &mut s, &live, &mut r, &mut m);
+        }
+        assert!((s.consistency_among(K, 0..30) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flood_query_finds_an_answering_member() {
+        let (g, _s) = group(40);
+        let live = all_online(40);
+        let mut m = Metrics::new();
+        let (found, msgs) =
+            g.flood_query(PeerId(100), |local| local == 33, &live, &mut m);
+        assert_eq!(found, Some(PeerId(133)));
+        assert!(msgs > 0);
+        assert_eq!(m.totals()[MessageKind::ReplicaFlood], msgs);
+    }
+
+    #[test]
+    fn flood_query_when_nobody_answers_costs_full_sweep() {
+        let (g, _s) = group(40);
+        let live = all_online(40);
+        let mut m = Metrics::new();
+        let (found, msgs) = g.flood_query(PeerId(100), |_| false, &live, &mut m);
+        assert_eq!(found, None);
+        // Full sweep ≈ members · dup2; with degree-4 subnet each member
+        // transmits to ~3-4 others, so expect between n and 4n messages.
+        assert!(msgs >= 39, "full sweep should touch the whole group, msgs={msgs}");
+        assert!(msgs <= 4 * 40);
+    }
+
+    #[test]
+    fn flood_query_origin_answers_for_free() {
+        let (g, _s) = group(10);
+        let live = all_online(10);
+        let mut m = Metrics::new();
+        let (found, msgs) = g.flood_query(PeerId(100), |l| l == 0, &live, &mut m);
+        assert_eq!(found, Some(PeerId(100)));
+        assert_eq!(msgs, 0);
+    }
+
+    #[test]
+    fn pull_with_no_online_donor_is_a_noop() {
+        let (g, mut s) = group(5);
+        let mut live = all_online(5);
+        for i in 0..5 {
+            live.set(PeerId(100 + i), false);
+        }
+        live.set(PeerId(102), true);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let updated = g.pull_on_rejoin(PeerId(102), &[K], &mut s, &live, &mut r, &mut m);
+        assert_eq!(updated, 0);
+        assert_eq!(m.totals()[MessageKind::GossipPull], 0);
+    }
+
+    #[test]
+    fn non_member_operations_are_noops() {
+        let (g, mut s) = group(5);
+        let live = all_online(5);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        assert_eq!(
+            g.push_update(PeerId(1), K, VersionedValue { version: 1, data: 0 }, &mut s, &live, &mut r, &mut m),
+            0
+        );
+        let (found, msgs) = g.flood_query(PeerId(1), |_| true, &live, &mut m);
+        assert_eq!((found, msgs), (None, 0));
+        assert_eq!(g.pull_on_rejoin(PeerId(1), &[K], &mut s, &live, &mut r, &mut m), 0);
+    }
+
+    #[test]
+    fn tiny_groups_work() {
+        let members = vec![PeerId(100), PeerId(101)];
+        let g = ReplicaGroup::new(members, &mut rng()).unwrap();
+        let mut s = VersionedStore::new(2);
+        let live = all_online(2);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let reached = g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 1, data: 1 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        assert_eq!(reached, 2);
+        assert!(ReplicaGroup::new(vec![], &mut r).is_err());
+    }
+}

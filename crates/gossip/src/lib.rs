@@ -1,0 +1,22 @@
+//! Replica-subnetwork communication (\[DaHa03\], paper Sections 3.3.2 & 5.1).
+//!
+//! The replicas responsible for a key region "maintain an unstructured
+//! replica subnetwork among each other". Two operations run over it:
+//!
+//! * **updates** — inserted at one responsible peer, then *gossiped* to the
+//!   others via hybrid push/pull rumor spreading: online peers are infected
+//!   by pushes; peers that were offline pull missed updates when they
+//!   return (anti-entropy),
+//! * **query flooding** (Eq. 16) — with lazy TTL eviction replicas drift
+//!   apart, so a responsible peer that cannot answer floods the subnetwork
+//!   at cost `repl · dup2`.
+//!
+//! [`ReplicaGroup`] owns the subnetwork topology and the message
+//! accounting; [`VersionedStore`] is the per-member versioned key-value
+//! state used to measure update consistency.
+
+pub mod group;
+pub mod store;
+
+pub use group::ReplicaGroup;
+pub use store::{VersionedStore, VersionedValue};

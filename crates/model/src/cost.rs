@@ -1,0 +1,217 @@
+//! Cost primitives (Eq. 6–10 and 16).
+//!
+//! All searches are counted in messages; all holding costs in messages per
+//! second per key. The structured-overlay terms depend on
+//! `numActivePeers` — the peers actually needed to store the (partial)
+//! index — which is derived from the index size, replication factor and
+//! per-peer storage (Section 3.2).
+
+use crate::params::Scenario;
+
+/// Cost primitives for a given scenario.
+///
+/// This is a thin, copyable view over [`Scenario`]; all methods are pure.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel<'a> {
+    s: &'a Scenario,
+}
+
+impl<'a> CostModel<'a> {
+    /// Wraps a scenario.
+    pub fn new(s: &'a Scenario) -> Self {
+        CostModel { s }
+    }
+
+    /// The scenario.
+    pub fn scenario(&self) -> &Scenario {
+        self.s
+    }
+
+    /// Number of peers needed to build a DHT holding `index_keys` keys with
+    /// replication `repl` and per-peer storage `stor`, clamped to
+    /// `[2, numPeers]` (at least two peers are needed for a meaningful
+    /// overlay; more peers than exist cannot participate).
+    ///
+    /// For `index_keys == 0` no DHT is maintained and the result is 0.
+    pub fn num_active_peers(&self, index_keys: f64) -> f64 {
+        if index_keys <= 0.0 {
+            return 0.0;
+        }
+        let needed = (index_keys * f64::from(self.s.repl) / f64::from(self.s.stor)).ceil();
+        needed.clamp(2.0, f64::from(self.s.num_peers))
+    }
+
+    /// Eq. 6: cost of searching the unstructured network,
+    /// `cSUnstr = numPeers / repl · dup` messages.
+    pub fn c_s_unstr(&self) -> f64 {
+        f64::from(self.s.num_peers) / f64::from(self.s.repl) * self.s.dup
+    }
+
+    /// Eq. 7: cost of searching the index,
+    /// `cSIndx = ½ · log2(numActivePeers)` messages.
+    ///
+    /// Zero when no DHT exists (`nap == 0`).
+    pub fn c_s_indx(&self, num_active_peers: f64) -> f64 {
+        if num_active_peers <= 1.0 {
+            0.0
+        } else {
+            0.5 * num_active_peers.log2()
+        }
+    }
+
+    /// Eq. 16: index search cost when replicas are synchronized lazily and
+    /// queries are flooded in the replica subnetwork,
+    /// `cSIndx2 = cSIndx + repl · dup2`.
+    pub fn c_s_indx2(&self, num_active_peers: f64) -> f64 {
+        self.c_s_indx(num_active_peers) + f64::from(self.s.repl) * self.s.dup2
+    }
+
+    /// Eq. 8: routing-table maintenance cost per key per second,
+    /// `cRtn = env · log2(nap) · nap / indexKeys`.
+    ///
+    /// Zero when the index is empty.
+    pub fn c_rtn(&self, num_active_peers: f64, index_keys: f64) -> f64 {
+        if index_keys <= 0.0 || num_active_peers <= 1.0 {
+            return 0.0;
+        }
+        self.s.env * num_active_peers.log2() * num_active_peers / index_keys
+    }
+
+    /// Eq. 9: update cost per key per second,
+    /// `cUpd = (cSIndx + repl · dup2) · fUpd`.
+    pub fn c_upd(&self, num_active_peers: f64) -> f64 {
+        (self.c_s_indx(num_active_peers) + f64::from(self.s.repl) * self.s.dup2) * self.s.f_upd
+    }
+
+    /// Eq. 10: total cost of keeping one key indexed for one second,
+    /// `cIndKey = cRtn + cUpd`.
+    pub fn c_ind_key(&self, num_active_peers: f64, index_keys: f64) -> f64 {
+        self.c_rtn(num_active_peers, index_keys) + self.c_upd(num_active_peers)
+    }
+
+    /// Eq. 2's threshold: the minimum per-round query frequency a key must
+    /// have to be worth indexing, `fMin = cIndKey / (cSUnstr − cSIndx)`.
+    ///
+    /// Returns `f64::INFINITY` when index search is no cheaper than
+    /// broadcast search (then nothing is ever worth indexing).
+    pub fn f_min(&self, num_active_peers: f64, index_keys: f64) -> f64 {
+        let saving = self.c_s_unstr() - self.c_s_indx(num_active_peers);
+        if saving <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.c_ind_key(num_active_peers, index_keys) / saving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> Scenario {
+        Scenario::table1()
+    }
+
+    #[test]
+    fn c_s_unstr_matches_hand_computation() {
+        // 20 000 / 50 · 1.8 = 720 messages.
+        let s = table1();
+        let m = CostModel::new(&s);
+        assert!((m.c_s_unstr() - 720.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_s_indx_is_half_log2() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        assert!((m.c_s_indx(20_000.0) - 0.5 * 20_000f64.log2()).abs() < 1e-12);
+        assert!((m.c_s_indx(20_000.0) - 7.144).abs() < 0.01);
+        assert_eq!(m.c_s_indx(0.0), 0.0);
+        assert_eq!(m.c_s_indx(1.0), 0.0);
+    }
+
+    #[test]
+    fn full_index_needs_all_peers() {
+        // 40 000 keys · 50 replicas / 100 per peer = 20 000 peers — exactly
+        // the population (the paper chose the numbers to make this tight).
+        let s = table1();
+        let m = CostModel::new(&s);
+        assert_eq!(m.num_active_peers(40_000.0), 20_000.0);
+        // Half the keys need half the peers.
+        assert_eq!(m.num_active_peers(20_000.0), 10_000.0);
+        // Clamps: tiny index still needs 2 peers; zero index none.
+        assert_eq!(m.num_active_peers(1.0), 2.0);
+        assert_eq!(m.num_active_peers(0.0), 0.0);
+    }
+
+    #[test]
+    fn c_rtn_reproduces_ma_ca03_calibration() {
+        // The paper calibrates env so that maintenance ≈ 1 msg/peer/s in a
+        // 17 000-peer Pastry network: env·log2(17 000) ≈ 1.
+        let s = table1();
+        let m = CostModel::new(&s);
+        let per_peer = s.env * 17_000f64.log2();
+        assert!((per_peer - 1.0).abs() < 0.01, "env calibration off: {per_peer}");
+
+        // Full Table 1 index: cRtn = env·log2(20 000)·20 000/40 000 ≈ 0.51.
+        let c = m.c_rtn(20_000.0, 40_000.0);
+        assert!((c - 0.5103).abs() < 0.001, "cRtn = {c}");
+    }
+
+    #[test]
+    fn c_upd_is_dominated_by_replica_flooding() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        let c = m.c_upd(20_000.0);
+        // (7.14 + 90) / 86 400 ≈ 0.001124 msg/s.
+        assert!((c - 0.001124).abs() < 1e-5, "cUpd = {c}");
+        // Section 4: "the maintenance cost (cRtn) clearly outweighs the
+        // update cost (cUpd)".
+        assert!(m.c_rtn(20_000.0, 40_000.0) > 100.0 * c);
+    }
+
+    #[test]
+    fn c_ind_key_sums_components() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        let nap = 20_000.0;
+        let keys = 40_000.0;
+        assert!(
+            (m.c_ind_key(nap, keys) - (m.c_rtn(nap, keys) + m.c_upd(nap))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn f_min_is_finite_and_small_for_table1() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        let f_min = m.f_min(20_000.0, 40_000.0);
+        // ≈ 0.5114 / (720 − 7.14) ≈ 7.2e-4 per round.
+        assert!((f_min - 7.17e-4).abs() < 5e-5, "fMin = {f_min}");
+    }
+
+    #[test]
+    fn f_min_infinite_when_index_search_not_cheaper() {
+        // Tiny network where broadcast is cheaper than index search:
+        // numPeers/repl·dup < ½log2(nap).
+        let s = Scenario { num_peers: 64, repl: 64, dup: 1.0, ..Scenario::table1() };
+        let m = CostModel::new(&s);
+        // cSUnstr = 1.0; with nap = 64 peers, cSIndx = 3.
+        assert!(m.f_min(64.0, 1000.0).is_infinite());
+    }
+
+    #[test]
+    fn c_s_indx2_adds_replica_flood() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        let nap = 10_000.0;
+        assert!((m.c_s_indx2(nap) - (m.c_s_indx(nap) + 90.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_costs_nothing_to_hold() {
+        let s = table1();
+        let m = CostModel::new(&s);
+        assert_eq!(m.c_rtn(0.0, 0.0), 0.0);
+        assert_eq!(m.c_ind_key(0.0, 0.0), m.c_upd(0.0));
+    }
+}

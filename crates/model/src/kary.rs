@@ -1,0 +1,201 @@
+//! k-ary key-space generalization (Section 3.2, footnote 3).
+//!
+//! "For simplicity we assume a binary key space. However, the analysis can
+//! also be generalized for a k-ary key space." In a k-ary trie/Pastry-style
+//! overlay each routing step resolves one base-k digit, so:
+//!
+//! * search: `cSIndx_k = ½ · log_k(nap)` — fewer hops for larger k,
+//! * tables: `(k−1) · log_k(nap)` entries — more probing for larger k,
+//!   hence `cRtn_k = env · (k−1) · log_k(nap) · nap / indexKeys`.
+//!
+//! The product `(k−1)/log2(k)` grows with k, so larger fan-outs trade
+//! cheaper searches for costlier maintenance — which shifts `fMin` and the
+//! whole partial-indexing balance. [`kary_sweep`] quantifies this.
+
+use crate::cost::CostModel;
+use crate::params::Scenario;
+use pdht_types::{PdhtError, Result};
+
+/// Cost primitives generalized to a k-ary digit space.
+#[derive(Clone, Copy, Debug)]
+pub struct KaryCost<'a> {
+    base: CostModel<'a>,
+    k: u32,
+}
+
+impl<'a> KaryCost<'a> {
+    /// Wraps a scenario with fan-out `k` (k = 2 reproduces the paper's
+    /// binary analysis exactly).
+    ///
+    /// # Errors
+    /// Rejects `k < 2`.
+    pub fn new(s: &'a Scenario, k: u32) -> Result<KaryCost<'a>> {
+        if k < 2 {
+            return Err(PdhtError::InvalidConfig {
+                param: "k",
+                reason: format!("digit fan-out must be >= 2, got {k}"),
+            });
+        }
+        Ok(KaryCost { base: CostModel::new(s), k })
+    }
+
+    /// The fan-out.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Digits of routing: `log_k(nap)`.
+    #[inline]
+    fn log_k(&self, nap: f64) -> f64 {
+        if nap <= 1.0 {
+            0.0
+        } else {
+            nap.log2() / f64::from(self.k).log2()
+        }
+    }
+
+    /// k-ary Eq. 7: `cSIndx = ½·log_k(nap)`.
+    pub fn c_s_indx(&self, nap: f64) -> f64 {
+        0.5 * self.log_k(nap)
+    }
+
+    /// Routing-table entries per peer: `(k−1)·log_k(nap)`.
+    pub fn table_entries(&self, nap: f64) -> f64 {
+        f64::from(self.k - 1) * self.log_k(nap)
+    }
+
+    /// k-ary Eq. 8: `cRtn = env · (k−1) · log_k(nap) · nap / indexKeys`.
+    pub fn c_rtn(&self, nap: f64, index_keys: f64) -> f64 {
+        if index_keys <= 0.0 || nap <= 1.0 {
+            return 0.0;
+        }
+        self.base.scenario().env * self.table_entries(nap) * nap / index_keys
+    }
+
+    /// k-ary Eq. 10 (update term unchanged — replica flooding does not
+    /// depend on the digit base).
+    pub fn c_ind_key(&self, nap: f64, index_keys: f64) -> f64 {
+        let upd = (self.c_s_indx(nap)
+            + f64::from(self.base.scenario().repl) * self.base.scenario().dup2)
+            * self.base.scenario().f_upd;
+        self.c_rtn(nap, index_keys) + upd
+    }
+
+    /// k-ary Eq. 2: the indexing bar.
+    pub fn f_min(&self, nap: f64, index_keys: f64) -> f64 {
+        let saving = self.base.c_s_unstr() - self.c_s_indx(nap);
+        if saving <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.c_ind_key(nap, index_keys) / saving
+    }
+}
+
+/// One row of the fan-out sweep: full-index costs under fan-out `k`.
+#[derive(Clone, Debug)]
+pub struct KaryPoint {
+    /// Digit fan-out.
+    pub k: u32,
+    /// Search cost (messages).
+    pub c_s_indx: f64,
+    /// Routing-table entries per peer.
+    pub table_entries: f64,
+    /// Holding cost per key per second for the full index.
+    pub c_ind_key: f64,
+    /// Eq. 2 threshold for the full index.
+    pub f_min: f64,
+    /// Eq. 11 total at query frequency `f_qry`.
+    pub index_all: f64,
+}
+
+/// Sweeps digit fan-outs at a fixed query frequency, full-index sizing.
+///
+/// # Errors
+/// Propagates validation failures.
+pub fn kary_sweep(s: &Scenario, f_qry: f64, ks: &[u32]) -> Result<Vec<KaryPoint>> {
+    s.validate()?;
+    let base = CostModel::new(s);
+    let keys = f64::from(s.keys);
+    let nap = base.num_active_peers(keys);
+    let q = s.queries_per_round(f_qry);
+    ks.iter()
+        .map(|&k| {
+            let m = KaryCost::new(s, k)?;
+            Ok(KaryPoint {
+                k,
+                c_s_indx: m.c_s_indx(nap),
+                table_entries: m.table_entries(nap),
+                c_ind_key: m.c_ind_key(nap, keys),
+                f_min: m.f_min(nap, keys),
+                index_all: keys * m.c_ind_key(nap, keys) + q * m.c_s_indx(nap),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_case_reproduces_the_paper_model() {
+        let s = Scenario::table1();
+        let base = CostModel::new(&s);
+        let kary = KaryCost::new(&s, 2).unwrap();
+        let nap = 20_000.0;
+        let keys = 40_000.0;
+        assert!((kary.c_s_indx(nap) - base.c_s_indx(nap)).abs() < 1e-12);
+        // Binary tables: (2−1)·log2(nap) = log2(nap) — the model's O(log n).
+        assert!((kary.table_entries(nap) - nap.log2()).abs() < 1e-12);
+        assert!((kary.c_rtn(nap, keys) - base.c_rtn(nap, keys)).abs() < 1e-12);
+        assert!((kary.f_min(nap, keys) - base.f_min(nap, keys)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_fanout_cheapens_search_but_fattens_tables() {
+        let s = Scenario::table1();
+        let nap = 20_000.0;
+        let mut prev_search = f64::INFINITY;
+        let mut prev_tables = 0.0;
+        for k in [2u32, 4, 16, 64] {
+            let m = KaryCost::new(&s, k).unwrap();
+            let search = m.c_s_indx(nap);
+            let tables = m.table_entries(nap);
+            assert!(search < prev_search, "search must shrink with k");
+            assert!(tables > prev_tables, "tables must grow with k");
+            prev_search = search;
+            prev_tables = tables;
+        }
+    }
+
+    #[test]
+    fn maintenance_dominates_at_high_fanout() {
+        // The (k−1)/log2(k) factor: at k = 256 the full-index holding cost
+        // dwarfs the binary case.
+        let s = Scenario::table1();
+        let binary = KaryCost::new(&s, 2).unwrap();
+        let wide = KaryCost::new(&s, 256).unwrap();
+        assert!(
+            wide.c_ind_key(20_000.0, 40_000.0) > 10.0 * binary.c_ind_key(20_000.0, 40_000.0)
+        );
+        // …which raises the indexing bar.
+        assert!(wide.f_min(20_000.0, 40_000.0) > binary.f_min(20_000.0, 40_000.0));
+    }
+
+    #[test]
+    fn sweep_is_consistent_and_k2_matches_strategy_costs() {
+        let s = Scenario::table1();
+        let f_qry = 1.0 / 300.0;
+        let pts = kary_sweep(&s, f_qry, &[2, 4, 16]).unwrap();
+        assert_eq!(pts.len(), 3);
+        let c = crate::strategy::StrategyCosts::evaluate(&s, f_qry).unwrap();
+        assert!((pts[0].index_all - c.index_all).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate_fanout() {
+        let s = Scenario::table1();
+        assert!(KaryCost::new(&s, 0).is_err());
+        assert!(KaryCost::new(&s, 1).is_err());
+    }
+}

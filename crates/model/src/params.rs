@@ -1,0 +1,209 @@
+//! The evaluation scenario (Table 1) and parameter validation.
+
+use pdht_types::{PdhtError, Result};
+
+/// The paper's query-frequency sweep (x-axis of Figs. 1–4): one query per
+/// peer every 30 s down to one every 2 h.
+pub const QUERY_FREQ_SWEEP: [f64; 8] = [
+    1.0 / 30.0,
+    1.0 / 60.0,
+    1.0 / 120.0,
+    1.0 / 300.0,
+    1.0 / 600.0,
+    1.0 / 1800.0,
+    1.0 / 3600.0,
+    1.0 / 7200.0,
+];
+
+/// Scenario parameters — Table 1 of the paper.
+///
+/// `fQry` is *not* part of the scenario: it is the swept variable, passed
+/// separately to the evaluation entry points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Total number of peers (`numPeers`).
+    pub num_peers: u32,
+    /// Number of unique keys (`keys`).
+    pub keys: u32,
+    /// Per-peer index storage capacity in keys (`stor`).
+    pub stor: u32,
+    /// Replication factor for index and content (`repl`).
+    pub repl: u32,
+    /// Zipf exponent of the query distribution (`α`).
+    pub alpha: f64,
+    /// Average update frequency per key per second (`fUpd`).
+    pub f_upd: f64,
+    /// Route-maintenance environment constant (`env`, \[MaCa03\]).
+    pub env: f64,
+    /// Message duplication factor of unstructured search (`dup`, \[LvCa02\]).
+    pub dup: f64,
+    /// Message duplication factor of replica-subnetwork flooding (`dup2`).
+    pub dup2: f64,
+}
+
+impl Scenario {
+    /// The exact Table 1 instantiation: a decentralized news system with
+    /// 2 000 articles × 20 metadata keys, replication 50, storage 100,
+    /// `α = 1.2`, daily article replacement, `env = 1/14`,
+    /// `dup = dup2 = 1.8`.
+    pub fn table1() -> Scenario {
+        Scenario {
+            num_peers: 20_000,
+            keys: 40_000,
+            stor: 100,
+            repl: 50,
+            alpha: 1.2,
+            f_upd: 1.0 / (3600.0 * 24.0),
+            env: 1.0 / 14.0,
+            dup: 1.8,
+            dup2: 1.8,
+        }
+    }
+
+    /// A proportionally scaled-down scenario for fast simulation tests:
+    /// divides peers and keys by `factor`, keeping ratios intact.
+    ///
+    /// # Panics
+    /// Panics if `factor` is 0 or does not divide the populations cleanly
+    /// enough to keep at least 10 peers and 10 keys.
+    pub fn table1_scaled(factor: u32) -> Scenario {
+        assert!(factor > 0, "scale factor must be positive");
+        let s = Scenario::table1();
+        let scaled = Scenario {
+            num_peers: (s.num_peers / factor).max(10),
+            keys: (s.keys / factor).max(10),
+            ..s
+        };
+        assert!(scaled.num_peers >= 10 && scaled.keys >= 10, "scenario scaled too far");
+        scaled
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Errors
+    /// Returns [`PdhtError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        fn check(cond: bool, param: &'static str, reason: &str) -> Result<()> {
+            if cond {
+                Ok(())
+            } else {
+                Err(PdhtError::InvalidConfig { param, reason: reason.to_string() })
+            }
+        }
+        check(self.num_peers >= 2, "num_peers", "need at least 2 peers")?;
+        check(self.keys >= 1, "keys", "need at least one key")?;
+        check(self.stor >= 1, "stor", "peers must store at least one key")?;
+        check(self.repl >= 1, "repl", "replication factor must be >= 1")?;
+        check(
+            self.repl <= self.num_peers,
+            "repl",
+            "cannot replicate to more peers than exist",
+        )?;
+        check(self.alpha.is_finite() && self.alpha >= 0.0, "alpha", "must be finite, >= 0")?;
+        check(self.f_upd.is_finite() && self.f_upd >= 0.0, "f_upd", "must be finite, >= 0")?;
+        check(self.env.is_finite() && self.env > 0.0, "env", "must be finite, > 0")?;
+        check(self.dup.is_finite() && self.dup >= 1.0, "dup", "duplication factor >= 1")?;
+        check(self.dup2.is_finite() && self.dup2 >= 1.0, "dup2", "duplication factor >= 1")?;
+        Ok(())
+    }
+
+    /// Total queries per round at per-peer frequency `f_qry`
+    /// (`numPeers · fQry`).
+    pub fn queries_per_round(&self, f_qry: f64) -> f64 {
+        f64::from(self.num_peers) * f_qry
+    }
+
+    /// The average key query/update ratio the paper quotes ("between 1440/1
+    /// and 6/1"): queries per key per second over updates per key per
+    /// second.
+    pub fn query_update_ratio(&self, f_qry: f64) -> f64 {
+        let queries_per_key = self.queries_per_round(f_qry) / f64::from(self.keys);
+        queries_per_key / self.f_upd
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let s = Scenario::table1();
+        assert_eq!(s.num_peers, 20_000);
+        assert_eq!(s.keys, 40_000);
+        assert_eq!(s.stor, 100);
+        assert_eq!(s.repl, 50);
+        assert_eq!(s.alpha, 1.2);
+        assert!((s.env - 1.0 / 14.0).abs() < 1e-12);
+        assert!((s.f_upd - 1.0 / 86_400.0).abs() < 1e-15);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_is_strictly_decreasing() {
+        for w in QUERY_FREQ_SWEEP.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!((QUERY_FREQ_SWEEP[0] - 1.0 / 30.0).abs() < 1e-12);
+        assert!((QUERY_FREQ_SWEEP[7] - 1.0 / 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_update_ratio_spans_paper_range() {
+        // "the average key query/update ratio varies between 1440/1 and 6/1"
+        let s = Scenario::table1();
+        let busy = s.query_update_ratio(1.0 / 30.0);
+        let calm = s.query_update_ratio(1.0 / 7200.0);
+        assert!((busy - 1440.0).abs() < 1.0, "busy ratio {busy} should be ~1440");
+        assert!((calm - 6.0).abs() < 0.01, "calm ratio {calm} should be ~6");
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        let ok = Scenario::table1();
+        let cases: Vec<(Scenario, &str)> = vec![
+            (Scenario { num_peers: 1, ..ok.clone() }, "num_peers"),
+            (Scenario { keys: 0, ..ok.clone() }, "keys"),
+            (Scenario { stor: 0, ..ok.clone() }, "stor"),
+            (Scenario { repl: 0, ..ok.clone() }, "repl"),
+            (Scenario { repl: 30_000, ..ok.clone() }, "repl"),
+            (Scenario { alpha: f64::NAN, ..ok.clone() }, "alpha"),
+            (Scenario { f_upd: -1.0, ..ok.clone() }, "f_upd"),
+            (Scenario { env: 0.0, ..ok.clone() }, "env"),
+            (Scenario { dup: 0.5, ..ok.clone() }, "dup"),
+            (Scenario { dup2: f64::INFINITY, ..ok.clone() }, "dup2"),
+        ];
+        for (bad, which) in cases {
+            match bad.validate() {
+                Err(PdhtError::InvalidConfig { param, .. }) => {
+                    assert_eq!(param, which, "wrong parameter blamed");
+                }
+                other => panic!("expected InvalidConfig for {which}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_scenario_keeps_ratios() {
+        let s = Scenario::table1_scaled(10);
+        assert_eq!(s.num_peers, 2_000);
+        assert_eq!(s.keys, 4_000);
+        assert_eq!(s.repl, 50);
+        assert!(s.validate().is_ok());
+        // keys / peers ratio preserved.
+        assert!((f64::from(s.keys) / f64::from(s.num_peers) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_per_round_scales_linearly() {
+        let s = Scenario::table1();
+        assert!((s.queries_per_round(1.0 / 30.0) - 666.666_666).abs() < 1e-3);
+        assert_eq!(s.queries_per_round(0.0), 0.0);
+    }
+}

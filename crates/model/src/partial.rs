@@ -1,0 +1,268 @@
+//! Ideal partial indexing (Section 2, Eq. 1–5).
+//!
+//! The decision variables are mutually dependent:
+//!
+//! * `fMin = cIndKey / (cSUnstr − cSIndx)` (Eq. 2) needs `numActivePeers`,
+//! * `numActivePeers = ⌈maxRank · repl / stor⌉` needs `maxRank`,
+//! * `maxRank` = largest rank with `probT(rank) ≥ fMin` (Eq. 4) needs `fMin`.
+//!
+//! Because the map `maxRank ↦ maxRank'` (compute `fMin` from `maxRank`, then
+//! the new `maxRank` from `fMin`) is monotone **non-increasing** — a bigger
+//! index means more active peers, more maintenance per key, a higher `fMin`
+//! bar, hence fewer keys qualify — the function `g(m) = f(m) − m` is
+//! strictly decreasing, and the fixed point is found exactly by integer
+//! bisection. No damping heuristics needed.
+
+use crate::cost::CostModel;
+use crate::params::Scenario;
+use pdht_types::Result;
+use pdht_zipf::RoundModel;
+
+/// Maximum bisection iterations (64 suffices for any u32-sized key space;
+/// kept generous for safety).
+const MAX_ITERS: u32 = 96;
+
+/// Solution of the ideal-partial-indexing fixed point for one query
+/// frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdealPartial {
+    /// Per-peer query frequency this solution is for (1/s).
+    pub f_qry: f64,
+    /// Eq. 2: minimum per-round query probability worth indexing.
+    pub f_min: f64,
+    /// Number of keys worth indexing (`maxRank`).
+    pub max_rank: u32,
+    /// Peers participating in the DHT for this index size.
+    pub num_active_peers: f64,
+    /// Eq. 5: probability a random query hits an indexed key.
+    pub p_indexed: f64,
+    /// Eq. 10 at the solution: cost of holding one key for one second.
+    pub c_ind_key: f64,
+    /// Eq. 7 at the solution: index search cost in messages.
+    pub c_s_indx: f64,
+}
+
+impl IdealPartial {
+    /// Solves the fixed point for scenario `s` at per-peer query frequency
+    /// `f_qry`.
+    ///
+    /// # Errors
+    /// Propagates invalid-parameter errors. (The bisection itself cannot
+    /// fail: `g` is decreasing on a finite integer domain.)
+    pub fn solve(s: &Scenario, f_qry: f64) -> Result<IdealPartial> {
+        s.validate()?;
+        if !f_qry.is_finite() || f_qry < 0.0 {
+            return Err(pdht_types::PdhtError::InvalidConfig {
+                param: "f_qry",
+                reason: format!("must be finite and >= 0, got {f_qry}"),
+            });
+        }
+        let cost = CostModel::new(s);
+        let round = RoundModel::new(s.keys as usize, s.alpha, s.queries_per_round(f_qry))?;
+
+        // f(m): the maxRank implied by assuming the index currently holds m
+        // keys.
+        let f = |m: u32| -> u32 {
+            let nap = cost.num_active_peers(f64::from(m.max(1)));
+            let f_min = cost.f_min(nap, f64::from(m.max(1)));
+            round.max_rank(f_min) as u32
+        };
+
+        let keys = s.keys;
+        let fixed_point = if f(1) == 0 {
+            // Even a single-key index cannot amortize: index nothing.
+            0
+        } else if f(keys) >= keys {
+            // Even with everyone maintaining the full index, every key
+            // clears the bar: index everything.
+            keys
+        } else {
+            // g(m) = f(m) − m is decreasing with g(1) > 0 ≥ g(keys);
+            // bisect for the crossover.
+            let (mut lo, mut hi) = (1u32, keys);
+            let mut iters = 0u32;
+            while hi - lo > 1 {
+                iters += 1;
+                if iters > MAX_ITERS {
+                    return Err(pdht_types::PdhtError::NoConvergence {
+                        what: "ideal-partial fixed point",
+                        iterations: iters,
+                    });
+                }
+                let mid = lo + (hi - lo) / 2;
+                if f(mid) >= mid {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+
+        // The threshold rule is exactly optimal while numActivePeers grows
+        // with the index; once it clamps at numPeers, total maintenance is
+        // constant and the marginal key costs only its update share — the
+        // per-key *average* rule then under-indexes. Ideal partial indexing
+        // has global knowledge (Section 4), so pick whichever of
+        // {fixed point, everything, nothing} prices Eq. 13 lowest.
+        let q = s.queries_per_round(f_qry);
+        let eq13 = |m: u32| -> f64 {
+            if m == 0 {
+                return q * cost.c_s_unstr();
+            }
+            let nap = cost.num_active_peers(f64::from(m));
+            let p = round.dist().head_mass(m as usize);
+            f64::from(m) * cost.c_ind_key(nap, f64::from(m))
+                + p * q * cost.c_s_indx(nap)
+                + (1.0 - p) * q * cost.c_s_unstr()
+        };
+        let max_rank = [fixed_point, keys, 0]
+            .into_iter()
+            .min_by(|&a, &b| eq13(a).total_cmp(&eq13(b)))
+            .expect("non-empty candidates");
+
+        let (num_active_peers, f_min, c_ind_key, c_s_indx) = if max_rank == 0 {
+            // No index is maintained; fMin is still reported (the bar that
+            // nothing cleared) using a minimal hypothetical DHT.
+            let nap = cost.num_active_peers(1.0);
+            (0.0, cost.f_min(nap, 1.0), 0.0, 0.0)
+        } else {
+            let nap = cost.num_active_peers(f64::from(max_rank));
+            (
+                nap,
+                cost.f_min(nap, f64::from(max_rank)),
+                cost.c_ind_key(nap, f64::from(max_rank)),
+                cost.c_s_indx(nap),
+            )
+        };
+
+        let p_indexed = round.dist().head_mass(max_rank as usize);
+
+        Ok(IdealPartial {
+            f_qry,
+            f_min,
+            max_rank,
+            num_active_peers,
+            p_indexed,
+            c_ind_key,
+            c_s_indx,
+        })
+    }
+
+    /// Fraction of the key space that is indexed (Fig. 3's "index size").
+    pub fn index_fraction(&self, s: &Scenario) -> f64 {
+        f64::from(self.max_rank) / f64::from(s.keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QUERY_FREQ_SWEEP;
+
+    fn solve(f_qry: f64) -> IdealPartial {
+        IdealPartial::solve(&Scenario::table1(), f_qry).expect("solvable")
+    }
+
+    #[test]
+    fn busy_load_indexes_a_large_head() {
+        // Hand calculation (see DESIGN.md): at fQry = 1/30 the fixed point
+        // sits near maxRank ≈ 25 000–26 000 with pIndxd ≈ 0.99.
+        let sol = solve(1.0 / 30.0);
+        assert!(
+            (24_000..=28_000).contains(&sol.max_rank),
+            "maxRank = {} out of expected band",
+            sol.max_rank
+        );
+        assert!(sol.p_indexed > 0.98, "pIndxd = {}", sol.p_indexed);
+    }
+
+    #[test]
+    fn calm_load_indexes_a_small_head() {
+        // At fQry = 1/7200 only a few hundred keys are worth indexing, yet
+        // they still cover the bulk of the queries (Zipf head).
+        let sol = solve(1.0 / 7200.0);
+        assert!(
+            (200..=800).contains(&sol.max_rank),
+            "maxRank = {} out of expected band",
+            sol.max_rank
+        );
+        assert!(sol.p_indexed > 0.75, "pIndxd = {}", sol.p_indexed);
+        assert!(sol.p_indexed < 0.9);
+    }
+
+    #[test]
+    fn solution_is_a_genuine_fixed_point() {
+        let s = Scenario::table1();
+        let cost = CostModel::new(&s);
+        for &f_qry in &QUERY_FREQ_SWEEP {
+            let sol = solve(f_qry);
+            if sol.max_rank == 0 || sol.max_rank == s.keys {
+                continue;
+            }
+            let round =
+                RoundModel::new(s.keys as usize, s.alpha, s.queries_per_round(f_qry)).unwrap();
+            // Re-deriving maxRank from the solution's own fMin must give the
+            // solution back (within the ±1 integer bisection tolerance).
+            let re = round.max_rank(sol.f_min) as i64;
+            let diff = (re - i64::from(sol.max_rank)).abs();
+            assert!(diff <= 1, "fqry={f_qry}: re-derived {re} vs {}", sol.max_rank);
+            // probT at maxRank clears the bar; at maxRank+1 it must not
+            // (within the same tolerance).
+            assert!(round.prob_t(sol.max_rank as usize) >= sol.f_min * 0.999);
+            let _ = cost; // silence unused in this branch-heavy test
+        }
+    }
+
+    #[test]
+    fn max_rank_monotone_in_query_frequency() {
+        let mut prev = u32::MAX;
+        for &f_qry in &QUERY_FREQ_SWEEP {
+            let sol = solve(f_qry);
+            assert!(
+                sol.max_rank <= prev,
+                "maxRank should shrink as load drops: {} then {}",
+                prev,
+                sol.max_rank
+            );
+            prev = sol.max_rank;
+        }
+    }
+
+    #[test]
+    fn p_indexed_matches_head_mass_definition() {
+        let s = Scenario::table1();
+        let sol = solve(1.0 / 300.0);
+        let round =
+            RoundModel::new(s.keys as usize, s.alpha, s.queries_per_round(1.0 / 300.0)).unwrap();
+        assert!(
+            (sol.p_indexed - round.dist().head_mass(sol.max_rank as usize)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn zero_query_rate_indexes_nothing() {
+        let sol = solve(0.0);
+        assert_eq!(sol.max_rank, 0);
+        assert_eq!(sol.p_indexed, 0.0);
+        assert_eq!(sol.num_active_peers, 0.0);
+        assert_eq!(sol.c_ind_key, 0.0);
+    }
+
+    #[test]
+    fn index_fraction_is_consistent() {
+        let s = Scenario::table1();
+        let sol = solve(1.0 / 120.0);
+        assert!(
+            (sol.index_fraction(&s) - f64::from(sol.max_rank) / 40_000.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(IdealPartial::solve(&Scenario::table1(), f64::NAN).is_err());
+        assert!(IdealPartial::solve(&Scenario::table1(), -0.1).is_err());
+        let bad = Scenario { repl: 0, ..Scenario::table1() };
+        assert!(IdealPartial::solve(&bad, 0.1).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Total strategy costs (Section 4, Eq. 11–13) and savings (Fig. 2).
+
+use crate::cost::CostModel;
+use crate::params::Scenario;
+use crate::partial::IdealPartial;
+use pdht_types::Result;
+
+/// Total message rates of the three strategies at one query frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StrategyCosts {
+    /// Per-peer query frequency (1/s).
+    pub f_qry: f64,
+    /// Eq. 11: maintain a full index; all queries go to the DHT.
+    pub index_all: f64,
+    /// Eq. 12: no index; all queries are broadcast searches.
+    pub no_index: f64,
+    /// Eq. 13: ideal partial indexing (global knowledge of what is worth
+    /// indexing).
+    pub partial_ideal: f64,
+    /// The fixed-point solution behind `partial_ideal`.
+    pub ideal: IdealPartial,
+}
+
+impl StrategyCosts {
+    /// Evaluates Eq. 11–13 for scenario `s` at query frequency `f_qry`.
+    ///
+    /// # Errors
+    /// Propagates scenario/parameter validation errors.
+    pub fn evaluate(s: &Scenario, f_qry: f64) -> Result<StrategyCosts> {
+        let cost = CostModel::new(s);
+        let q = s.queries_per_round(f_qry);
+        let keys = f64::from(s.keys);
+
+        // Eq. 11 — indexAll: the index always holds every key.
+        let nap_all = cost.num_active_peers(keys);
+        let index_all = keys * cost.c_ind_key(nap_all, keys) + q * cost.c_s_indx(nap_all);
+
+        // Eq. 12 — noIndex.
+        let no_index = q * cost.c_s_unstr();
+
+        // Eq. 13 — ideal partial.
+        let ideal = IdealPartial::solve(s, f_qry)?;
+        let partial_ideal = f64::from(ideal.max_rank) * ideal.c_ind_key
+            + ideal.p_indexed * q * ideal.c_s_indx
+            + (1.0 - ideal.p_indexed) * q * cost.c_s_unstr();
+
+        Ok(StrategyCosts { f_qry, index_all, no_index, partial_ideal, ideal })
+    }
+
+    /// Fig. 2 solid line: fractional saving of ideal partial indexing over
+    /// indexing everything, `1 − partial/indexAll`.
+    pub fn saving_vs_index_all(&self) -> f64 {
+        saving(self.partial_ideal, self.index_all)
+    }
+
+    /// Fig. 2 dashed line: fractional saving over broadcasting everything.
+    pub fn saving_vs_no_index(&self) -> f64 {
+        saving(self.partial_ideal, self.no_index)
+    }
+}
+
+/// `1 − ours/theirs`; positive when we are cheaper. Zero cost baselines
+/// (no queries at all) yield zero saving by convention.
+pub fn saving(ours: f64, theirs: f64) -> f64 {
+    if theirs <= 0.0 {
+        0.0
+    } else {
+        1.0 - ours / theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QUERY_FREQ_SWEEP;
+
+    fn eval(f_qry: f64) -> StrategyCosts {
+        StrategyCosts::evaluate(&Scenario::table1(), f_qry).expect("evaluable")
+    }
+
+    #[test]
+    fn index_all_is_nearly_flat_and_around_21k() {
+        // Maintenance dominates: keys · cIndKey ≈ 40 000 · 0.5114 ≈ 20 456
+        // msg/s, plus a small query term. The paper's Fig. 1 shows the solid
+        // indexAll line flat at roughly this level.
+        let busy = eval(1.0 / 30.0);
+        let calm = eval(1.0 / 7200.0);
+        assert!((busy.index_all - 25_200.0).abs() < 300.0, "busy = {}", busy.index_all);
+        assert!((calm.index_all - 20_500.0).abs() < 300.0, "calm = {}", calm.index_all);
+        // Flat within 25 % across a 240× load change.
+        assert!(busy.index_all / calm.index_all < 1.25);
+    }
+
+    #[test]
+    fn no_index_is_linear_in_load() {
+        // Eq. 12 is exactly linear: Q · 720.
+        let busy = eval(1.0 / 30.0);
+        let calm = eval(1.0 / 7200.0);
+        assert!((busy.no_index - 480_000.0).abs() < 1.0, "busy = {}", busy.no_index);
+        assert!((calm.no_index - 2_000.0).abs() < 0.01, "calm = {}", calm.no_index);
+    }
+
+    #[test]
+    fn crossover_falls_between_one_per_600_and_one_per_1800() {
+        // Fig. 1: noIndex crosses indexAll between those frequencies.
+        let at_600 = eval(1.0 / 600.0);
+        let at_1800 = eval(1.0 / 1800.0);
+        assert!(at_600.no_index > at_600.index_all);
+        assert!(at_1800.no_index < at_1800.index_all);
+    }
+
+    #[test]
+    fn ideal_partial_wins_everywhere_on_the_sweep() {
+        // Fig. 1/2: "Ideal partial indexing is considerably cheaper for all
+        // query frequencies".
+        for &f_qry in &QUERY_FREQ_SWEEP {
+            let c = eval(f_qry);
+            assert!(
+                c.partial_ideal <= c.index_all,
+                "f={f_qry}: partial {} > indexAll {}",
+                c.partial_ideal,
+                c.index_all
+            );
+            assert!(
+                c.partial_ideal <= c.no_index,
+                "f={f_qry}: partial {} > noIndex {}",
+                c.partial_ideal,
+                c.no_index
+            );
+        }
+    }
+
+    #[test]
+    fn savings_shapes_match_fig2() {
+        // vs indexAll: grows from ~0.1 at 1/30 towards ~1 at 1/7200.
+        // vs noIndex: large at 1/30, still clearly positive at 1/7200.
+        let busy = eval(1.0 / 30.0);
+        let calm = eval(1.0 / 7200.0);
+        assert!(busy.saving_vs_index_all() > 0.05 && busy.saving_vs_index_all() < 0.35);
+        assert!(calm.saving_vs_index_all() > 0.9);
+        assert!(busy.saving_vs_no_index() > 0.9);
+        assert!(calm.saving_vs_no_index() > 0.5 && calm.saving_vs_no_index() < 0.9);
+    }
+
+    #[test]
+    fn savings_vs_index_all_monotone_as_load_drops() {
+        let mut prev = -1.0;
+        for &f_qry in &QUERY_FREQ_SWEEP {
+            let sv = eval(f_qry).saving_vs_index_all();
+            assert!(sv >= prev, "saving vs indexAll should grow as load drops");
+            prev = sv;
+        }
+    }
+
+    #[test]
+    fn zero_load_costs_only_maintenance() {
+        let c = eval(0.0);
+        assert_eq!(c.no_index, 0.0);
+        assert!(c.partial_ideal == 0.0, "no queries, no index worth holding");
+        assert!(c.index_all > 20_000.0, "full index still pays maintenance");
+    }
+
+    #[test]
+    fn saving_helper_edge_cases() {
+        assert_eq!(saving(1.0, 0.0), 0.0);
+        assert_eq!(saving(0.0, 10.0), 1.0);
+        assert!((saving(5.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!(saving(20.0, 10.0) < 0.0, "negative saving when we cost more");
+    }
+}

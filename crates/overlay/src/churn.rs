@@ -1,0 +1,231 @@
+//! Peer churn: exponential on/off sessions.
+//!
+//! "P2P clients are extremely transient in nature" (Section 1, citing
+//! \[ChRa03\]). We model each peer as an alternating renewal process with
+//! exponentially distributed online sessions (mean `mean_online_secs`) and
+//! offline periods (mean `mean_offline_secs`). Steady-state availability is
+//! `on/(on+off)`.
+//!
+//! The \[MaCa03\] route-maintenance constant `env` in the analytical model is
+//! an *input*; churn here determines how often probes actually find stale
+//! entries, which the simulator reports alongside the model's prediction.
+
+use pdht_sim::random::exponential;
+use pdht_types::{Liveness, PeerId};
+use rand::rngs::SmallRng;
+
+/// Churn configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean online session length in seconds.
+    pub mean_online_secs: f64,
+    /// Mean offline period in seconds.
+    pub mean_offline_secs: f64,
+}
+
+impl ChurnConfig {
+    /// Gnutella-like default: sessions of ~60 min, absences of ~40 min
+    /// (availability 0.6), in the range observed by the traces the paper
+    /// cites.
+    pub fn gnutella_like() -> ChurnConfig {
+        ChurnConfig { mean_online_secs: 3600.0, mean_offline_secs: 2400.0 }
+    }
+
+    /// No churn: peers stay online forever (used by model-faithful
+    /// experiments that inject `env` directly).
+    pub fn none() -> ChurnConfig {
+        ChurnConfig { mean_online_secs: f64::INFINITY, mean_offline_secs: f64::INFINITY }
+    }
+
+    /// Steady-state availability `on/(on+off)`; 1.0 for [`ChurnConfig::none`].
+    pub fn availability(&self) -> f64 {
+        if self.mean_online_secs.is_infinite() {
+            return 1.0;
+        }
+        self.mean_online_secs / (self.mean_online_secs + self.mean_offline_secs)
+    }
+
+    fn is_static(&self) -> bool {
+        self.mean_online_secs.is_infinite()
+    }
+}
+
+/// Per-peer alternating on/off renewal process over a dense population.
+pub struct ChurnModel {
+    cfg: ChurnConfig,
+    liveness: Liveness,
+    /// Absolute second at which each peer next toggles (`f64::INFINITY` for
+    /// static configurations).
+    next_toggle: Vec<f64>,
+    now_secs: f64,
+}
+
+impl ChurnModel {
+    /// Creates the model for `n` peers. Initial state is drawn from the
+    /// steady-state distribution so experiments start in equilibrium rather
+    /// than with everyone online.
+    pub fn new(n: usize, cfg: ChurnConfig, rng: &mut SmallRng) -> ChurnModel {
+        let mut liveness = Liveness::all_online(n);
+        let mut next_toggle = vec![f64::INFINITY; n];
+        if !cfg.is_static() {
+            let p_online = cfg.availability();
+            for (i, toggle) in next_toggle.iter_mut().enumerate() {
+                let online = rand::Rng::random::<f64>(rng) < p_online;
+                liveness.set(PeerId::from_idx(i), online);
+                let mean =
+                    if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
+                // Exponential residual life (memorylessness makes the
+                // residual the same distribution as a full session).
+                *toggle = exponential(rng, 1.0 / mean);
+            }
+        }
+        ChurnModel { cfg, liveness, next_toggle, now_secs: 0.0 }
+    }
+
+    /// Current liveness view.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.cfg
+    }
+
+    /// Advances the process by one second, toggling any peers whose session
+    /// ends in that window. Returns the transitions as `(peer, now_online)`
+    /// pairs — rejoining peers trigger anti-entropy pulls in the harness.
+    pub fn step_second(&mut self, rng: &mut SmallRng) -> Vec<(PeerId, bool)> {
+        if self.cfg.is_static() {
+            self.now_secs += 1.0;
+            return Vec::new();
+        }
+        let end = self.now_secs + 1.0;
+        let mut transitions = Vec::new();
+        for i in 0..self.next_toggle.len() {
+            // A peer may toggle multiple times within a second if sessions
+            // are very short; loop until its next toggle leaves the window.
+            while self.next_toggle[i] < end {
+                let id = PeerId::from_idx(i);
+                let was_online = self.liveness.is_online(id);
+                self.liveness.set(id, !was_online);
+                transitions.push((id, !was_online));
+                let mean = if was_online {
+                    self.cfg.mean_offline_secs
+                } else {
+                    self.cfg.mean_online_secs
+                };
+                self.next_toggle[i] += exponential(rng, 1.0 / mean);
+            }
+        }
+        self.now_secs = end;
+        transitions
+    }
+
+    /// Forces a specific status (used by failure-injection tests).
+    pub fn force_status(&mut self, peer: PeerId, online: bool) {
+        self.liveness.set(peer, online);
+    }
+
+    /// Failure injection: instantly knocks a uniform `fraction` of peers
+    /// offline. Their return is rescheduled from the offline-period
+    /// distribution, so recovery follows the configured churn dynamics.
+    /// No-op fractions ≤ 0; for static configs the peers stay down forever.
+    pub fn force_blackout(&mut self, fraction: f64, rng: &mut SmallRng) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        for i in 0..self.next_toggle.len() {
+            if rand::Rng::random::<f64>(rng) < fraction {
+                let id = PeerId::from_idx(i);
+                self.liveness.set(id, false);
+                if !self.cfg.is_static() {
+                    self.next_toggle[i] =
+                        self.now_secs + exponential(rng, 1.0 / self.cfg.mean_offline_secs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn static_config_never_toggles() {
+        let mut r = rng();
+        let mut c = ChurnModel::new(100, ChurnConfig::none(), &mut r);
+        assert_eq!(c.liveness().online_count(), 100);
+        for _ in 0..50 {
+            assert!(c.step_second(&mut r).is_empty());
+        }
+        assert_eq!(c.liveness().online_count(), 100);
+    }
+
+    #[test]
+    fn starts_near_steady_state() {
+        let mut r = rng();
+        let cfg = ChurnConfig { mean_online_secs: 300.0, mean_offline_secs: 700.0 };
+        let c = ChurnModel::new(10_000, cfg, &mut r);
+        let avail = c.liveness().availability();
+        assert!((avail - 0.3).abs() < 0.02, "initial availability {avail} should be ~0.3");
+    }
+
+    #[test]
+    fn long_run_availability_matches_config() {
+        let mut r = rng();
+        let cfg = ChurnConfig { mean_online_secs: 60.0, mean_offline_secs: 40.0 };
+        let mut c = ChurnModel::new(2_000, cfg, &mut r);
+        let mut sum = 0.0;
+        let rounds = 2_000;
+        for _ in 0..rounds {
+            c.step_second(&mut r);
+            sum += c.liveness().availability();
+        }
+        let avg = sum / f64::from(rounds);
+        assert!((avg - 0.6).abs() < 0.03, "time-average availability {avg} should be ~0.6");
+    }
+
+    #[test]
+    fn toggles_happen_at_expected_rate() {
+        let mut r = rng();
+        // Mean session 50 s either way → each peer toggles about once per
+        // 50 s → 1000 peers ≈ 20 toggles/s.
+        let cfg = ChurnConfig { mean_online_secs: 50.0, mean_offline_secs: 50.0 };
+        let mut c = ChurnModel::new(1_000, cfg, &mut r);
+        let mut toggles = 0usize;
+        for _ in 0..500 {
+            toggles += c.step_second(&mut r).len();
+        }
+        let per_sec = toggles as f64 / 500.0;
+        assert!((per_sec - 20.0).abs() < 2.0, "toggle rate {per_sec}/s should be ~20");
+    }
+
+    #[test]
+    fn force_status_overrides() {
+        let mut r = rng();
+        let mut c = ChurnModel::new(10, ChurnConfig::none(), &mut r);
+        c.force_status(PeerId(3), false);
+        assert!(!c.liveness().is_online(PeerId(3)));
+        assert_eq!(c.liveness().online_count(), 9);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let cfg = ChurnConfig::gnutella_like();
+        let run = |seed: u64| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let mut c = ChurnModel::new(500, cfg, &mut r);
+            for _ in 0..100 {
+                c.step_second(&mut r);
+            }
+            (0..500).map(|i| c.liveness().is_online(PeerId(i))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,70 @@
+//! The common structured-overlay interface.
+
+use pdht_sim::Metrics;
+use pdht_types::{Key, Liveness, PeerId, Result};
+use rand::rngs::SmallRng;
+
+/// Result of a successful lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The responsible peer the lookup arrived at.
+    pub peer: PeerId,
+    /// Messages spent routing there (hops, including wasted hops to stale
+    /// entries).
+    pub hops: u32,
+}
+
+/// A structured overlay ("traditional DHT").
+///
+/// Implementations must:
+/// * deterministically partition the key space among *active* peers,
+/// * count every routing hop and probe in the supplied [`Metrics`]
+///   (`MessageKind::RouteHop` / `MessageKind::Probe`),
+/// * treat stale routing entries as wasted hops, repaired for free when
+///   detected (the paper's piggybacking assumption, Section 3.3.1).
+pub trait Overlay {
+    /// Number of peers participating in the overlay (`numActivePeers`).
+    fn num_active(&self) -> usize;
+
+    /// The replica group responsible for `key`, in deterministic order.
+    fn responsible_group(&self, key: Key) -> Vec<PeerId>;
+
+    /// Is `peer` one of the peers responsible for `key`?
+    fn is_responsible(&self, peer: PeerId, key: Key) -> bool;
+
+    /// Routes from `from` towards the peer responsible for `key`, counting
+    /// hops into `metrics`.
+    ///
+    /// # Errors
+    /// Fails when routing dead-ends: every known reference towards the key
+    /// is offline, or no responsible peer is online.
+    fn lookup(
+        &self,
+        from: PeerId,
+        key: Key,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> Result<LookupOutcome>;
+
+    /// One second of routing-table maintenance: probes each routing entry
+    /// with probability `env`, counting probes; entries found stale are
+    /// repaired in place (no extra messages, per the paper's piggybacking
+    /// assumption).
+    fn maintenance_round(
+        &mut self,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    );
+
+    /// Total routing-table entries of `peer` (the `O(log n)` quantity the
+    /// maintenance cost scales with).
+    fn routing_entries(&self, peer: PeerId) -> usize;
+
+    /// A deterministic "well-known entry point": some online active peer a
+    /// non-participant can hand its query to (Section 3.2: non-active peers
+    /// only need to know one online DHT peer).
+    fn entry_peer(&self, live: &Liveness, rng: &mut SmallRng) -> Option<PeerId>;
+}

@@ -1,0 +1,21 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper evaluates P2P strategies by counting messages over rounds
+//! (one round = 1 s). This crate provides the machinery every simulated
+//! subsystem shares:
+//!
+//! * [`EventQueue`] — a stable priority queue over virtual time (ties break
+//!   by insertion order, so runs are reproducible),
+//! * [`Metrics`] — cumulative and per-round message accounting plus named
+//!   gauges (index size, hit rate, …) and hop [`Histogram`]s,
+//! * [`random`] — exponential/Poisson/geometric sampling built on plain
+//!   `rand` (the offline set has no `rand_distr`),
+//! * [`RoundDriver`] — a helper that advances simulations round-by-round
+//!   and snapshots metrics at each boundary.
+
+pub mod event;
+pub mod metrics;
+pub mod random;
+
+pub use event::{EventQueue, Scheduled};
+pub use metrics::{Histogram, Metrics, RoundDriver};

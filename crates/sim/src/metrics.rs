@@ -1,0 +1,434 @@
+//! Message accounting, gauges and histograms.
+//!
+//! The simulators' single source of truth for cost numbers. Counters are
+//! cumulative; [`Metrics::mark_round`] snapshots them at round boundaries so
+//! per-round rates (the unit of every figure in the paper) fall out as
+//! differences.
+
+use pdht_types::{MessageKind, MsgCounts, Round};
+use std::collections::BTreeMap;
+
+/// Simulation metrics: cumulative message counts, round snapshots, named
+/// gauges, and named histograms.
+#[derive(Default)]
+pub struct Metrics {
+    msgs: MsgCounts,
+    /// Snapshot of `msgs` taken at the *end* of each round, keyed by round.
+    round_marks: Vec<(Round, MsgCounts)>,
+    /// Named time series of gauge readings.
+    gauges: BTreeMap<&'static str, Vec<(Round, f64)>>,
+    /// Named histograms (e.g. lookup hop counts).
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: MessageKind) {
+        self.msgs.incr(kind);
+    }
+
+    /// Records `n` messages of `kind`.
+    #[inline]
+    pub fn record_n(&mut self, kind: MessageKind, n: u64) {
+        self.msgs.add(kind, n);
+    }
+
+    /// Cumulative counts so far.
+    pub fn totals(&self) -> &MsgCounts {
+        &self.msgs
+    }
+
+    /// Snapshots the cumulative counters as the end-of-round state of
+    /// `round`. Rounds must be marked in increasing order.
+    ///
+    /// # Panics
+    /// Panics if `round` is not greater than the last marked round.
+    pub fn mark_round(&mut self, round: Round) {
+        if let Some(&(last, _)) = self.round_marks.last() {
+            assert!(round > last, "rounds must be marked in increasing order");
+        }
+        self.round_marks.push((round, self.msgs));
+    }
+
+    /// Messages recorded during `round` (between its two boundary marks).
+    /// Returns `None` if the round was not fully marked.
+    pub fn round_delta(&self, round: Round) -> Option<MsgCounts> {
+        let idx = self.round_marks.binary_search_by_key(&round, |&(r, _)| r).ok()?;
+        let end = self.round_marks[idx].1;
+        let start = if idx == 0 { MsgCounts::new() } else { self.round_marks[idx - 1].1 };
+        Some(end.since(&start))
+    }
+
+    /// Average messages per round over the closed round interval
+    /// `[from, to]`, split by kind. Returns `None` when either boundary is
+    /// missing or the interval is empty.
+    pub fn avg_rate(&self, from: Round, to: Round) -> Option<MsgCounts> {
+        if to < from {
+            return None;
+        }
+        let idx_to = self.round_marks.binary_search_by_key(&to, |&(r, _)| r).ok()?;
+        let end = self.round_marks[idx_to].1;
+        let start = if from.0 == 0 {
+            // From the beginning of time; a round-(from-1) mark may not
+            // exist.
+            match self.round_marks.binary_search_by_key(&Round(from.0.wrapping_sub(1)), |&(r, _)| r)
+            {
+                Ok(i) => self.round_marks[i].1,
+                Err(_) => MsgCounts::new(),
+            }
+        } else {
+            let idx_prev =
+                self.round_marks.binary_search_by_key(&Round(from.0 - 1), |&(r, _)| r).ok()?;
+            self.round_marks[idx_prev].1
+        };
+        let span = to.0 - from.0 + 1;
+        let delta = end.since(&start);
+        let mut avg = MsgCounts::new();
+        for (k, v) in delta.iter() {
+            // Integer division is fine for reporting; exact rates are
+            // recomputed by callers that need floats.
+            avg.add(k, v / span);
+        }
+        Some(avg)
+    }
+
+    /// Raw message counts accumulated over the closed round interval
+    /// `[from, to]`.
+    pub fn counts_between(&self, from: Round, to: Round) -> Option<MsgCounts> {
+        if to < from {
+            return None;
+        }
+        let idx_to = self.round_marks.binary_search_by_key(&to, |&(r, _)| r).ok()?;
+        let end = self.round_marks[idx_to].1;
+        let start = if from.0 == 0 {
+            MsgCounts::new()
+        } else {
+            let idx_prev =
+                self.round_marks.binary_search_by_key(&Round(from.0 - 1), |&(r, _)| r).ok()?;
+            self.round_marks[idx_prev].1
+        };
+        Some(end.since(&start))
+    }
+
+    /// Total messages in the closed round interval `[from, to]` as a float
+    /// rate per round.
+    pub fn total_rate(&self, from: Round, to: Round) -> Option<f64> {
+        if to < from {
+            return None;
+        }
+        let idx_to = self.round_marks.binary_search_by_key(&to, |&(r, _)| r).ok()?;
+        let end = self.round_marks[idx_to].1;
+        let start = if from.0 == 0 {
+            MsgCounts::new()
+        } else {
+            let idx_prev =
+                self.round_marks.binary_search_by_key(&Round(from.0 - 1), |&(r, _)| r).ok()?;
+            self.round_marks[idx_prev].1
+        };
+        let span = (to.0 - from.0 + 1) as f64;
+        Some(end.since(&start).total() as f64 / span)
+    }
+
+    /// Records a gauge reading (e.g. `"index_size"`) for `round`.
+    pub fn gauge(&mut self, name: &'static str, round: Round, value: f64) {
+        self.gauges.entry(name).or_default().push((round, value));
+    }
+
+    /// The recorded series for gauge `name` (empty if never recorded).
+    pub fn gauge_series(&self, name: &str) -> &[(Round, f64)] {
+        self.gauges.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Most recent reading of gauge `name`.
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).and_then(|v| v.last()).map(|&(_, v)| v)
+    }
+
+    /// Mean of gauge `name` over rounds in `[from, to]`.
+    pub fn gauge_mean(&self, name: &str, from: Round, to: Round) -> Option<f64> {
+        let series = self.gauges.get(name)?;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(r, v) in series {
+            if r >= from && r <= to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram `name`, if any values were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// A compact fixed-bucket histogram for small non-negative integers
+/// (hop counts, walk lengths): exact buckets 0..=63, then power-of-two
+/// ranges up to 2^32.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    exact: [u64; 64],
+    /// `coarse[i]` counts values in `[2^(i+6), 2^(i+7))`.
+    coarse: [u64; 27],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { exact: [0; 64], coarse: [0; 27], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        if value < 64 {
+            self.exact[value as usize] += 1;
+        } else {
+            let bucket = (63 - value.leading_zeros()) as usize - 6;
+            let bucket = bucket.min(self.coarse.len() - 1);
+            self.coarse[bucket] += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: exact below 64, bucket upper
+    /// bound above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (v, &c) in self.exact.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        for (i, &c) in self.coarse.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 7); // bucket upper bound
+            }
+        }
+        self.max
+    }
+}
+
+/// Drives a simulation round-by-round: calls the step closure once per
+/// round, then marks the metrics boundary. This is the pattern every
+/// experiment harness uses, extracted so tests can share it.
+pub struct RoundDriver {
+    next: Round,
+}
+
+impl Default for RoundDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundDriver {
+    /// Starts at round 0.
+    pub fn new() -> Self {
+        RoundDriver { next: Round(0) }
+    }
+
+    /// The round the next `run` call will execute first.
+    pub fn next_round(&self) -> Round {
+        self.next
+    }
+
+    /// Runs `n` rounds: for each, invokes `step(round)` then marks the
+    /// round in `metrics`.
+    pub fn run<F: FnMut(Round)>(&mut self, n: u64, metrics: &mut Metrics, mut step: F) {
+        for _ in 0..n {
+            let r = self.next;
+            step(r);
+            metrics.mark_round(r);
+            self.next = r.next();
+        }
+    }
+
+    /// Advances the round counter without stepping (for harnesses that mark
+    /// metrics themselves).
+    pub fn advance(&mut self) -> Round {
+        let r = self.next;
+        self.next = r.next();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdht_types::MessageKind as MK;
+
+    #[test]
+    fn round_deltas_isolate_activity() {
+        let mut m = Metrics::new();
+        m.record_n(MK::Probe, 5);
+        m.mark_round(Round(0));
+        m.record_n(MK::Probe, 2);
+        m.record(MK::RouteHop);
+        m.mark_round(Round(1));
+        m.mark_round(Round(2)); // idle round
+
+        let d0 = m.round_delta(Round(0)).unwrap();
+        assert_eq!(d0[MK::Probe], 5);
+        let d1 = m.round_delta(Round(1)).unwrap();
+        assert_eq!(d1[MK::Probe], 2);
+        assert_eq!(d1[MK::RouteHop], 1);
+        let d2 = m.round_delta(Round(2)).unwrap();
+        assert_eq!(d2.total(), 0);
+        assert!(m.round_delta(Round(9)).is_none());
+    }
+
+    #[test]
+    fn avg_and_total_rate() {
+        let mut m = Metrics::new();
+        for r in 0..10u64 {
+            m.record_n(MK::FloodStep, 10);
+            m.mark_round(Round(r));
+        }
+        let avg = m.avg_rate(Round(0), Round(9)).unwrap();
+        assert_eq!(avg[MK::FloodStep], 10);
+        assert_eq!(m.total_rate(Round(0), Round(9)).unwrap(), 10.0);
+        assert_eq!(m.total_rate(Round(5), Round(9)).unwrap(), 10.0);
+        assert!(m.total_rate(Round(5), Round(4)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn marking_out_of_order_panics() {
+        let mut m = Metrics::new();
+        m.mark_round(Round(3));
+        m.mark_round(Round(3));
+    }
+
+    #[test]
+    fn gauges_record_series() {
+        let mut m = Metrics::new();
+        m.gauge("index_size", Round(0), 10.0);
+        m.gauge("index_size", Round(1), 20.0);
+        m.gauge("index_size", Round(2), 30.0);
+        assert_eq!(m.gauge_last("index_size"), Some(30.0));
+        assert_eq!(m.gauge_mean("index_size", Round(0), Round(2)), Some(20.0));
+        assert_eq!(m.gauge_mean("index_size", Round(1), Round(1)), Some(20.0));
+        assert!(m.gauge_mean("nonexistent", Round(0), Round(2)).is_none());
+        assert_eq!(m.gauge_series("index_size").len(), 3);
+    }
+
+    #[test]
+    fn histogram_exact_range() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.max(), 3);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn histogram_coarse_range() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(1000);
+        h.record(100_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 100_000);
+        // Quantiles are bucket upper bounds out there; just check ordering
+        // and boundedness.
+        assert!(h.quantile(0.34) >= 100);
+        assert!(h.quantile(1.0) <= 1 << 33);
+    }
+
+    #[test]
+    fn histogram_empty_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn metrics_observe_routes_to_histogram() {
+        let mut m = Metrics::new();
+        m.observe("hops", 4);
+        m.observe("hops", 6);
+        let h = m.histogram("hops").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!(m.histogram("none").is_none());
+    }
+
+    #[test]
+    fn round_driver_steps_and_marks() {
+        let mut m = Metrics::new();
+        let mut d = RoundDriver::new();
+        let mut executed = Vec::new();
+        d.run(3, &mut m, |r| {
+            executed.push(r.0);
+            m_stub();
+        });
+        assert_eq!(executed, vec![0, 1, 2]);
+        assert_eq!(d.next_round(), Round(3));
+        assert!(m.round_delta(Round(2)).is_some());
+        // Continue where we left off.
+        d.run(2, &mut m, |_| {});
+        assert_eq!(d.next_round(), Round(5));
+    }
+
+    fn m_stub() {}
+}

@@ -1,0 +1,77 @@
+//! Property tests for the simulation kernel.
+
+use pdht_sim::{EventQueue, Histogram};
+use pdht_types::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever the schedule, events pop in non-decreasing time order, and
+    /// same-time events pop in insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in prop::collection::vec(0u64..10_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.time >= lt, "time went backwards");
+                if ev.time == lt {
+                    prop_assert!(ev.event > li, "same-time events must pop FIFO");
+                }
+            }
+            prop_assert_eq!(ev.time, SimTime::from_micros(times[ev.event]));
+            last = Some((ev.time, ev.event));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// The clock never runs backwards under interleaved schedule/pop.
+    #[test]
+    fn clock_is_monotone(
+        ops in prop::collection::vec((any::<bool>(), 0u64..1_000), 1..100)
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut last_now = SimTime::ZERO;
+        for (push, delay) in ops {
+            if push {
+                q.schedule_in(SimTime::from_micros(delay), 0);
+            } else {
+                q.pop();
+            }
+            prop_assert!(q.now() >= last_now);
+            last_now = q.now();
+        }
+    }
+
+    /// Histogram invariants: count/mean/max/quantile consistency for any
+    /// input in the exact range.
+    #[test]
+    fn histogram_moments(values in prop::collection::vec(0u64..64, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let n = values.len() as u64;
+        prop_assert_eq!(h.count(), n);
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / n as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-9);
+        // Quantiles are monotone and bounded by min/max.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev);
+            prop_assert!(v <= h.max());
+            prev = v;
+        }
+        // Exact-range quantiles must equal the order statistic.
+        prop_assert_eq!(h.quantile(1.0), sorted[sorted.len() - 1]);
+        prop_assert_eq!(h.quantile(0.0), sorted[0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! The workspace error type.
+//!
+//! Hand-rolled (no `thiserror` in the offline crate set); variants cover the
+//! failure surfaces of the public APIs across crates.
+
+use std::fmt;
+
+/// Errors surfaced by the PDHT crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdhtError {
+    /// A configuration value is out of its legal domain.
+    InvalidConfig {
+        /// The offending parameter name.
+        param: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An operation referenced a peer id outside the network.
+    UnknownPeer(u32),
+    /// An operation requires an online peer but the peer is offline.
+    PeerOffline(u32),
+    /// A lookup failed to locate a responsible/holding peer.
+    LookupFailed {
+        /// Hex key that was looked up.
+        key: u64,
+        /// Why the lookup failed.
+        reason: String,
+    },
+    /// The analytical model failed to converge.
+    NoConvergence {
+        /// What was being solved.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: u32,
+    },
+    /// Capacity exhausted (e.g. a peer's index storage).
+    CapacityExceeded {
+        /// What ran out.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// I/O error while writing experiment output.
+    Io(String),
+}
+
+impl fmt::Display for PdhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdhtError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration for `{param}`: {reason}")
+            }
+            PdhtError::UnknownPeer(id) => write!(f, "unknown peer id {id}"),
+            PdhtError::PeerOffline(id) => write!(f, "peer {id} is offline"),
+            PdhtError::LookupFailed { key, reason } => {
+                write!(f, "lookup of key {key:016x} failed: {reason}")
+            }
+            PdhtError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            PdhtError::CapacityExceeded { what, limit } => {
+                write!(f, "{what} capacity of {limit} exceeded")
+            }
+            PdhtError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PdhtError {}
+
+impl From<std::io::Error> for PdhtError {
+    fn from(e: std::io::Error) -> Self {
+        PdhtError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PdhtError::InvalidConfig { param: "repl", reason: "must be >= 1".into() };
+        assert!(e.to_string().contains("repl"));
+        assert!(e.to_string().contains(">= 1"));
+
+        let e = PdhtError::LookupFailed { key: 0xabcd, reason: "no replica online".into() };
+        assert!(e.to_string().contains("000000000000abcd"));
+
+        let e = PdhtError::NoConvergence { what: "fixed point", iterations: 50 };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: PdhtError = io.into();
+        assert!(matches!(e, PdhtError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(PdhtError::UnknownPeer(3));
+    }
+}

@@ -1,0 +1,132 @@
+//! A fast, non-cryptographic hasher for hot integer-keyed maps.
+//!
+//! The simulators index maps by `PeerId`/`Key` millions of times per run;
+//! SipHash (std's default) is needlessly slow for that. `rustc-hash` is not
+//! in the offline crate set, so we implement the same multiply-rotate scheme
+//! (FxHash) here — it is ~10 lines and needs no external code.
+//!
+//! Not HashDoS-resistant; only use for simulator-internal state keyed by
+//! values we generate ourselves.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FastHashSet<T> = HashSet<T, FastBuildHasher>;
+
+/// Convenience constructor (capacity-reserving) for [`FastHashMap`].
+pub fn map_with_capacity<K, V>(cap: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(cap, FastBuildHasher::default())
+}
+
+/// Convenience constructor (capacity-reserving) for [`FastHashSet`].
+pub fn set_with_capacity<T>(cap: usize) -> FastHashSet<T> {
+    FastHashSet::with_capacity_and_hasher(cap, FastBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let hashes: FastHashSet<u64> = (0u64..10_000).map(|i| hash_one(&i)).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions expected on tiny dense range");
+    }
+
+    #[test]
+    fn byte_stream_and_tail_handling() {
+        // Distinct strings of lengths around the 8-byte chunk boundary
+        // must hash distinctly.
+        let inputs = ["", "a", "abcdefg", "abcdefgh", "abcdefghi", "abcdefgh1"];
+        let hashes: FastHashSet<u64> = inputs.iter().map(hash_one).collect();
+        assert_eq!(hashes.len(), inputs.len());
+    }
+
+    #[test]
+    fn map_and_set_work_as_std() {
+        let mut m: FastHashMap<u32, &str> = map_with_capacity(4);
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FastHashSet<u32> = set_with_capacity(4);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

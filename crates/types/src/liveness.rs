@@ -1,0 +1,130 @@
+//! A shared view of which peers are currently online.
+//!
+//! Churn produces this; overlays, gossip and search consume it. Kept in the
+//! types crate so all substrates agree on one representation.
+
+use crate::peer::PeerId;
+
+/// Online/offline status for a dense peer population.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Liveness {
+    online: Vec<bool>,
+    online_count: usize,
+}
+
+impl Liveness {
+    /// All `n` peers online.
+    pub fn all_online(n: usize) -> Liveness {
+        Liveness { online: vec![true; n], online_count: n }
+    }
+
+    /// All `n` peers offline.
+    pub fn all_offline(n: usize) -> Liveness {
+        Liveness { online: vec![false; n], online_count: 0 }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.online.len()
+    }
+
+    /// `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.online.is_empty()
+    }
+
+    /// Is `peer` online? Out-of-range ids are reported offline rather than
+    /// panicking (overlays may hold references to retired peers).
+    #[inline]
+    pub fn is_online(&self, peer: PeerId) -> bool {
+        self.online.get(peer.idx()).copied().unwrap_or(false)
+    }
+
+    /// Sets the status of `peer`.
+    ///
+    /// # Panics
+    /// Panics if `peer` is out of range.
+    pub fn set(&mut self, peer: PeerId, online: bool) {
+        let slot = &mut self.online[peer.idx()];
+        match (*slot, online) {
+            (false, true) => self.online_count += 1,
+            (true, false) => self.online_count -= 1,
+            _ => {}
+        }
+        *slot = online;
+    }
+
+    /// Number of online peers.
+    pub fn online_count(&self) -> usize {
+        self.online_count
+    }
+
+    /// Fraction of peers online (0 when empty).
+    pub fn availability(&self) -> f64 {
+        if self.online.is_empty() {
+            0.0
+        } else {
+            self.online_count as f64 / self.online.len() as f64
+        }
+    }
+
+    /// Iterates ids of online peers in index order.
+    pub fn iter_online(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.online
+            .iter()
+            .enumerate()
+            .filter(|&(_, &on)| on)
+            .map(|(i, _)| PeerId::from_idx(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let l = Liveness::all_online(5);
+        assert_eq!(l.online_count(), 5);
+        assert_eq!(l.availability(), 1.0);
+        let l = Liveness::all_offline(5);
+        assert_eq!(l.online_count(), 0);
+        assert_eq!(l.availability(), 0.0);
+    }
+
+    #[test]
+    fn set_maintains_count() {
+        let mut l = Liveness::all_online(4);
+        l.set(PeerId(1), false);
+        l.set(PeerId(2), false);
+        assert_eq!(l.online_count(), 2);
+        // Idempotent transitions don't drift the count.
+        l.set(PeerId(1), false);
+        assert_eq!(l.online_count(), 2);
+        l.set(PeerId(1), true);
+        assert_eq!(l.online_count(), 3);
+        assert!((l.availability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_offline() {
+        let l = Liveness::all_online(3);
+        assert!(!l.is_online(PeerId(99)));
+    }
+
+    #[test]
+    fn iter_online_lists_exactly_the_online() {
+        let mut l = Liveness::all_online(5);
+        l.set(PeerId(0), false);
+        l.set(PeerId(3), false);
+        let ids: Vec<u32> = l.iter_online().map(|p| p.0).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let l = Liveness::all_online(0);
+        assert!(l.is_empty());
+        assert_eq!(l.availability(), 0.0);
+    }
+}

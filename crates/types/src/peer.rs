@@ -1,0 +1,99 @@
+//! Peer identifiers and liveness status.
+
+use std::fmt;
+
+/// A dense peer identifier.
+///
+/// Peers are stored in flat vectors throughout the simulators, so the id is a
+/// plain index. `u32` keeps hot structures small (the paper's largest
+/// scenario has 20 000 peers; `u32` leaves ample headroom).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PeerId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_idx(i: usize) -> Self {
+        PeerId(u32::try_from(i).expect("peer index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+impl From<u32> for PeerId {
+    fn from(v: u32) -> Self {
+        PeerId(v)
+    }
+}
+
+/// Liveness of a peer in the churn model.
+///
+/// Peers alternate between online sessions and offline periods; the overlay
+/// maintenance layer probes routing entries to detect [`PeerStatus::Offline`]
+/// peers (Section 3.3.1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PeerStatus {
+    /// The peer participates in overlays and answers queries.
+    #[default]
+    Online,
+    /// The peer is temporarily disconnected; its state is retained and it
+    /// pulls missed updates when it returns (the \[DaHa03\] model).
+    Offline,
+}
+
+impl PeerStatus {
+    /// `true` if the peer is currently online.
+    #[inline]
+    pub fn is_online(self) -> bool {
+        matches!(self, PeerStatus::Online)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_roundtrips_through_index() {
+        for i in [0usize, 1, 41, 19_999, u32::MAX as usize] {
+            assert_eq!(PeerId::from_idx(i).idx(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peer index exceeds u32")]
+    fn peer_id_rejects_oversized_index() {
+        let _ = PeerId::from_idx(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn peer_id_formats_compactly() {
+        assert_eq!(format!("{}", PeerId(7)), "peer#7");
+        assert_eq!(format!("{:?}", PeerId(7)), "peer#7");
+    }
+
+    #[test]
+    fn status_defaults_to_online() {
+        assert!(PeerStatus::default().is_online());
+        assert!(!PeerStatus::Offline.is_online());
+    }
+}

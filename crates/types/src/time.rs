@@ -1,0 +1,195 @@
+//! Virtual time.
+//!
+//! The paper measures costs per *round*, one round = one second (Section 2,
+//! footnote 1). The simulator uses microsecond-resolution virtual time so
+//! sub-round events (individual hops, gossip exchanges) order correctly, and
+//! exposes [`Round`] as the reporting granularity.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds of virtual time since simulation start.
+///
+/// A `u64` of microseconds covers ~584 000 years of simulated time, far more
+/// than any experiment needs, while keeping `Ord` exact (no float ties in the
+/// event queue).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// Microseconds per second/round.
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Builds a time from fractional seconds (rounded to the nearest µs).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Builds a time from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Time in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The round (whole second) this instant falls in.
+    #[inline]
+    pub const fn round(self) -> Round {
+        Round(self.0 / MICROS_PER_SEC)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A reporting round (one virtual second), per the paper's convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// Start instant of this round.
+    #[inline]
+    pub const fn start(self) -> SimTime {
+        SimTime::from_secs(self.0)
+    }
+
+    /// First instant of the following round.
+    #[inline]
+    pub const fn end(self) -> SimTime {
+        SimTime::from_secs(self.0 + 1)
+    }
+
+    /// The next round.
+    #[inline]
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(3).as_secs_f64(), 3.0);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_micros(250).as_micros(), 250);
+    }
+
+    #[test]
+    fn rounds_bucket_by_second() {
+        assert_eq!(SimTime::from_secs_f64(0.999_999).round(), Round(0));
+        assert_eq!(SimTime::from_secs(1).round(), Round(1));
+        assert_eq!(SimTime::from_secs_f64(59.2).round(), Round(59));
+    }
+
+    #[test]
+    fn round_bounds_are_half_open() {
+        let r = Round(7);
+        assert_eq!(r.start(), SimTime::from_secs(7));
+        assert_eq!(r.end(), SimTime::from_secs(8));
+        assert_eq!(r.start().round(), r);
+        assert_eq!(r.end().round(), r.next());
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_secs(2);
+        let b = SimTime::from_secs_f64(0.5);
+        assert_eq!((a + b).as_secs_f64(), 2.5);
+        assert_eq!((a - b).as_secs_f64(), 1.5);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs_f64(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total_and_exact() {
+        let times = [
+            SimTime::from_micros(0),
+            SimTime::from_micros(1),
+            SimTime::from_micros(999_999),
+            SimTime::from_secs(1),
+        ];
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the key-space primitives and message accounting.
+
+use pdht_types::{Key, MessageKind, MsgCounts, KEY_BITS};
+use proptest::prelude::*;
+
+proptest! {
+    /// A prefix built from any key contains that key, and its min/max keys
+    /// bound exactly the contained range.
+    #[test]
+    fn prefix_contains_its_source_key(bits in any::<u64>(), len in 0u32..=64) {
+        let key = Key(bits);
+        let p = key.prefix(len);
+        prop_assert!(p.contains(key));
+        prop_assert!(p.min_key() <= key && key <= p.max_key());
+        prop_assert!(p.contains(p.min_key()));
+        prop_assert!(p.contains(p.max_key()));
+    }
+
+    /// Sibling prefixes are disjoint and jointly cover the parent.
+    #[test]
+    fn sibling_partition(bits in any::<u64>(), len in 1u32..=64) {
+        let p = Key(bits).prefix(len);
+        let s = p.sibling();
+        prop_assert_eq!(s.sibling(), p, "sibling is an involution");
+        // Disjoint:
+        prop_assert!(!s.contains(p.min_key()));
+        prop_assert!(!p.contains(s.min_key()));
+        // Cover the parent: the parent's range size equals the two halves.
+        let parent = p.parent();
+        prop_assert!(parent.contains(p.min_key()));
+        prop_assert!(parent.contains(s.max_key()));
+        prop_assert_eq!(parent.min_key(), p.min_key().min(s.min_key()));
+        prop_assert_eq!(parent.max_key(), p.max_key().max(s.max_key()));
+    }
+
+    /// child(bit) then parent() is the identity; the child range halves.
+    #[test]
+    fn child_parent_roundtrip(bits in any::<u64>(), len in 0u32..64, bit in any::<bool>()) {
+        let p = Key(bits).prefix(len);
+        let c = p.child(bit);
+        prop_assert_eq!(c.parent(), p);
+        prop_assert_eq!(c.len(), len + 1);
+        prop_assert!(p.is_prefix_of(c));
+        prop_assert!(!c.is_prefix_of(p) || c == p);
+    }
+
+    /// `common_prefix_len` agrees with bit-by-bit comparison.
+    #[test]
+    fn common_prefix_matches_bits(a in any::<u64>(), b in any::<u64>()) {
+        let (ka, kb) = (Key(a), Key(b));
+        let l = ka.common_prefix_len(kb);
+        for i in 0..l.min(KEY_BITS) {
+            prop_assert_eq!(ka.bit(i), kb.bit(i));
+        }
+        if l < KEY_BITS {
+            prop_assert_ne!(ka.bit(l), kb.bit(l));
+        }
+    }
+
+    /// Hashing is deterministic and the finalizer spreads the top bits
+    /// (no systematic bias towards either half of the trie).
+    #[test]
+    fn hash_top_bit_is_balanced(seed in any::<u32>()) {
+        let keys: Vec<Key> =
+            (0..256u32).map(|i| Key::hash_str(&format!("{seed}-{i}"))).collect();
+        let ones = keys.iter().filter(|k| k.bit(0)).count();
+        // 256 coin flips: P(outside [64, 192]) < 1e-15.
+        prop_assert!((64..=192).contains(&ones), "top-bit count {ones}");
+    }
+
+    /// MsgCounts: add then since returns the delta; totals are consistent.
+    #[test]
+    fn msg_counts_delta_roundtrip(
+        adds in prop::collection::vec((0usize..MessageKind::COUNT, 0u64..1000), 0..32)
+    ) {
+        let mut base = MsgCounts::new();
+        base.add(MessageKind::Probe, 5);
+        let snapshot = base;
+        let mut sum = 0u64;
+        for (ki, n) in adds {
+            base.add(MessageKind::ALL[ki], n);
+            sum += n;
+        }
+        let delta = base.since(&snapshot);
+        prop_assert_eq!(delta.total(), sum);
+        prop_assert_eq!(base.total(), snapshot.total() + sum);
+    }
+}

@@ -1,0 +1,23 @@
+//! The unstructured ("Gnutella-like") overlay and its search algorithms.
+//!
+//! The paper's broadcast-search cost model (Eq. 6) abstracts an unstructured
+//! network in which content is replicated at `repl` random peers and a
+//! search visits `numPeers/repl` peers on average, with a message
+//! duplication factor `dup ≈ 1.8` (\[LvCa02\]). This crate builds the real
+//! thing:
+//!
+//! * [`Topology`] — connected random graphs with configurable degree
+//!   (uniform or power-law-ish), the shape Gnutella measurements report,
+//! * [`Replication`] — random placement of `repl` copies per item,
+//! * [`search`] — TTL-bounded flooding and k-random-walk search
+//!   (\[LvCa02\]'s recommendation), both counting every transmitted copy so
+//!   the measured duplication factor is an *output* the experiments compare
+//!   against the model's `dup` input.
+
+pub mod replicate;
+pub mod search;
+pub mod topology;
+
+pub use replicate::Replication;
+pub use search::{flood, random_walks, SearchOutcome};
+pub use topology::Topology;

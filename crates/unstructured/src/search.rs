@@ -1,0 +1,363 @@
+//! Search in the unstructured overlay: TTL flooding and k-random-walks.
+//!
+//! Both algorithms count **every transmitted copy** of the query — including
+//! copies delivered to peers that already saw it — because those duplicates
+//! are exactly the `dup` factor of the paper's Eq. 6. Flooding is the
+//! Gnutella baseline; multiple random walks are the cheaper alternative the
+//! paper assumes (\[LvCa02\]).
+
+use crate::topology::Topology;
+use pdht_sim::Metrics;
+use pdht_types::{Liveness, MessageKind, PeerId};
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use std::collections::VecDeque;
+
+/// Result of an unstructured search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The first holder reached, if any.
+    pub found: Option<PeerId>,
+    /// Total messages sent (all copies, duplicates included).
+    pub messages: u64,
+    /// Distinct online peers that processed the query.
+    pub peers_visited: usize,
+}
+
+impl SearchOutcome {
+    /// Measured duplication factor: messages per distinct peer reached
+    /// (the empirical analogue of the model's `dup`).
+    pub fn duplication_factor(&self) -> f64 {
+        if self.peers_visited == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.peers_visited as f64
+        }
+    }
+}
+
+/// TTL-bounded flooding from `origin`.
+///
+/// Every online peer forwards the query to all neighbors except the one it
+/// came from; each transmission costs one [`MessageKind::FloodStep`].
+/// The search stops expanding at `ttl` hops but keeps counting the frontier
+/// messages already in flight. The *first* holder reached (BFS order) is
+/// reported.
+pub fn flood<F>(
+    topo: &Topology,
+    origin: PeerId,
+    ttl: u32,
+    is_holder: F,
+    live: &Liveness,
+    metrics: &mut Metrics,
+) -> SearchOutcome
+where
+    F: Fn(PeerId) -> bool,
+{
+    let mut visited = vec![false; topo.len()];
+    let mut queue: VecDeque<(PeerId, u32)> = VecDeque::new();
+    let mut messages = 0u64;
+    let mut peers_visited = 0usize;
+    let mut found = None;
+
+    if !live.is_online(origin) {
+        return SearchOutcome { found: None, messages: 0, peers_visited: 0 };
+    }
+    visited[origin.idx()] = true;
+    peers_visited += 1;
+    if is_holder(origin) {
+        return SearchOutcome { found: Some(origin), messages: 0, peers_visited };
+    }
+    queue.push_back((origin, 0));
+
+    while let Some((peer, depth)) = queue.pop_front() {
+        if depth >= ttl {
+            continue;
+        }
+        for &nb in topo.neighbors(peer) {
+            // The copy is transmitted regardless of the receiver's state —
+            // that is the duplication cost.
+            messages += 1;
+            metrics.record(MessageKind::FloodStep);
+            if !live.is_online(nb) || visited[nb.idx()] {
+                continue;
+            }
+            visited[nb.idx()] = true;
+            peers_visited += 1;
+            if found.is_none() && is_holder(nb) {
+                found = Some(nb);
+                // Gnutella floods keep propagating (no global stop signal);
+                // we keep expanding to model the true cost.
+            }
+            queue.push_back((nb, depth + 1));
+        }
+    }
+    SearchOutcome { found, messages, peers_visited }
+}
+
+/// k-random-walk search (\[LvCa02\]): `walkers` tokens walk the online
+/// subgraph, each step costing one [`MessageKind::WalkStep`]; the search
+/// stops as soon as any walker stands on a holder, or when the shared
+/// `max_steps` budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+pub fn random_walks<F>(
+    topo: &Topology,
+    origin: PeerId,
+    walkers: usize,
+    max_steps: u64,
+    is_holder: F,
+    live: &Liveness,
+    rng: &mut SmallRng,
+    metrics: &mut Metrics,
+) -> SearchOutcome
+where
+    F: Fn(PeerId) -> bool,
+{
+    if !live.is_online(origin) || walkers == 0 {
+        return SearchOutcome { found: None, messages: 0, peers_visited: 0 };
+    }
+    let mut visited = vec![false; topo.len()];
+    visited[origin.idx()] = true;
+    let mut peers_visited = 1usize;
+    if is_holder(origin) {
+        return SearchOutcome { found: Some(origin), messages: 0, peers_visited };
+    }
+
+    let mut positions: Vec<PeerId> = vec![origin; walkers];
+    let mut messages = 0u64;
+
+    while messages < max_steps {
+        let mut any_alive = false;
+        for pos in &mut positions {
+            if messages >= max_steps {
+                break;
+            }
+            // Step to a random online neighbor (walkers pass through the
+            // online subgraph only — an offline peer cannot forward).
+            let candidates: Vec<PeerId> = topo
+                .neighbors(*pos)
+                .iter()
+                .copied()
+                .filter(|&p| live.is_online(p))
+                .collect();
+            let Some(&next) = candidates.as_slice().choose(rng) else {
+                continue; // walker is stuck; others may proceed
+            };
+            any_alive = true;
+            messages += 1;
+            metrics.record(MessageKind::WalkStep);
+            *pos = next;
+            if !visited[next.idx()] {
+                visited[next.idx()] = true;
+                peers_visited += 1;
+            }
+            if is_holder(next) {
+                return SearchOutcome { found: Some(next), messages, peers_visited };
+            }
+        }
+        if !any_alive {
+            break;
+        }
+    }
+    SearchOutcome { found: None, messages, peers_visited }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::Replication;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(31337)
+    }
+
+    fn setup(n: usize, repl: usize) -> (Topology, Replication, Liveness) {
+        let mut r = rng();
+        let topo = Topology::random(n, 5, &mut r).unwrap();
+        let repl = Replication::place(20, repl, n, &mut r).unwrap();
+        (topo, repl, Liveness::all_online(n))
+    }
+
+    #[test]
+    fn flood_finds_replicated_items() {
+        let (topo, repl, live) = setup(1_000, 20);
+        let mut m = Metrics::new();
+        let out = flood(&topo, PeerId(0), 16, |p| repl.is_holder(0, p), &live, &mut m);
+        assert!(out.found.is_some());
+        assert!(repl.is_holder(0, out.found.unwrap()));
+        assert!(out.messages > 0);
+        assert_eq!(m.totals()[MessageKind::FloodStep], out.messages);
+    }
+
+    #[test]
+    fn flood_covers_network_and_measures_duplication() {
+        let (topo, _, live) = setup(1_000, 20);
+        let mut m = Metrics::new();
+        // No holder: the flood sweeps the whole graph.
+        let out = flood(&topo, PeerId(0), 32, |_| false, &live, &mut m);
+        assert!(out.found.is_none());
+        assert_eq!(out.peers_visited, 1_000, "flood must reach every online peer");
+        // Each peer retransmits to deg-1 neighbors; with mean degree ~5 the
+        // duplication factor is well above 1 (the paper uses 1.8 for the
+        // walk-based search; raw flooding is worse).
+        assert!(out.duplication_factor() > 1.5, "dup = {}", out.duplication_factor());
+    }
+
+    #[test]
+    fn flood_ttl_bounds_reach() {
+        let (topo, _, live) = setup(1_000, 20);
+        let mut m = Metrics::new();
+        let shallow = flood(&topo, PeerId(0), 2, |_| false, &live, &mut m);
+        let deep = flood(&topo, PeerId(0), 8, |_| false, &live, &mut m);
+        assert!(shallow.peers_visited < deep.peers_visited);
+        assert!(shallow.messages < deep.messages);
+    }
+
+    #[test]
+    fn flood_skips_offline_regions() {
+        let (topo, _, mut live) = setup(300, 5);
+        for i in 100..300 {
+            live.set(PeerId(i), false);
+        }
+        let mut m = Metrics::new();
+        let out = flood(&topo, PeerId(0), 32, |_| false, &live, &mut m);
+        assert!(out.peers_visited <= 100);
+    }
+
+    #[test]
+    fn flood_from_offline_origin_is_empty() {
+        let (topo, _, mut live) = setup(100, 5);
+        live.set(PeerId(0), false);
+        let mut m = Metrics::new();
+        let out = flood(&topo, PeerId(0), 8, |_| true, &live, &mut m);
+        assert_eq!(out, SearchOutcome { found: None, messages: 0, peers_visited: 0 });
+    }
+
+    #[test]
+    fn walks_find_replicated_items_cheaper_than_flooding() {
+        let (topo, repl, live) = setup(2_000, 100);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let walk =
+            random_walks(&topo, PeerId(0), 16, 50_000, |p| repl.is_holder(1, p), &live, &mut r, &mut m);
+        assert!(walk.found.is_some());
+        assert!(repl.is_holder(1, walk.found.unwrap()));
+        let mut m2 = Metrics::new();
+        let fl = flood(&topo, PeerId(0), 32, |p| repl.is_holder(1, p), &live, &mut m2);
+        assert!(
+            walk.messages < fl.messages,
+            "walks ({}) should beat flooding ({})",
+            walk.messages,
+            fl.messages
+        );
+    }
+
+    #[test]
+    fn walk_cost_scales_with_inverse_replication() {
+        // Eq. 6: cost ∝ numPeers/repl. Compare repl = 200 vs repl = 50 on
+        // the same 2000-peer graph: the sparser item must cost roughly 4×
+        // more (within stochastic slack, averaged over queries).
+        let mut r = rng();
+        let topo = Topology::random(2_000, 5, &mut r).unwrap();
+        let live = Liveness::all_online(2_000);
+        let dense = Replication::place(8, 200, 2_000, &mut r).unwrap();
+        let sparse = Replication::place(8, 50, 2_000, &mut r).unwrap();
+        let mut m = Metrics::new();
+        let avg = |repl: &Replication, r: &mut SmallRng, m: &mut Metrics| -> f64 {
+            let mut total = 0u64;
+            let runs = 60;
+            for i in 0..runs {
+                let out = random_walks(
+                    &topo,
+                    PeerId((i * 31) % 2_000),
+                    16,
+                    200_000,
+                    |p| repl.is_holder((i % 8) as usize, p),
+                    &live,
+                    r,
+                    m,
+                );
+                assert!(out.found.is_some());
+                total += out.messages;
+            }
+            total as f64 / f64::from(runs)
+        };
+        let cost_dense = avg(&dense, &mut r, &mut m);
+        let cost_sparse = avg(&sparse, &mut r, &mut m);
+        let ratio = cost_sparse / cost_dense;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "4× sparser replication should cost ~4× more, got {ratio:.2} ({cost_dense:.0} vs {cost_sparse:.0})"
+        );
+    }
+
+    #[test]
+    fn walks_give_up_on_missing_items() {
+        let (topo, _, live) = setup(500, 5);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let out = random_walks(&topo, PeerId(0), 8, 5_000, |_| false, &live, &mut r, &mut m);
+        assert!(out.found.is_none());
+        assert_eq!(out.messages, 5_000, "budget must be fully consumed");
+    }
+
+    #[test]
+    fn walkers_survive_offline_patches() {
+        let (topo, repl, mut live) = setup(1_000, 50);
+        let mut r = SmallRng::seed_from_u64(0xabc);
+        for i in 0..1_000 {
+            if rand::Rng::random::<f64>(&mut r) < 0.3 {
+                live.set(PeerId(i), false);
+            }
+        }
+        // Ensure origin online.
+        live.set(PeerId(0), true);
+        let mut m = Metrics::new();
+        let mut found = 0;
+        for item in 0..20 {
+            let holder_online = repl.holders(item).iter().any(|&h| live.is_online(h));
+            if !holder_online {
+                continue;
+            }
+            let out = random_walks(
+                &topo,
+                PeerId(0),
+                16,
+                100_000,
+                |p| repl.is_holder(item, p) && live.is_online(p),
+                &live,
+                &mut r,
+                &mut m,
+            );
+            if out.found.is_some() {
+                found += 1;
+            }
+        }
+        assert!(found >= 18, "search should find online items under churn, found {found}");
+    }
+
+    #[test]
+    fn zero_walkers_do_nothing() {
+        let (topo, _, live) = setup(100, 5);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let out = random_walks(&topo, PeerId(0), 0, 1_000, |_| true, &live, &mut r, &mut m);
+        assert!(out.found.is_none());
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn origin_holding_item_is_free() {
+        let (topo, _, live) = setup(100, 5);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let out = random_walks(&topo, PeerId(7), 4, 100, |p| p == PeerId(7), &live, &mut r, &mut m);
+        assert_eq!(out.found, Some(PeerId(7)));
+        assert_eq!(out.messages, 0);
+        let fl = flood(&topo, PeerId(7), 4, |p| p == PeerId(7), &live, &mut m);
+        assert_eq!(fl.found, Some(PeerId(7)));
+        assert_eq!(fl.messages, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Random overlay graphs.
+//!
+//! Gnutella-like topologies: every peer keeps "a few open connections to
+//! other peers" (paper Section 3.1). Construction guarantees connectivity
+//! (a random Hamiltonian backbone) and then adds random edges to reach the
+//! target mean degree; an optional preferential-attachment mode yields the
+//! heavy-tailed degree distributions measured on real Gnutella.
+
+use pdht_types::{PdhtError, PeerId, Result};
+use rand::rngs::SmallRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+
+/// An undirected overlay graph over a dense peer population.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adj: Vec<Vec<PeerId>>,
+    edges: usize,
+}
+
+impl Topology {
+    /// A connected random graph with mean degree ≈ `mean_degree`.
+    ///
+    /// A random cycle backbone guarantees connectivity; the remaining edge
+    /// budget is spent on uniformly random pairs (deduplicated).
+    ///
+    /// # Errors
+    /// Fails if `n < 2` or `mean_degree < 2`.
+    pub fn random(n: usize, mean_degree: usize, rng: &mut SmallRng) -> Result<Topology> {
+        if n < 2 {
+            return Err(PdhtError::InvalidConfig {
+                param: "n",
+                reason: "need at least two peers".into(),
+            });
+        }
+        if mean_degree < 2 {
+            return Err(PdhtError::InvalidConfig {
+                param: "mean_degree",
+                reason: "mean degree must be at least 2 for connectivity".into(),
+            });
+        }
+        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0 };
+
+        // Random cycle backbone.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for i in 0..n {
+            let a = order[i];
+            let b = order[(i + 1) % n];
+            topo.add_edge(a, b);
+        }
+
+        // Extra random edges until the mean degree target is met.
+        let target_edges = n * mean_degree / 2;
+        let mut guard = 0usize;
+        while topo.edges < target_edges && guard < target_edges * 20 {
+            guard += 1;
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                topo.add_edge(a, b);
+            }
+        }
+        Ok(topo)
+    }
+
+    /// A preferential-attachment graph (Barabási–Albert flavour): each new
+    /// peer attaches to `m` existing peers chosen proportionally to degree.
+    /// Produces the heavy-tailed degree distributions observed on Gnutella.
+    ///
+    /// # Errors
+    /// Fails if `n < 2` or `m == 0`.
+    pub fn preferential(n: usize, m: usize, rng: &mut SmallRng) -> Result<Topology> {
+        if n < 2 {
+            return Err(PdhtError::InvalidConfig {
+                param: "n",
+                reason: "need at least two peers".into(),
+            });
+        }
+        if m == 0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "m",
+                reason: "each peer must attach somewhere".into(),
+            });
+        }
+        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0 };
+        // Endpoint pool: each edge contributes both endpoints, so sampling
+        // uniformly from the pool is degree-proportional sampling.
+        let mut pool: Vec<usize> = Vec::with_capacity(2 * n * m);
+        topo.add_edge(0, 1);
+        pool.extend_from_slice(&[0, 1]);
+        for v in 2..n {
+            let mut attached = 0usize;
+            let mut guard = 0usize;
+            while attached < m.min(v) && guard < 50 * m {
+                guard += 1;
+                let &t = pool.as_slice().choose(rng).expect("pool non-empty");
+                if t != v && topo.add_edge(v, t) {
+                    pool.extend_from_slice(&[v, t]);
+                    attached += 1;
+                }
+            }
+            // Fallback so the graph stays connected even under collisions.
+            if attached == 0 {
+                topo.add_edge(v, v - 1);
+                pool.extend_from_slice(&[v, v - 1]);
+            }
+        }
+        Ok(topo)
+    }
+
+    /// Adds the undirected edge `(a, b)` if absent; returns whether added.
+    fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        debug_assert_ne!(a, b);
+        let pb = PeerId::from_idx(b);
+        if self.adj[a].contains(&pb) {
+            return false;
+        }
+        self.adj[a].push(pb);
+        self.adj[b].push(PeerId::from_idx(a));
+        self.edges += 1;
+        true
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if the graph has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Neighbors of `peer`.
+    #[inline]
+    pub fn neighbors(&self, peer: PeerId) -> &[PeerId] {
+        &self.adj[peer.idx()]
+    }
+
+    /// Is the whole graph connected? (BFS; test/diagnostic helper.)
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &nb in &self.adj[v] {
+                if !seen[nb.idx()] {
+                    seen[nb.idx()] = true;
+                    count += 1;
+                    stack.push(nb.idx());
+                }
+            }
+        }
+        count == self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn random_graph_is_connected_with_target_degree() {
+        let t = Topology::random(2_000, 6, &mut rng()).unwrap();
+        assert!(t.is_connected());
+        assert!((t.mean_degree() - 6.0).abs() < 0.5, "mean degree {}", t.mean_degree());
+        assert_eq!(t.len(), 2_000);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_simple() {
+        let t = Topology::random(500, 5, &mut rng()).unwrap();
+        for i in 0..500 {
+            let me = PeerId::from_idx(i);
+            for &nb in t.neighbors(me) {
+                assert_ne!(nb, me, "no self-loops");
+                assert!(t.neighbors(nb).contains(&me), "edges must be symmetric");
+            }
+            // No duplicate neighbor entries.
+            let mut sorted: Vec<_> = t.neighbors(me).to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), t.neighbors(me).len());
+        }
+    }
+
+    #[test]
+    fn preferential_graph_is_connected_and_heavy_tailed() {
+        let t = Topology::preferential(2_000, 3, &mut rng()).unwrap();
+        assert!(t.is_connected());
+        let mut degrees: Vec<usize> = (0..2_000).map(|i| t.neighbors(PeerId::from_idx(i)).len()).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Heavy tail: the top hub has far more links than the median peer.
+        assert!(
+            degrees[0] >= 5 * degrees[1000].max(1),
+            "hub degree {} vs median {}",
+            degrees[0],
+            degrees[1000]
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let t = Topology::random(2, 2, &mut rng()).unwrap();
+        assert!(t.is_connected());
+        assert_eq!(t.neighbors(PeerId(0)), &[PeerId(1)]);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(Topology::random(1, 4, &mut rng()).is_err());
+        assert!(Topology::random(10, 1, &mut rng()).is_err());
+        assert!(Topology::preferential(1, 2, &mut rng()).is_err());
+        assert!(Topology::preferential(10, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let a = Topology::random(300, 4, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let b = Topology::random(300, 4, &mut SmallRng::seed_from_u64(5)).unwrap();
+        for i in 0..300 {
+            assert_eq!(a.neighbors(PeerId::from_idx(i)), b.neighbors(PeerId::from_idx(i)));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The global key universe.
+//!
+//! Table 1's `keys = 40 000` is the number of *unique* keys extracted from
+//! 2 000 articles × 20 metadata keys. The catalog holds the mapping between
+//! dense key indices (what workloads sample), 64-bit hashed [`Key`]s (what
+//! overlays route on), and the owning article (what updates invalidate).
+
+use crate::metadata::Article;
+use pdht_types::{fasthash, FastHashMap, Key};
+
+/// The key universe of a scenario.
+#[derive(Clone, Debug)]
+pub struct KeyCatalog {
+    /// Hashed key per index.
+    keys: Vec<Key>,
+    /// Human-readable key string per index (kept for debuggability and the
+    /// examples; a deployment would not need it).
+    strings: Vec<String>,
+    /// Owning article per key index.
+    article_of: Vec<u32>,
+    /// Reverse map hash → index.
+    by_key: FastHashMap<Key, u32>,
+}
+
+impl KeyCatalog {
+    /// Builds the catalog from a set of articles. Duplicate key strings
+    /// across articles (shared authors, dates, …) are kept once, owned by
+    /// the first article that produced them.
+    pub fn build(articles: &[Article]) -> KeyCatalog {
+        let estimated = articles.len() * crate::metadata::KEYS_PER_ARTICLE;
+        let mut keys = Vec::with_capacity(estimated);
+        let mut strings = Vec::with_capacity(estimated);
+        let mut article_of = Vec::with_capacity(estimated);
+        let mut by_key: FastHashMap<Key, u32> = fasthash::map_with_capacity(estimated * 2);
+        for article in articles {
+            for s in article.key_strings() {
+                let k = Key::hash_str(&s);
+                if let std::collections::hash_map::Entry::Vacant(v) = by_key.entry(k) {
+                    v.insert(keys.len() as u32);
+                    keys.push(k);
+                    strings.push(s);
+                    article_of.push(article.id);
+                }
+            }
+        }
+        KeyCatalog { keys, strings, article_of, by_key }
+    }
+
+    /// Number of unique keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The hashed key at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn key(&self, index: usize) -> Key {
+        self.keys[index]
+    }
+
+    /// The key string at `index`.
+    pub fn key_string(&self, index: usize) -> &str {
+        &self.strings[index]
+    }
+
+    /// The article owning the key at `index`.
+    pub fn article_of(&self, index: usize) -> u32 {
+        self.article_of[index]
+    }
+
+    /// Reverse lookup: dense index of a hashed key.
+    pub fn index_of(&self, key: Key) -> Option<usize> {
+        self.by_key.get(&key).map(|&i| i as usize)
+    }
+
+    /// Key indices belonging to `article` (scan; used by the update path on
+    /// small per-article key sets).
+    pub fn keys_of_article(&self, article: u32) -> Vec<usize> {
+        self.article_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == article)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::NewsGenerator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn catalog(n_articles: usize) -> KeyCatalog {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut g = NewsGenerator::new();
+        let articles = g.articles(n_articles, &mut rng);
+        KeyCatalog::build(&articles)
+    }
+
+    #[test]
+    fn catalog_size_is_close_to_articles_times_keys() {
+        let c = catalog(200);
+        // 200 × 20 = 4000 raw keys. Realistic metadata shares authors,
+        // dates, sections and title terms across articles, so roughly half
+        // dedupe away — each article keeps ~10–14 unique keys (title,
+        // title&date, size, size&date, id terms, aux padding).
+        assert!(c.len() > 2_000, "len = {}", c.len());
+        assert!(c.len() <= 4_000);
+    }
+
+    #[test]
+    fn forward_and_reverse_maps_agree() {
+        let c = catalog(50);
+        for i in 0..c.len() {
+            assert_eq!(c.index_of(c.key(i)), Some(i));
+            assert_eq!(Key::hash_str(c.key_string(i)), c.key(i));
+        }
+        assert_eq!(c.index_of(Key(0xdead_beef)), None);
+    }
+
+    #[test]
+    fn article_ownership_is_consistent() {
+        let c = catalog(30);
+        for article in 0..30u32 {
+            for ki in c.keys_of_article(article) {
+                assert_eq!(c.article_of(ki), article);
+            }
+        }
+        // Every key belongs to some generated article.
+        for i in 0..c.len() {
+            assert!(c.article_of(i) < 30);
+        }
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let c = KeyCatalog::build(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

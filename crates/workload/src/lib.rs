@@ -1,0 +1,23 @@
+//! Workload generation for the news-system scenario (paper Sections 1 & 4).
+//!
+//! "Peers generate news articles, which are described by metadata … consist
+//! of element-value pairs, such as title = 'Weather Iráklion'". Queries hash
+//! single or concatenated pairs into keys (\[FeBi04\]); stop words are
+//! globally known and never indexed.
+//!
+//! * [`metadata`] — article generation and key extraction,
+//! * [`catalog`] — the global key universe (2 000 articles × 20 keys =
+//!   40 000 keys in Table 1),
+//! * [`queries`] — Zipf query streams with optional popularity shift,
+//! * [`updates`] — the article-replacement process (one replacement per
+//!   article per day on average).
+
+pub mod catalog;
+pub mod metadata;
+pub mod queries;
+pub mod updates;
+
+pub use catalog::KeyCatalog;
+pub use metadata::{Article, NewsGenerator, STOP_WORDS};
+pub use queries::{Query, QueryWorkload};
+pub use updates::UpdateProcess;

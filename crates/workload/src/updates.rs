@@ -1,0 +1,136 @@
+//! The article-replacement process.
+//!
+//! "Each article is replaced every 24 hours on average" (Section 4): each
+//! article independently renews with exponential inter-replacement times,
+//! so the network-wide replacement stream is Poisson with rate
+//! `articles / 86 400` per second. A replacement bumps the article version;
+//! the new content is "actively replicated together with their metadata
+//! files".
+
+use pdht_sim::random::poisson;
+use pdht_types::{PdhtError, Result};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One article replacement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replacement {
+    /// Which article was replaced.
+    pub article: u32,
+    /// Its new version.
+    pub new_version: u64,
+}
+
+/// The replacement process over a fixed article population.
+pub struct UpdateProcess {
+    versions: Vec<u64>,
+    rate_per_article: f64,
+}
+
+impl UpdateProcess {
+    /// `mean_lifetime_secs` is the average time between replacements of one
+    /// article (86 400 in Table 1).
+    ///
+    /// # Errors
+    /// Rejects non-positive lifetimes.
+    pub fn new(num_articles: usize, mean_lifetime_secs: f64) -> Result<UpdateProcess> {
+        if !mean_lifetime_secs.is_finite() || mean_lifetime_secs <= 0.0 {
+            return Err(PdhtError::InvalidConfig {
+                param: "mean_lifetime_secs",
+                reason: format!("must be finite and > 0, got {mean_lifetime_secs}"),
+            });
+        }
+        Ok(UpdateProcess {
+            versions: vec![1; num_articles],
+            rate_per_article: 1.0 / mean_lifetime_secs,
+        })
+    }
+
+    /// Number of articles.
+    pub fn num_articles(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Current version of `article`.
+    pub fn version(&self, article: u32) -> u64 {
+        self.versions[article as usize]
+    }
+
+    /// Network-wide expected replacements per second.
+    pub fn expected_per_round(&self) -> f64 {
+        self.rate_per_article * self.versions.len() as f64
+    }
+
+    /// Samples the replacements occurring in one round and applies the
+    /// version bumps.
+    pub fn round_updates(&mut self, rng: &mut SmallRng) -> Vec<Replacement> {
+        if self.versions.is_empty() {
+            return Vec::new();
+        }
+        let n = poisson(rng, self.expected_per_round());
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let article = rng.random_range(0..self.versions.len() as u32);
+            self.versions[article as usize] += 1;
+            out.push(Replacement { article, new_version: self.versions[article as usize] });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn replacement_rate_matches_lifetime() {
+        // 2 000 articles / 86 400 s ≈ 0.0231 replacements per second; over
+        // 50 000 simulated seconds expect ≈ 1 157.
+        let mut u = UpdateProcess::new(2_000, 86_400.0).unwrap();
+        assert!((u.expected_per_round() - 0.02315).abs() < 1e-4);
+        let mut r = rng();
+        let total: usize = (0..50_000).map(|_| u.round_updates(&mut r).len()).sum();
+        let expected = 50_000.0 * 2_000.0 / 86_400.0;
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.1,
+            "total {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let mut u = UpdateProcess::new(10, 5.0).unwrap();
+        let mut r = rng();
+        let mut last = [1u64; 10];
+        for _ in 0..200 {
+            for rep in u.round_updates(&mut r) {
+                assert_eq!(rep.new_version, last[rep.article as usize] + 1);
+                last[rep.article as usize] = rep.new_version;
+            }
+        }
+        for a in 0..10u32 {
+            assert_eq!(u.version(a), last[a as usize]);
+            assert!(u.version(a) > 1, "with 5 s lifetime everything updates");
+        }
+    }
+
+    #[test]
+    fn empty_population_is_quiet() {
+        let mut u = UpdateProcess::new(0, 100.0).unwrap();
+        let mut r = rng();
+        assert!(u.round_updates(&mut r).is_empty());
+        assert_eq!(u.expected_per_round(), 0.0);
+    }
+
+    #[test]
+    fn invalid_lifetime_rejected() {
+        assert!(UpdateProcess::new(10, 0.0).is_err());
+        assert!(UpdateProcess::new(10, -5.0).is_err());
+        assert!(UpdateProcess::new(10, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for workload generation.
+
+use pdht_types::Key;
+use pdht_workload::{Article, KeyCatalog, NewsGenerator, QueryWorkload, UpdateProcess};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any generated corpus yields a consistent catalog: bijective
+    /// forward/reverse maps, valid article owners, hash-stable strings.
+    #[test]
+    fn catalog_is_internally_consistent(n_articles in 1usize..60, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let articles = NewsGenerator::new().articles(n_articles, &mut rng);
+        let catalog = KeyCatalog::build(&articles);
+        prop_assert!(!catalog.is_empty());
+        for i in 0..catalog.len() {
+            prop_assert_eq!(catalog.index_of(catalog.key(i)), Some(i));
+            prop_assert_eq!(Key::hash_str(catalog.key_string(i)), catalog.key(i));
+            prop_assert!((catalog.article_of(i) as usize) < n_articles);
+        }
+    }
+
+    /// Key extraction is deterministic and bounded for arbitrary metadata
+    /// (not just generator output).
+    #[test]
+    fn key_extraction_handles_arbitrary_metadata(
+        id in any::<u32>(),
+        title in "[a-zA-Z ]{0,40}",
+        extra in prop::collection::vec(("[a-z]{1,8}", "[a-zA-Z0-9/ ]{0,16}"), 0..6),
+    ) {
+        let mut attrs = vec![("title".to_string(), title)];
+        attrs.extend(extra);
+        let article = Article { id, version: 1, attrs };
+        let a = article.key_strings();
+        let b = article.key_strings();
+        prop_assert_eq!(&a, &b, "extraction must be deterministic");
+        prop_assert_eq!(a.len(), pdht_workload::metadata::KEYS_PER_ARTICLE);
+        // No stop-word terms.
+        for s in &a {
+            if let Some(term) = s.strip_prefix("term=") {
+                prop_assert!(!pdht_workload::STOP_WORDS.contains(&term));
+            }
+        }
+    }
+
+    /// Query volumes follow the configured rate for any population.
+    #[test]
+    fn query_volume_tracks_rate(
+        keys in 10usize..2_000,
+        peers in 10u32..2_000,
+        denom in 1.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let f_qry = 1.0 / denom;
+        let w = QueryWorkload::new(keys, 1.2, peers, f_qry, None).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rounds = 60u64;
+        let total: usize = (0..rounds).map(|r| w.round_queries(r, &mut rng).len()).sum();
+        let expect = w.expected_per_round() * rounds as f64;
+        // Poisson total: 6σ band.
+        let sd = expect.sqrt();
+        prop_assert!(
+            (total as f64 - expect).abs() <= 6.0 * sd + 6.0,
+            "total {total} vs expected {expect}"
+        );
+        let _ = f_qry;
+    }
+
+    /// Update versions are dense per article: version = 1 + #replacements.
+    #[test]
+    fn update_versions_are_dense(
+        n_articles in 1usize..50,
+        lifetime in 1.0f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let mut u = UpdateProcess::new(n_articles, lifetime).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n_articles];
+        for _ in 0..100 {
+            for rep in u.round_updates(&mut rng) {
+                counts[rep.article as usize] += 1;
+                prop_assert_eq!(rep.new_version, counts[rep.article as usize] + 1);
+            }
+        }
+        for (a, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(u.version(a as u32), c + 1);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Zipf query-popularity machinery.
+//!
+//! The paper assumes queries are Zipf-distributed with parameter `α`
+//! (Section 2, citing \[Srip01\] which measured `α = 1.2` on Gnutella). This
+//! crate provides:
+//!
+//! * [`ZipfDistribution`] — exact pmf/cdf of Eq. 3, head-mass sums (Eq. 5),
+//!   and O(log n) CDF-inversion sampling,
+//! * [`round`] — the per-round probability algebra of Eq. 4, 14 and 15
+//!   (probability of ≥ 1 query per round, TTL-admission hit probability and
+//!   expected index size),
+//! * [`shift`] — popularity-shift maps used to test query-adaptivity
+//!   (Section 5.2 / Section 6 claims),
+//! * [`kahan`] — compensated summation, so 40 000-term sums of wildly
+//!   varying magnitude stay exact to ~1 ulp.
+
+pub mod dist;
+pub mod kahan;
+pub mod round;
+pub mod shift;
+
+pub use dist::ZipfDistribution;
+pub use round::{expected_index_size_ttl, p_indexed_ttl, prob_queried_in_round, RoundModel};
+pub use shift::{PopularityShift, RankMap};

@@ -1,0 +1,256 @@
+//! Per-round query probability algebra (Eq. 4, 14, 15).
+//!
+//! With `numPeers` peers each issuing `fQry` queries per second, a round
+//! (1 s) carries `Q = numPeers · fQry` queries. The paper treats `Q` as the
+//! exponent of Eq. 4 (a binomial "at least one query" probability):
+//!
+//! * Eq. 4  `probT(rank) = 1 − (1 − prob(rank))^Q`
+//! * Eq. 14 `pIndxd = Σ_rank prob(rank) · (1 − (1 − probT(rank))^keyTtl)`
+//! * Eq. 15 `indexSize = Σ_rank (1 − (1 − probT(rank))^keyTtl)`
+//!
+//! All powers are evaluated as `exp(e · ln1p(−p))` so tiny probabilities of
+//! tail keys don't underflow to 0 or round to 1.
+
+use crate::dist::ZipfDistribution;
+use crate::kahan::KahanSum;
+
+/// Numerically stable `(1 − p)^e` for `p ∈ [0, 1]`, `e ≥ 0`.
+#[inline]
+pub fn pow_one_minus(p: f64, e: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+    debug_assert!(e >= 0.0, "exponent must be non-negative");
+    if p >= 1.0 {
+        // (1-1)^0 = 1 by convention; otherwise 0.
+        return if e == 0.0 { 1.0 } else { 0.0 };
+    }
+    f64::exp(e * f64::ln_1p(-p))
+}
+
+/// Eq. 4: probability that the key at `rank` is queried at least once in a
+/// round carrying `queries_per_round` total queries.
+#[inline]
+pub fn prob_queried_in_round(dist: &ZipfDistribution, rank: usize, queries_per_round: f64) -> f64 {
+    1.0 - pow_one_minus(dist.prob(rank), queries_per_round)
+}
+
+/// Eq. 14: probability that a random Zipf query can be answered from a
+/// TTL-admitted index (the key was queried at least once in the last
+/// `key_ttl` rounds).
+pub fn p_indexed_ttl(dist: &ZipfDistribution, queries_per_round: f64, key_ttl: f64) -> f64 {
+    let mut acc = KahanSum::new();
+    for rank in 1..=dist.n() {
+        let prob_t = prob_queried_in_round(dist, rank, queries_per_round);
+        acc.add(dist.prob(rank) * (1.0 - pow_one_minus(prob_t, key_ttl)));
+    }
+    acc.total()
+}
+
+/// Eq. 15: expected number of keys resident in a TTL-admitted index.
+pub fn expected_index_size_ttl(
+    dist: &ZipfDistribution,
+    queries_per_round: f64,
+    key_ttl: f64,
+) -> f64 {
+    let mut acc = KahanSum::new();
+    for rank in 1..=dist.n() {
+        let prob_t = prob_queried_in_round(dist, rank, queries_per_round);
+        acc.add(1.0 - pow_one_minus(prob_t, key_ttl));
+    }
+    acc.total()
+}
+
+/// Bundles a distribution with a per-round query volume, the unit in which
+/// the model reasons (Section 2).
+#[derive(Clone, Debug)]
+pub struct RoundModel {
+    dist: ZipfDistribution,
+    queries_per_round: f64,
+}
+
+impl RoundModel {
+    /// Creates the model; `queries_per_round = numPeers · fQry`.
+    ///
+    /// # Errors
+    /// Propagates distribution construction errors; rejects negative or
+    /// non-finite query volumes.
+    pub fn new(
+        keys: usize,
+        alpha: f64,
+        queries_per_round: f64,
+    ) -> pdht_types::Result<RoundModel> {
+        if !queries_per_round.is_finite() || queries_per_round < 0.0 {
+            return Err(pdht_types::PdhtError::InvalidConfig {
+                param: "queries_per_round",
+                reason: format!("must be finite and >= 0, got {queries_per_round}"),
+            });
+        }
+        Ok(RoundModel { dist: ZipfDistribution::new(keys, alpha)?, queries_per_round })
+    }
+
+    /// The underlying Zipf distribution.
+    pub fn dist(&self) -> &ZipfDistribution {
+        &self.dist
+    }
+
+    /// Total queries per round (`numPeers · fQry`).
+    pub fn queries_per_round(&self) -> f64 {
+        self.queries_per_round
+    }
+
+    /// Eq. 4 for this model.
+    pub fn prob_t(&self, rank: usize) -> f64 {
+        prob_queried_in_round(&self.dist, rank, self.queries_per_round)
+    }
+
+    /// Largest rank whose Eq. 4 probability is ≥ `f_min`; 0 if none.
+    /// `probT` is monotone non-increasing in rank, so binary search applies.
+    pub fn max_rank(&self, f_min: f64) -> usize {
+        let n = self.dist.n();
+        if self.prob_t(1) < f_min {
+            return 0;
+        }
+        if self.prob_t(n) >= f_min {
+            return n;
+        }
+        // Invariant: probT(lo) >= f_min > probT(hi).
+        let (mut lo, mut hi) = (1usize, n);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.prob_t(mid) >= f_min {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Eq. 14 for this model.
+    pub fn p_indexed_ttl(&self, key_ttl: f64) -> f64 {
+        p_indexed_ttl(&self.dist, self.queries_per_round, key_ttl)
+    }
+
+    /// Eq. 15 for this model.
+    pub fn expected_index_size_ttl(&self, key_ttl: f64) -> f64 {
+        expected_index_size_ttl(&self.dist, self.queries_per_round, key_ttl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(keys: usize, alpha: f64, q: f64) -> RoundModel {
+        RoundModel::new(keys, alpha, q).expect("valid")
+    }
+
+    #[test]
+    fn pow_one_minus_edge_cases() {
+        assert_eq!(pow_one_minus(0.0, 100.0), 1.0);
+        assert_eq!(pow_one_minus(1.0, 100.0), 0.0);
+        assert_eq!(pow_one_minus(1.0, 0.0), 1.0);
+        assert!((pow_one_minus(0.5, 2.0) - 0.25).abs() < 1e-12);
+        // Tiny p, huge e: must not collapse to exactly 1 or 0 incorrectly.
+        let v = pow_one_minus(1e-12, 1e6);
+        assert!((v - (1.0 - 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_t_monotone_in_rank_and_volume() {
+        let m = model(1000, 1.2, 50.0);
+        for r in 1..1000 {
+            assert!(m.prob_t(r) >= m.prob_t(r + 1));
+        }
+        let busier = model(1000, 1.2, 500.0);
+        for r in [1usize, 10, 100, 999] {
+            assert!(busier.prob_t(r) >= m.prob_t(r));
+        }
+    }
+
+    #[test]
+    fn zero_volume_means_never_queried() {
+        let m = model(100, 1.2, 0.0);
+        for r in [1usize, 50, 100] {
+            assert_eq!(m.prob_t(r), 0.0);
+        }
+        assert_eq!(m.max_rank(0.001), 0);
+        assert_eq!(m.p_indexed_ttl(100.0), 0.0);
+        assert_eq!(m.expected_index_size_ttl(100.0), 0.0);
+    }
+
+    #[test]
+    fn max_rank_is_the_threshold_rank() {
+        let m = model(40_000, 1.2, 20_000.0 / 30.0);
+        let f_min = 0.01;
+        let r = m.max_rank(f_min);
+        assert!(r > 0 && r < 40_000);
+        assert!(m.prob_t(r) >= f_min);
+        assert!(m.prob_t(r + 1) < f_min);
+    }
+
+    #[test]
+    fn max_rank_extremes() {
+        let m = model(100, 1.2, 1000.0);
+        // Threshold so low every key qualifies.
+        assert_eq!(m.max_rank(1e-12), 100);
+        // Threshold above 1: nothing qualifies.
+        assert_eq!(m.max_rank(1.1), 0);
+    }
+
+    #[test]
+    fn max_rank_monotone_in_query_volume() {
+        let f_min = 0.005;
+        let mut prev = 0;
+        for q in [1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+            let m = model(10_000, 1.2, q);
+            let r = m.max_rank(f_min);
+            assert!(r >= prev, "maxRank must grow with query volume");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn ttl_sums_behave_at_extremes() {
+        let m = model(500, 1.2, 100.0);
+        // keyTtl = 0: nothing stays in the index.
+        assert!(m.p_indexed_ttl(0.0).abs() < 1e-12);
+        assert!(m.expected_index_size_ttl(0.0).abs() < 1e-12);
+        // Huge keyTtl: practically everything ever queried is resident;
+        // pIndxd approaches 1 and size approaches n (for keys with
+        // probT > 0, which is all of them at this volume).
+        assert!(m.p_indexed_ttl(1e9) > 0.999);
+        assert!(m.expected_index_size_ttl(1e9) > 499.0);
+    }
+
+    #[test]
+    fn ttl_sums_monotone_in_ttl() {
+        let m = model(2_000, 1.2, 200.0);
+        let ttls = [1.0, 10.0, 100.0, 1000.0];
+        let mut prev_p = -1.0;
+        let mut prev_s = -1.0;
+        for &t in &ttls {
+            let p = m.p_indexed_ttl(t);
+            let s = m.expected_index_size_ttl(t);
+            assert!(p >= prev_p && s >= prev_s);
+            prev_p = p;
+            prev_s = s;
+        }
+    }
+
+    #[test]
+    fn p_indexed_exceeds_size_fraction_under_zipf() {
+        // The head is queried disproportionately often, so the query-mass
+        // covered must exceed the key-count fraction resident (Fig. 3's gap).
+        let m = model(40_000, 1.2, 20_000.0 / 300.0);
+        let ttl = 600.0;
+        let p = m.p_indexed_ttl(ttl);
+        let frac = m.expected_index_size_ttl(ttl) / 40_000.0;
+        assert!(p > frac * 2.0, "pIndxd={p} should dominate size fraction={frac}");
+    }
+
+    #[test]
+    fn invalid_volume_rejected() {
+        assert!(RoundModel::new(10, 1.2, f64::NAN).is_err());
+        assert!(RoundModel::new(10, 1.2, -1.0).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the Zipf machinery over arbitrary parameters.
+
+use pdht_zipf::{PopularityShift, RankMap, RoundModel, ZipfDistribution};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The pmf is a proper, monotone distribution for any (n, α).
+    #[test]
+    fn pmf_is_a_distribution(n in 1usize..5_000, alpha in 0.0f64..2.5) {
+        let d = ZipfDistribution::new(n, alpha).unwrap();
+        let total: f64 = (1..=n).map(|r| d.prob(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sums to {total}");
+        for r in 1..n {
+            prop_assert!(d.prob(r) >= d.prob(r + 1));
+        }
+        prop_assert!((d.head_mass(n) - 1.0).abs() < 1e-9);
+    }
+
+    /// Sampling always lands in range and never panics.
+    #[test]
+    fn sampling_in_range(n in 1usize..2_000, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+        let d = ZipfDistribution::new(n, alpha).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let r = d.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+
+    /// Eq. 4/14/15 stay inside their probability/size domains and are
+    /// monotone in TTL for any load.
+    #[test]
+    fn round_model_domains(
+        n in 1usize..2_000,
+        alpha in 0.2f64..2.0,
+        q in 0.0f64..10_000.0,
+        ttl in 0.0f64..100_000.0,
+    ) {
+        let m = RoundModel::new(n, alpha, q).unwrap();
+        for r in [1usize, n / 2 + 1, n] {
+            let p = m.prob_t(r);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        let p_hit = m.p_indexed_ttl(ttl);
+        let size = m.expected_index_size_ttl(ttl);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p_hit));
+        prop_assert!((0.0..=n as f64 + 1e-6).contains(&size));
+        // Doubling the TTL can only help.
+        prop_assert!(m.p_indexed_ttl(ttl * 2.0) >= p_hit - 1e-12);
+        prop_assert!(m.expected_index_size_ttl(ttl * 2.0) >= size - 1e-9);
+    }
+
+    /// `max_rank` is the true threshold: everything at or above clears
+    /// `f_min`, everything below does not.
+    #[test]
+    fn max_rank_is_exact_threshold(
+        n in 2usize..2_000,
+        alpha in 0.3f64..2.0,
+        q in 0.1f64..5_000.0,
+        f_min in 1e-6f64..1.0,
+    ) {
+        let m = RoundModel::new(n, alpha, q).unwrap();
+        let r = m.max_rank(f_min);
+        if r > 0 {
+            prop_assert!(m.prob_t(r) >= f_min);
+        }
+        if r < n {
+            prop_assert!(m.prob_t(r + 1) < f_min);
+        }
+    }
+
+    /// Every rank map is a bijection and shift schedules never lose keys.
+    #[test]
+    fn rank_maps_are_bijections(n in 1usize..500, offset in any::<usize>(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for map in [
+            RankMap::identity(n),
+            RankMap::rotation(n, offset),
+            RankMap::random(n, &mut rng),
+        ] {
+            let mut seen = vec![false; n];
+            for rank in 1..=n {
+                let k = map.key_for_rank(rank);
+                prop_assert!(k < n);
+                prop_assert!(!seen[k], "key {k} mapped twice");
+                seen[k] = true;
+            }
+        }
+    }
+
+    /// The active epoch is always the latest one whose start has passed.
+    #[test]
+    fn shift_schedule_selection(
+        n in 2usize..100,
+        starts in prop::collection::btree_set(1u64..10_000, 1..6),
+        probe in 0u64..20_000,
+    ) {
+        let mut epochs: Vec<(u64, RankMap)> = vec![(0, RankMap::identity(n))];
+        for (i, &s) in starts.iter().enumerate() {
+            epochs.push((s, RankMap::rotation(n, i + 1)));
+        }
+        let schedule = PopularityShift::new(epochs.clone()).unwrap();
+        let expected_idx = epochs.iter().rposition(|&(s, _)| s <= probe).unwrap();
+        let expect_key = epochs[expected_idx].1.key_for_rank(1);
+        prop_assert_eq!(schedule.key_for(1, probe), expect_key);
+    }
+}

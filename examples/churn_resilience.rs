@@ -1,0 +1,69 @@
+//! The partial DHT under realistic churn (Section 3.3.1).
+//!
+//! ```text
+//! cargo run --release --example churn_resilience
+//! ```
+//!
+//! Runs the selection algorithm with Gnutella-like session churn (mean
+//! online 60 min / offline 40 min ⇒ 60 % availability) and shows that the
+//! system keeps answering: probing repairs routing tables, replica floods
+//! paper over desynchronized replicas, and the broadcast fallback catches
+//! whatever the index cannot serve.
+
+use pdht::core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht::model::Scenario;
+use pdht::overlay::ChurnConfig;
+use pdht::types::MessageKind;
+
+fn main() {
+    let scenario = Scenario::table1_scaled(20); // 1 000 peers
+
+    // Aggressive churn so the effect is visible in a short run: sessions of
+    // ~10 min, absences of ~7 min (same 0.6 availability as the Gnutella
+    // default, 6× the toggle rate).
+    let churn = ChurnConfig { mean_online_secs: 600.0, mean_offline_secs: 400.0 };
+
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 30.0, Strategy::Partial);
+    cfg.churn = churn;
+    cfg.ttl_policy = TtlPolicy::Fixed(150);
+    cfg.purge_stride = 4;
+
+    let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    let rounds = 600;
+    net.run(rounds);
+
+    let rep = net.report(rounds / 2, rounds - 1);
+    println!("steady state under churn (rounds {}..{}):", rep.rounds.0, rep.rounds.1);
+    println!("  availability            : {:.3} (theory: {:.3})", rep.availability, churn.availability());
+    println!("  index hit probability   : {:.3}", rep.p_indexed);
+    println!("  distinct indexed keys   : {:.0}", rep.indexed_keys);
+    println!("  messages per round      : {:.0}", rep.msgs_per_round);
+    println!("  queries from offline peers (skipped): {}", rep.skipped_offline);
+    println!("  broadcast search failures            : {}", rep.search_failures);
+    println!("  index routing failures               : {}", rep.lookup_failures);
+    println!("  stale hits (version lag)             : {}", rep.stale_hits);
+
+    let probes: f64 = rep
+        .by_kind
+        .iter()
+        .filter(|(k, _)| *k == MessageKind::Probe)
+        .map(|&(_, v)| v)
+        .sum();
+    println!("\nmaintenance probes/round: {probes:.0} — the [MaCa03]-style probing that");
+    println!("keeps routing usable while 40% of the population is offline at any time.");
+
+    let total_queries = rep.skipped_offline as f64
+        + rep.search_failures as f64
+        + (rep.p_indexed * 1.0).max(0.0); // denominators differ; report rates instead:
+    let _ = total_queries;
+    println!(
+        "\nverdict: {} — hit rate {:.0}% at {:.0}% availability",
+        if rep.p_indexed > 0.6 && rep.lookup_failures < 1000 {
+            "the partial index stays useful under heavy churn"
+        } else {
+            "churn is degrading the index — inspect the report"
+        },
+        rep.p_indexed * 100.0,
+        rep.availability * 100.0,
+    );
+}

@@ -1,0 +1,68 @@
+//! Interactive-style tour of the analytical model: what makes a key worth
+//! indexing? (Sections 2–4.)
+//!
+//! ```text
+//! cargo run --release --example cost_model_explorer
+//! ```
+//!
+//! Sweeps the model's levers one at a time around the Table 1 operating
+//! point and prints how the indexing threshold `fMin`, the worthwhile head
+//! `maxRank` and the strategy ordering respond. Useful to build intuition
+//! for Eq. 1–13 before reading the code.
+
+use pdht::model::{IdealPartial, Scenario, StrategyCosts};
+
+fn show(scenario: &Scenario, f_qry: f64, label: &str) {
+    let ideal = IdealPartial::solve(scenario, f_qry).expect("model solves");
+    let costs = StrategyCosts::evaluate(scenario, f_qry).expect("model evaluates");
+    let winner = if costs.partial_ideal <= costs.index_all.min(costs.no_index) {
+        "partial"
+    } else if costs.index_all <= costs.no_index {
+        "indexAll"
+    } else {
+        "noIndex"
+    };
+    println!(
+        "{label:<38} fMin={:.2e}  maxRank={:>6}  pIndxd={:.3}  partial={:>8.0}  indexAll={:>8.0}  noIndex={:>8.0}  winner={winner}",
+        ideal.f_min, ideal.max_rank, ideal.p_indexed, costs.partial_ideal, costs.index_all, costs.no_index
+    );
+}
+
+fn main() {
+    let base = Scenario::table1();
+    let f_qry = 1.0 / 300.0;
+
+    println!("== the Table 1 operating point ==");
+    show(&base, f_qry, "baseline (Table 1, fQry = 1/300)");
+
+    println!("\n== lever 1: query load ==");
+    for &f in &[1.0 / 30.0, 1.0 / 300.0, 1.0 / 7200.0] {
+        show(&base, f, &format!("fQry = 1/{:.0}", 1.0 / f));
+    }
+
+    println!("\n== lever 2: Zipf skew (α) ==");
+    for alpha in [0.6, 0.9, 1.2, 1.5] {
+        let s = Scenario { alpha, ..base.clone() };
+        show(&s, f_qry, &format!("alpha = {alpha}"));
+    }
+    println!("flatter distributions (small α) spread queries over more keys, so more");
+    println!("keys clear the bar individually but each hit saves the same — the index");
+    println!("covers less query mass (pIndxd falls).");
+
+    println!("\n== lever 3: replication factor ==");
+    for repl in [10u32, 50, 200] {
+        let s = Scenario { repl, ..base.clone() };
+        show(&s, f_qry, &format!("repl = {repl}"));
+    }
+    println!("more replicas make broadcast search cheaper (Eq. 6) *and* updates");
+    println!("costlier, so the index has to earn more per key: fMin rises.");
+
+    println!("\n== lever 4: churn burden (env) ==");
+    for denom in [7.0, 14.0, 56.0] {
+        let s = Scenario { env: 1.0 / denom, ..base.clone() };
+        show(&s, f_qry, &format!("env = 1/{denom}"));
+    }
+    println!("a calmer network (small env) makes holding keys cheap — the index");
+    println!("grows; heavy churn shrinks the worthwhile head. This is the paper's");
+    println!("central observation: maintenance cost, not storage, limits indexing.");
+}

@@ -1,0 +1,58 @@
+//! # pdht — a query-adaptive partial distributed hash table
+//!
+//! A full reproduction of *"A Query-Adaptive Partial Distributed Hash Table
+//! for Peer-to-Peer Systems"* (Klemm, Datta, Aberer — EDBT 2004 workshops):
+//! the analytical cost model (Eq. 1–17), every substrate the paper's system
+//! rests on (a P-Grid-style trie DHT, a Chord ring, a Gnutella-like
+//! unstructured overlay, replica gossip, churn), the TTL-based selection
+//! algorithm itself, and the experiment harness regenerating every table
+//! and figure of the evaluation.
+//!
+//! This facade crate re-exports the workspace by topic:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`types`] | `pdht-types` | ids, keys, message taxonomy, liveness, RNG streams |
+//! | [`zipf`] | `pdht-zipf` | Zipf pmf/cdf, per-round probabilities, popularity shift |
+//! | [`model`] | `pdht-model` | the analytical cost model and figure sweeps |
+//! | [`sim`] | `pdht-sim` | event queue, metrics, distribution sampling |
+//! | [`overlay`] | `pdht-overlay` | trie + Chord DHTs, churn, maintenance |
+//! | [`unstructured`] | `pdht-unstructured` | random graphs, flooding, k-random-walks |
+//! | [`gossip`] | `pdht-gossip` | replica groups, push/pull rumor spreading |
+//! | [`workload`] | `pdht-workload` | news metadata, key catalogs, query/update streams |
+//! | [`core`] | `pdht-core` | the partial index, TTL policies, the network harness |
+//!
+//! # Example
+//!
+//! ```
+//! use pdht::model::{Scenario, StrategyCosts};
+//!
+//! // Reproduce one x-axis point of the paper's Fig. 1.
+//! let costs = StrategyCosts::evaluate(&Scenario::table1(), 1.0 / 600.0).unwrap();
+//! assert!(costs.partial_ideal < costs.index_all.min(costs.no_index));
+//! ```
+
+pub use pdht_core as core;
+pub use pdht_gossip as gossip;
+pub use pdht_model as model;
+pub use pdht_overlay as overlay;
+pub use pdht_sim as sim;
+pub use pdht_types as types;
+pub use pdht_unstructured as unstructured;
+pub use pdht_workload as workload;
+pub use pdht_zipf as zipf;
+
+/// The crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let s = crate::model::Scenario::table1();
+        assert_eq!(s.num_peers, 20_000);
+        let d = crate::zipf::ZipfDistribution::new(10, 1.2).unwrap();
+        assert!(d.prob(1) > d.prob(10));
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! The §5.2/§6 adaptivity claim, as an automated test: after a popularity
+//! shift the index must re-learn the new head without intervention.
+
+use pdht::core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht::model::Scenario;
+use pdht::zipf::{PopularityShift, RankMap};
+
+#[test]
+fn index_recovers_after_popularity_rotation() {
+    let scenario = Scenario::table1_scaled(40); // 500 peers, 1 000 keys
+    let keys = scenario.keys as usize;
+    let shift_round = 150u64;
+    let total = 400u64;
+
+    let shift = PopularityShift::new(vec![
+        (0, RankMap::identity(keys)),
+        (shift_round, RankMap::rotation(keys, keys / 2)),
+    ])
+    .unwrap();
+
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 10.0, Strategy::Partial);
+    cfg.shift = Some(shift);
+    cfg.ttl_policy = TtlPolicy::Fixed(60);
+    cfg.purge_stride = 2;
+    cfg.seed = 21;
+
+    let mut net = PdhtNetwork::new(cfg).unwrap();
+    net.run(total);
+
+    let before = net.report(shift_round - 60, shift_round - 1);
+    let right_after = net.report(shift_round, shift_round + 29);
+    let recovered = net.report(total - 60, total - 1);
+
+    assert!(before.p_indexed > 0.6, "steady state first: {:.3}", before.p_indexed);
+    assert!(
+        right_after.p_indexed < before.p_indexed - 0.03,
+        "shift must dent the hit rate: {:.3} -> {:.3}",
+        before.p_indexed,
+        right_after.p_indexed
+    );
+    assert!(
+        recovered.p_indexed > before.p_indexed - 0.05,
+        "hit rate must recover: {:.3} vs {:.3}",
+        recovered.p_indexed,
+        before.p_indexed
+    );
+}
+
+#[test]
+fn random_reshuffle_also_recovers() {
+    // Harsher than rotation: a full random permutation of popularity.
+    let scenario = Scenario::table1_scaled(40);
+    let keys = scenario.keys as usize;
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(99);
+    let shift = PopularityShift::new(vec![
+        (0, RankMap::identity(keys)),
+        (150, RankMap::random(keys, &mut rng)),
+    ])
+    .unwrap();
+
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 10.0, Strategy::Partial);
+    cfg.shift = Some(shift);
+    cfg.ttl_policy = TtlPolicy::Fixed(60);
+    cfg.purge_stride = 2;
+    cfg.seed = 5;
+
+    let mut net = PdhtNetwork::new(cfg).unwrap();
+    net.run(400);
+    let before = net.report(90, 149);
+    let recovered = net.report(340, 399);
+    assert!(
+        recovered.p_indexed > before.p_indexed - 0.05,
+        "reshuffle recovery: {:.3} vs {:.3}",
+        recovered.p_indexed,
+        before.p_indexed
+    );
+}
+
+#[test]
+fn indexed_set_actually_turns_over() {
+    // Not just the hit rate: the *content* of the index must change — after
+    // the shift the index size stays in the same band while the hit rate
+    // recovers, which is only possible if the resident keys rotated.
+    let scenario = Scenario::table1_scaled(40);
+    let keys = scenario.keys as usize;
+    let shift = PopularityShift::new(vec![
+        (0, RankMap::identity(keys)),
+        (150, RankMap::rotation(keys, keys / 2)),
+    ])
+    .unwrap();
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 10.0, Strategy::Partial);
+    cfg.shift = Some(shift);
+    cfg.ttl_policy = TtlPolicy::Fixed(60);
+    cfg.purge_stride = 2;
+    cfg.seed = 13;
+    let mut net = PdhtNetwork::new(cfg).unwrap();
+    net.run(400);
+    let before = net.report(90, 149);
+    let after = net.report(340, 399);
+    let ratio = after.indexed_keys / before.indexed_keys.max(1.0);
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "index size should stay in the same band across the shift: {:.0} -> {:.0}",
+        before.indexed_keys,
+        after.indexed_keys
+    );
+    assert!(after.p_indexed > 0.6);
+}

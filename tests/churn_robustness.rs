@@ -1,0 +1,91 @@
+//! Failure injection: the partial DHT under churn and blackouts.
+
+use pdht::core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht::model::Scenario;
+use pdht::overlay::ChurnConfig;
+
+fn churny_cfg(mean_on: f64, mean_off: f64) -> PdhtConfig {
+    let mut cfg =
+        PdhtConfig::new(Scenario::table1_scaled(40), 1.0 / 10.0, Strategy::Partial);
+    cfg.churn = ChurnConfig { mean_online_secs: mean_on, mean_offline_secs: mean_off };
+    cfg.ttl_policy = TtlPolicy::Fixed(80);
+    cfg.purge_stride = 4;
+    cfg.seed = 17;
+    cfg
+}
+
+#[test]
+fn keeps_answering_under_moderate_churn() {
+    // 60 % availability, sessions of ~5 min.
+    let mut net = PdhtNetwork::new(churny_cfg(300.0, 200.0)).unwrap();
+    net.run(400);
+    let rep = net.report(200, 399);
+    assert!((rep.availability - 0.6).abs() < 0.08, "availability {:.3}", rep.availability);
+    // The index keeps a meaningful hit rate despite replica loss.
+    assert!(rep.p_indexed > 0.4, "pIndxd {:.3}", rep.p_indexed);
+    // Some queries are lost to offline origins — that is the model's
+    // interpretation too (offline peers don't query).
+    assert!(rep.skipped_offline > 0);
+}
+
+#[test]
+fn heavy_churn_degrades_gracefully_not_catastrophically() {
+    // 40 % availability, very short sessions — far worse than Gnutella.
+    let mut net = PdhtNetwork::new(churny_cfg(120.0, 180.0)).unwrap();
+    net.run(400);
+    let rep = net.report(200, 399);
+    assert!(rep.availability < 0.5);
+    // Even here, the combination of replica flooding + broadcast fallback
+    // keeps most answered queries correct; total collapse would show up as
+    // mass search failures.
+    let answered_rounds = 200.0;
+    let failures_per_round = rep.search_failures as f64 / answered_rounds;
+    assert!(
+        failures_per_round < 5.0,
+        "search failures per round too high: {failures_per_round:.2}"
+    );
+}
+
+#[test]
+fn mass_blackout_and_recovery() {
+    // Force 70 % of peers offline instantly, then let churn resurrect them.
+    let mut cfg = churny_cfg(600.0, 60.0); // short absences → fast recovery
+    cfg.seed = 23;
+    let mut net = PdhtNetwork::new(cfg).unwrap();
+    net.run(100);
+    let healthy = net.report(50, 99);
+
+    // Synthetic disaster via the churn override.
+    net.force_blackout(0.7);
+    net.run(50);
+    let hurt = net.report(100, 149);
+
+    net.run(300);
+    let recovered = net.report(350, 449);
+
+    assert!(hurt.availability < healthy.availability);
+    assert!(
+        recovered.availability > 0.8,
+        "population should come back: {:.3}",
+        recovered.availability
+    );
+    assert!(
+        recovered.p_indexed >= healthy.p_indexed - 0.15,
+        "hit rate should recover: {:.3} vs healthy {:.3}",
+        recovered.p_indexed,
+        healthy.p_indexed
+    );
+}
+
+#[test]
+fn static_network_has_no_churn_artifacts() {
+    let mut cfg = churny_cfg(300.0, 200.0);
+    cfg.churn = ChurnConfig::none();
+    let mut net = PdhtNetwork::new(cfg).unwrap();
+    net.run(150);
+    let rep = net.report(50, 149);
+    assert_eq!(rep.availability, 1.0);
+    assert_eq!(rep.skipped_offline, 0);
+    assert_eq!(rep.search_failures, 0);
+    assert_eq!(rep.lookup_failures, 0);
+}
