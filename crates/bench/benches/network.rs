@@ -33,8 +33,7 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("partial_1k_peers", |b| {
         b.iter(|| {
-            let cfg =
-                PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, Strategy::Partial);
+            let cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, Strategy::Partial);
             black_box(PdhtNetwork::new(cfg).unwrap())
         })
     });

@@ -71,9 +71,8 @@ fn measure(name: &'static str, overlay: &mut dyn Overlay, n: usize, seed: u64) -
         overlay.maintenance_round(1.0 / 14.0, &live, &mut rng, &mut metrics);
     }
     let probes_per_round = (metrics.totals()[MessageKind::Probe] - before) as f64 / 20.0;
-    let avg_entries = (0..n)
-        .map(|p| overlay.routing_entries(PeerId::from_idx(p)))
-        .sum::<usize>() as f64
+    let avg_entries = (0..n).map(|p| overlay.routing_entries(PeerId::from_idx(p))).sum::<usize>()
+        as f64
         / n as f64;
 
     OverlayStats {
@@ -95,10 +94,8 @@ fn main() {
         let mut build_rng = SmallRng::seed_from_u64(42);
         let mut trie = TrieOverlay::build(n, 50, &mut build_rng).expect("trie builds");
         let mut chord = ChordOverlay::build(n, 50, &mut build_rng).expect("chord builds");
-        for stats in [
-            measure("trie (P-Grid)", &mut trie, n, 7),
-            measure("chord", &mut chord, n, 7),
-        ] {
+        for stats in [measure("trie (P-Grid)", &mut trie, n, 7), measure("chord", &mut chord, n, 7)]
+        {
             rows.push(vec![
                 stats.name.to_string(),
                 format!("{}", stats.n),

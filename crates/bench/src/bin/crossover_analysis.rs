@@ -46,8 +46,10 @@ fn main() {
         &rows,
     );
 
-    println!("\nReading: Table 1 pins Fig. 1's crossover at {} and Fig. 4's at {} —",
-        rows[0][1], rows[0][2]);
+    println!(
+        "\nReading: Table 1 pins Fig. 1's crossover at {} and Fig. 4's at {} —",
+        rows[0][1], rows[0][2]
+    );
     println!("inside the bands the plots show. Cheaper broadcasts (higher repl) make");
     println!("noIndex competitive up to busier loads (Fig. 1 crossing moves left).");
     println!("Flatter popularity (alpha = 0.8) hurts the selection algorithm — its");

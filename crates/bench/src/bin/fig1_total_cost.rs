@@ -12,14 +12,7 @@ fn main() {
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                freq_label(r.f_qry),
-                f1(r.index_all),
-                f1(r.no_index),
-                f1(r.partial),
-            ]
-        })
+        .map(|r| vec![freq_label(r.f_qry), f1(r.index_all), f1(r.no_index), f1(r.partial)])
         .collect();
     print_table(
         "Fig. 1 — total msg/s vs query frequency",
@@ -48,12 +41,7 @@ fn main() {
         &rows
             .iter()
             .map(|r| {
-                vec![
-                    format!("{:.8}", r.f_qry),
-                    f1(r.index_all),
-                    f1(r.no_index),
-                    f1(r.partial),
-                ]
+                vec![format!("{:.8}", r.f_qry), f1(r.index_all), f1(r.no_index), f1(r.partial)]
             })
             .collect::<Vec<_>>(),
     )

@@ -25,10 +25,7 @@ fn main() {
         rows[0].vs_index_all,
         rows[rows.len() - 1].vs_index_all
     );
-    println!(
-        "  vs noIndex stays high at busy loads: {:.3} at 1/30",
-        rows[0].vs_no_index
-    );
+    println!("  vs noIndex stays high at busy loads: {:.3} at 1/30", rows[0].vs_no_index);
     println!(
         "  all savings positive: min = {:.3}",
         rows.iter().map(|r| r.vs_index_all.min(r.vs_no_index)).fold(f64::INFINITY, f64::min)

@@ -53,7 +53,11 @@ fn main() {
         println!(
             "  max saving drop within ±50% TTL error: {:.4} ({}!)",
             max_drop,
-            if max_drop < 0.1 { "only slightly — matches §5.1.1" } else { "LARGER than the paper claims" }
+            if max_drop < 0.1 {
+                "only slightly — matches §5.1.1"
+            } else {
+                "LARGER than the paper claims"
+            }
         );
     }
 

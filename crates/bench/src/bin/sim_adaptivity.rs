@@ -49,7 +49,11 @@ fn main() {
             f3(rep.p_indexed),
             f1(rep.indexed_keys),
             f1(rep.msgs_per_round),
-            if start < shift_round && end >= shift_round { "<- shift".into() } else { String::new() },
+            if start < shift_round && end >= shift_round {
+                "<- shift".into()
+            } else {
+                String::new()
+            },
         ]);
         csv_rows.push(vec![
             format!("{start}"),

@@ -30,15 +30,20 @@ fn main() {
         .collect();
     print_table(
         "A4 — digit fan-out sweep at fQry = 1/300 (full index)",
-        &["k", "cSIndx [msg]", "table entries", "cIndKey [msg/s]", "fMin [1/s]", "indexAll [msg/s]"],
+        &[
+            "k",
+            "cSIndx [msg]",
+            "table entries",
+            "cIndKey [msg/s]",
+            "fMin [1/s]",
+            "indexAll [msg/s]",
+        ],
         &rows,
     );
 
     let binary = &pts[0];
-    let best = pts
-        .iter()
-        .min_by(|a, b| a.index_all.total_cmp(&b.index_all))
-        .expect("non-empty sweep");
+    let best =
+        pts.iter().min_by(|a, b| a.index_all.total_cmp(&b.index_all)).expect("non-empty sweep");
     println!("\nReading: the binary space is {} for this workload (indexAll {:.0} vs best {:.0} at k = {}).",
         if best.k == 2 { "already optimal" } else { "not optimal" },
         binary.index_all, best.index_all, best.k);
@@ -49,8 +54,7 @@ fn main() {
     let path = write_csv(
         "sweep_kary",
         &["k", "c_s_indx", "table_entries", "c_ind_key", "f_min", "index_all"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|p| {
                 vec![
                     format!("{}", p.k),

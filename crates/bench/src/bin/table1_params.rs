@@ -22,21 +22,25 @@ fn main() {
         vec!["Storage capacity per peer".into(), "stor".into(), format!("{}", s.stor)],
         vec!["Replication factor".into(), "repl".into(), format!("{}", s.repl)],
         vec!["Zipf exponent".into(), "alpha".into(), f3(s.alpha)],
-        vec![
-            "Query frequency per peer per second".into(),
-            "fQry".into(),
-            "1/30 .. 1/7200".into(),
-        ],
+        vec!["Query frequency per peer per second".into(), "fQry".into(), "1/30 .. 1/7200".into()],
         vec![
             "Avg. update frequency per key".into(),
             "fUpd".into(),
             format!("1/{}", (1.0 / s.f_upd).round()),
         ],
-        vec!["Route maintenance constant".into(), "env".into(), format!("1/{}", (1.0 / s.env).round())],
+        vec![
+            "Route maintenance constant".into(),
+            "env".into(),
+            format!("1/{}", (1.0 / s.env).round()),
+        ],
         vec!["Message duplication (unstructured)".into(), "dup".into(), f3(s.dup)],
         vec!["Message duplication (replica net)".into(), "dup2".into(), f3(s.dup2)],
     ];
-    print_table("Table 1 — parameters of the sample scenario", &["description", "param", "value"], &rows);
+    print_table(
+        "Table 1 — parameters of the sample scenario",
+        &["description", "param", "value"],
+        &rows,
+    );
 
     println!("\nDerived (paper text, Section 4):");
     println!("  cSUnstr = numPeers/repl * dup = {:.1} msg", cost.c_s_unstr());

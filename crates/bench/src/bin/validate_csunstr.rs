@@ -49,25 +49,14 @@ fn measure(num_peers: usize, repl: usize, seed: u64) -> Row {
     }
     let measured = total_msgs as f64 / f64::from(searches);
     let model_unit = num_peers as f64 / repl as f64; // numPeers/repl
-    Row {
-        num_peers,
-        repl,
-        measured_msgs: measured,
-        model_unit,
-        implied_dup: measured / model_unit,
-    }
+    Row { num_peers, repl, measured_msgs: measured, model_unit, implied_dup: measured / model_unit }
 }
 
 fn main() {
     let mut rows: Vec<Row> = Vec::new();
-    for &(n, repl) in &[
-        (2_000usize, 20usize),
-        (2_000, 50),
-        (2_000, 100),
-        (5_000, 50),
-        (5_000, 125),
-        (10_000, 50),
-    ] {
+    for &(n, repl) in
+        &[(2_000usize, 20usize), (2_000, 50), (2_000, 100), (5_000, 50), (5_000, 125), (10_000, 50)]
+    {
         rows.push(measure(n, repl, 0xe16));
     }
 
@@ -93,9 +82,7 @@ fn main() {
     let mean_dup = dups.iter().sum::<f64>() / dups.len() as f64;
     let spread = dups.iter().fold(0.0f64, |m, &d| m.max((d - mean_dup).abs()));
     println!("\nReading: measured search cost scales like numPeers/repl (Eq. 6's form),");
-    println!(
-        "with an implied duplication factor of {mean_dup:.2} ± {spread:.2} across sizes —"
-    );
+    println!("with an implied duplication factor of {mean_dup:.2} ± {spread:.2} across sizes —");
     println!("the same order as the paper's dup = 1.8 from [LvCa02]. The constant");
     println!("depends on walker count and graph degree; the 1/repl scaling is the");
     println!("structural claim, and it holds.");

@@ -22,11 +22,7 @@ pub fn results_dir() -> PathBuf {
 ///
 /// # Errors
 /// Propagates I/O failures.
-pub fn write_csv(
-    name: &str,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<PathBuf> {
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let path = results_dir().join(format!("{name}.csv"));
     let mut f = fs::File::create(&path)?;
     writeln!(f, "{}", header.join(","))?;

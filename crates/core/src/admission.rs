@@ -141,11 +141,7 @@ mod tests {
             f.on_miss(Key(i), i);
         }
         // All but the last window's worth must have been swept.
-        assert!(
-            f.pending() < 100,
-            "sweep should bound pending records, got {}",
-            f.pending()
-        );
+        assert!(f.pending() < 100, "sweep should bound pending records, got {}", f.pending());
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub enum Strategy {
     NoIndex,
 }
 
+/// Which structured overlay backs the index (Section 1 claims the analysis
+/// applies to any "traditional DHT"; ablation A2 in `DESIGN.md` tests that
+/// claim by swapping the substrate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OverlayKind {
+    /// P-Grid-style binary trie — the system the paper implemented
+    /// (Section 5.2).
+    #[default]
+    Trie,
+    /// Chord-style ring with finger tables (\[StMo01\]).
+    Chord,
+}
+
 /// Full harness configuration.
 #[derive(Clone, Debug)]
 pub struct PdhtConfig {
@@ -28,6 +41,8 @@ pub struct PdhtConfig {
     pub f_qry: f64,
     /// Indexing strategy.
     pub strategy: Strategy,
+    /// Structured overlay substrate holding the index.
+    pub overlay: OverlayKind,
     /// keyTtl policy (only meaningful for [`Strategy::Partial`]).
     pub ttl_policy: TtlPolicy,
     /// Index admission policy (only meaningful for [`Strategy::Partial`]).
@@ -61,6 +76,7 @@ impl PdhtConfig {
             scenario,
             f_qry,
             strategy,
+            overlay: OverlayKind::default(),
             ttl_policy: TtlPolicy::FromModel { factor: 1.0 },
             admission: AdmissionPolicy::Always,
             churn: ChurnConfig::none(),

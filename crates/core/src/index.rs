@@ -95,10 +95,7 @@ impl PartialIndex {
         if self.entries.len() >= self.capacity {
             // Evict the entry closest to expiry (ties: smallest key, for
             // determinism).
-            if let Some((&victim, _)) = self
-                .entries
-                .iter()
-                .min_by_key(|(k, e)| (e.expires_at, k.0))
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(k, e)| (e.expires_at, k.0))
             {
                 self.entries.remove(&victim);
                 evicted = Some(victim);

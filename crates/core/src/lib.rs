@@ -8,10 +8,14 @@
 //! * [`ttl`] — keyTtl policies: the model-derived `1/fMin` estimate, fixed
 //!   values for sensitivity scans, and an adaptive controller (the paper's
 //!   stated future work),
-//! * [`PdhtNetwork`] — the full-network simulation harness combining the
-//!   trie DHT, the unstructured overlay, replica gossip, churn and the
-//!   Zipf workload; this is the apparatus behind the simulation
-//!   experiments (S2/S3 in DESIGN.md).
+//! * [`network`] — the full-network simulation engine: an event-driven
+//!   round orchestrator ([`network::engine`]) over per-peer index state
+//!   ([`network::peer`]), query execution ([`network::routing`]) and
+//!   background maintenance ([`network::maintenance`]), combining a
+//!   configurable structured overlay (trie or Chord, chosen via
+//!   [`PdhtConfig::overlay`]), the unstructured overlay, replica gossip,
+//!   churn and the Zipf workload; this is the apparatus behind the
+//!   simulation experiments (S2/S3 in the repository's `DESIGN.md`).
 //!
 //! # Quickstart
 //!
@@ -35,7 +39,7 @@ pub mod network;
 pub mod ttl;
 
 pub use admission::{AdmissionFilter, AdmissionPolicy};
-pub use config::{PdhtConfig, Strategy, DEFAULT_SEED};
+pub use config::{OverlayKind, PdhtConfig, Strategy, DEFAULT_SEED};
 pub use index::{IndexEntry, InsertResult, PartialIndex};
-pub use network::{PdhtNetwork, SimReport};
+pub use network::{PdhtNetwork, RoundPhase, SimReport};
 pub use ttl::{model_key_ttl, AdaptiveTtl, TtlPolicy};

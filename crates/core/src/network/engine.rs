@@ -1,0 +1,634 @@
+//! Round orchestration.
+//!
+//! [`PdhtNetwork::step_round`] does not run phases inline: it schedules one
+//! [`RoundPhase`] event per phase on a [`pdht_sim::EventQueue`] at staggered
+//! sub-round instants, then drains the queue in virtual-time order and
+//! dispatches each event to its handler in [`super::maintenance`] /
+//! [`super::routing`]. The queue's total pop order (ties break by insertion)
+//! keeps runs bit-for-bit reproducible, and gives future work (per-peer
+//! events, async/sharded execution, latency modelling) a seam to hook into
+//! without touching the phase handlers.
+
+use crate::admission::AdmissionFilter;
+use crate::config::{OverlayKind, PdhtConfig, Strategy};
+use crate::network::peer::PeerStores;
+use crate::ttl::{model_key_ttl, AdaptiveTtl, TtlPolicy};
+use pdht_gossip::{ReplicaGroup, VersionedValue};
+use pdht_model::{CostModel, SelectionModel};
+use pdht_overlay::{ChordOverlay, ChurnModel, Overlay, TrieOverlay};
+use pdht_sim::{EventQueue, Metrics, RoundDriver};
+use pdht_types::{Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
+use pdht_unstructured::{Replication, Topology};
+use pdht_workload::{QueryWorkload, UpdateProcess};
+use rand::rngs::SmallRng;
+
+/// TTL used for entries that must never expire (IndexAll stores).
+pub(crate) const NEVER: u64 = u64::MAX / 4;
+
+/// One phase of a simulated round, scheduled on the engine's event queue.
+///
+/// Phases fire in this order within every round (each at its own sub-round
+/// instant, so the queue's time ordering — not code layout — sequences
+/// them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Peer session transitions; rejoining IndexAll peers pull missed
+    /// updates.
+    Churn,
+    /// Routing-table probe maintenance at the calibrated rate.
+    OverlayMaintenance,
+    /// Staggered TTL eviction sweep (Partial only).
+    PurgeExpired,
+    /// Content replacement plus (IndexAll) update propagation.
+    ContentUpdates,
+    /// The round's query workload through the full pipeline.
+    Queries,
+    /// Adaptive-TTL adjustment, gauges, and the metrics round mark.
+    Bookkeeping,
+}
+
+/// Every phase in firing order.
+const PHASES: [RoundPhase; 6] = [
+    RoundPhase::Churn,
+    RoundPhase::OverlayMaintenance,
+    RoundPhase::PurgeExpired,
+    RoundPhase::ContentUpdates,
+    RoundPhase::Queries,
+    RoundPhase::Bookkeeping,
+];
+
+/// The assembled network.
+pub struct PdhtNetwork {
+    pub(crate) cfg: PdhtConfig,
+    /// Dense key index → routed key.
+    pub(crate) keys: Vec<Key>,
+    /// Dense key index → owning article.
+    pub(crate) article_of: Vec<u32>,
+    /// Article → its key indices.
+    pub(crate) keys_by_article: Vec<Vec<u32>>,
+    pub(crate) churn: ChurnModel,
+    /// The structured overlay over the first `nap` peers, chosen from
+    /// [`PdhtConfig::overlay`] (`None` when no index is maintained).
+    pub(crate) overlay: Option<Box<dyn Overlay>>,
+    pub(crate) nap: usize,
+    /// One replica group per overlay partition group.
+    pub(crate) groups: Vec<ReplicaGroup>,
+    /// Per-active-peer TTL stores plus distinct-key accounting.
+    pub(crate) peers: PeerStores,
+    /// The unstructured overlay over all peers.
+    pub(crate) topo: Topology,
+    /// Content placement per article.
+    pub(crate) content: Replication,
+    pub(crate) updates: UpdateProcess,
+    pub(crate) workload: QueryWorkload,
+    pub(crate) adaptive: Option<AdaptiveTtl>,
+    pub(crate) admission: AdmissionFilter,
+    /// Current keyTtl in rounds (fixed policies keep it constant).
+    pub(crate) ttl_rounds: u64,
+    /// Per-entry probe rate calibrated to `env·log2(nap)` per peer.
+    pub(crate) probe_rate: f64,
+    pub(crate) metrics: Metrics,
+    pub(crate) driver: RoundDriver,
+    /// Virtual-time queue sequencing each round's phases.
+    pub(crate) events: EventQueue<RoundPhase>,
+    // Component RNG streams.
+    pub(crate) rng_churn: SmallRng,
+    pub(crate) rng_workload: SmallRng,
+    pub(crate) rng_overlay: SmallRng,
+    pub(crate) rng_search: SmallRng,
+    pub(crate) rng_updates: SmallRng,
+    // Cumulative outcome counters.
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+    pub(crate) stale_hits: u64,
+    pub(crate) lookup_failures: u64,
+    pub(crate) search_failures: u64,
+    pub(crate) skipped_offline: u64,
+}
+
+/// Aggregated results over a round window.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The window `[from, to]` in rounds.
+    pub rounds: (u64, u64),
+    /// Mean total messages per round.
+    pub msgs_per_round: f64,
+    /// Mean messages per round by kind.
+    pub by_kind: Vec<(MessageKind, f64)>,
+    /// Measured fraction of queries answered from the index.
+    pub p_indexed: f64,
+    /// Mean distinct keys resident in the index.
+    pub indexed_keys: f64,
+    /// Mean availability over the window.
+    pub availability: f64,
+    /// Queries whose broadcast search failed, within the window.
+    pub search_failures: u64,
+    /// Queries whose index routing failed, within the window.
+    pub lookup_failures: u64,
+    /// Hits that returned a stale version, within the window.
+    pub stale_hits: u64,
+    /// Queries skipped because their origin was offline, within the
+    /// window.
+    pub skipped_offline: u64,
+}
+
+impl SimReport {
+    /// Mean messages per round excluding the entry messages the analytical
+    /// model does not price.
+    pub fn msgs_per_round_model_view(&self) -> f64 {
+        let entry: f64 = self
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::QueryEntry)
+            .map(|&(_, v)| v)
+            .sum();
+        self.msgs_per_round - entry
+    }
+}
+
+impl PdhtNetwork {
+    /// Builds the network.
+    ///
+    /// # Errors
+    /// Propagates configuration/model/substrate construction failures.
+    pub fn new(cfg: PdhtConfig) -> Result<PdhtNetwork> {
+        cfg.validate()?;
+        let streams = RngStreams::new(cfg.seed);
+        let mut rng_build = streams.stream("build");
+        let s = &cfg.scenario;
+        let num_peers = s.num_peers as usize;
+        let num_keys = s.keys as usize;
+
+        // Synthetic key universe: hashed dense indices.
+        let keys: Vec<Key> =
+            (0..num_keys).map(|i| Key::hash_bytes(&(i as u64).to_le_bytes())).collect();
+        let kpa = cfg.keys_per_article as usize;
+        let num_articles = num_keys.div_ceil(kpa);
+        let article_of: Vec<u32> = (0..num_keys).map(|i| (i / kpa) as u32).collect();
+        let mut keys_by_article: Vec<Vec<u32>> = vec![Vec::with_capacity(kpa); num_articles];
+        for (i, &a) in article_of.iter().enumerate() {
+            keys_by_article[a as usize].push(i as u32);
+        }
+
+        // Active-peer population per strategy.
+        let cost = CostModel::new(s);
+        let nap = match cfg.strategy {
+            Strategy::NoIndex => 0,
+            Strategy::IndexAll => cost.num_active_peers(f64::from(s.keys)) as usize,
+            Strategy::Partial => {
+                let ttl_for_sizing = match cfg.ttl_policy {
+                    TtlPolicy::Fixed(t) => t as f64,
+                    TtlPolicy::FromModel { factor } => model_key_ttl(s, cfg.f_qry)? * factor,
+                    TtlPolicy::Adaptive { .. } => model_key_ttl(s, cfg.f_qry)?,
+                };
+                let sel = SelectionModel::evaluate_with_ttl(s, cfg.f_qry, ttl_for_sizing)?;
+                cost.num_active_peers(sel.index_size) as usize
+            }
+        };
+
+        // Structured side: the substrate is chosen at runtime from the
+        // configuration — everything downstream sees only `dyn Overlay`.
+        let (overlay, groups) = if nap >= 2 {
+            let overlay: Box<dyn Overlay> = match cfg.overlay {
+                OverlayKind::Trie => {
+                    Box::new(TrieOverlay::build(nap, s.repl as usize, &mut rng_build)?)
+                }
+                OverlayKind::Chord => {
+                    Box::new(ChordOverlay::build(nap, s.repl as usize, &mut rng_build)?)
+                }
+            };
+            let mut groups = Vec::with_capacity(overlay.group_count());
+            for g in 0..overlay.group_count() {
+                groups.push(ReplicaGroup::new(overlay.group_members(g).to_vec(), &mut rng_build)?);
+            }
+            (Some(overlay), groups)
+        } else {
+            (None, Vec::new())
+        };
+
+        // Store capacity: `stor`, raised if the overlay's group rounding
+        // (or hash skew) makes a group's key load exceed it under IndexAll
+        // (see module docs). Uses the *actual* per-group loads, not the
+        // average — hashed keys spread with Poisson fluctuation.
+        let store_capacity = match (&overlay, cfg.strategy) {
+            (Some(o), Strategy::IndexAll) => {
+                let mut loads = vec![0usize; o.group_count()];
+                for &key in &keys {
+                    loads[o.group_of_key(key)] += 1;
+                }
+                let max_group_load = loads.into_iter().max().unwrap_or(0);
+                (s.stor as usize).max(max_group_load + 8)
+            }
+            _ => s.stor as usize,
+        };
+        let mut peers = PeerStores::new(nap, store_capacity, num_keys);
+
+        // Unstructured side.
+        let topo = Topology::random(num_peers, cfg.mean_degree, &mut rng_build)?;
+        let content = Replication::place(num_articles, s.repl as usize, num_peers, &mut rng_build)?;
+
+        // Processes.
+        let churn = ChurnModel::new(num_peers, cfg.churn, &mut streams.stream("churn"));
+        let updates = UpdateProcess::new(num_articles, 1.0 / s.f_upd.max(1e-12))?;
+        let workload =
+            QueryWorkload::new(num_keys, s.alpha, s.num_peers, cfg.f_qry, cfg.shift.clone())?;
+
+        // TTL policy.
+        let model_ttl = model_key_ttl(s, cfg.f_qry)?;
+        let (ttl_rounds, adaptive) = match cfg.ttl_policy {
+            TtlPolicy::Fixed(t) => (t.max(1), None),
+            TtlPolicy::FromModel { factor } => (((model_ttl * factor).round() as u64).max(1), None),
+            TtlPolicy::Adaptive { target_hit_rate } => {
+                let ctl = AdaptiveTtl::new(model_ttl, target_hit_rate, cfg.adaptive_window);
+                (ctl.ttl_rounds(), Some(ctl))
+            }
+        };
+
+        // Probe-rate calibration (see module docs): per-peer maintenance
+        // must cost env·log2(nap) messages per second.
+        let probe_rate = match &overlay {
+            Some(o) if nap > 1 => {
+                let total_entries: usize =
+                    (0..nap).map(|p| o.routing_entries(PeerId::from_idx(p))).sum();
+                let avg = total_entries as f64 / nap as f64;
+                if avg > 0.0 {
+                    (s.env * (nap as f64).log2() / avg).min(1.0)
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        };
+
+        // IndexAll: preload every key at its whole replica group.
+        if cfg.strategy == Strategy::IndexAll {
+            if let Some(o) = &overlay {
+                for (i, &key) in keys.iter().enumerate() {
+                    let value = VersionedValue { version: 1, data: i as u64 };
+                    let group = o.group_of_key(key);
+                    for &member in o.group_members(group) {
+                        let res = peers.insert(member, key, value, 0, NEVER);
+                        debug_assert!(res.evicted.is_none(), "preload must fit");
+                    }
+                }
+            }
+        }
+
+        let cfg_admission = cfg.admission;
+        Ok(PdhtNetwork {
+            rng_churn: streams.stream("churn-run"),
+            rng_workload: streams.stream("workload"),
+            rng_overlay: streams.stream("overlay"),
+            rng_search: streams.stream("search"),
+            rng_updates: streams.stream("updates"),
+            cfg,
+            keys,
+            article_of,
+            keys_by_article,
+            churn,
+            overlay,
+            nap,
+            groups,
+            peers,
+            topo,
+            content,
+            updates,
+            workload,
+            adaptive,
+            admission: AdmissionFilter::new(cfg_admission),
+            ttl_rounds,
+            probe_rate,
+            metrics: Metrics::new(),
+            driver: RoundDriver::new(),
+            events: EventQueue::new(),
+            hits: 0,
+            misses: 0,
+            stale_hits: 0,
+            lookup_failures: 0,
+            search_failures: 0,
+            skipped_offline: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PdhtConfig {
+        &self.cfg
+    }
+
+    /// Peers participating in the structured overlay.
+    pub fn num_active_peers(&self) -> usize {
+        self.nap
+    }
+
+    /// Current keyTtl in rounds.
+    pub fn ttl_rounds(&self) -> u64 {
+        self.ttl_rounds
+    }
+
+    /// Distinct keys currently resident in the index.
+    pub fn indexed_keys(&self) -> usize {
+        self.peers.distinct_keys()
+    }
+
+    /// Direct access to the metrics (read-only).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Next round to execute.
+    pub fn next_round(&self) -> u64 {
+        self.driver.next_round().0
+    }
+
+    /// Failure injection: knocks a uniform `fraction` of all peers offline
+    /// at once; they rejoin through the configured churn process.
+    pub fn force_blackout(&mut self, fraction: f64) {
+        self.churn.force_blackout(fraction, &mut self.rng_churn);
+    }
+
+    /// Runs `n` rounds.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_round();
+        }
+    }
+
+    /// Executes one round by scheduling its phases on the event queue and
+    /// draining it in virtual-time order.
+    pub fn step_round(&mut self) {
+        let round = self.driver.next_round();
+        // Each phase gets its own instant inside the round; the queue's
+        // (time, insertion) order fixes the sequence deterministically.
+        for (i, phase) in PHASES.into_iter().enumerate() {
+            self.events.schedule_at(round.start() + SimTime::from_micros(i as u64), phase);
+        }
+        // Drain strictly *within* the round: `pop_until` is inclusive and
+        // `round.end()` is the next round's start, so the deadline is one
+        // tick earlier — an event parked exactly on the boundary belongs to
+        // the next round and must not fire here with this round's number.
+        let in_round = round.end() - SimTime::from_micros(1);
+        while let Some(scheduled) = self.events.pop_until(in_round) {
+            self.dispatch(scheduled.event, round.0);
+        }
+        // Park the clock at the round boundary so external schedulers can
+        // target the next round directly.
+        self.events.advance_to(round.end());
+        self.driver.advance();
+    }
+
+    /// Routes one phase event to its handler.
+    fn dispatch(&mut self, phase: RoundPhase, round: u64) {
+        match phase {
+            RoundPhase::Churn => self.phase_churn(round),
+            RoundPhase::OverlayMaintenance => self.phase_overlay_maintenance(),
+            RoundPhase::PurgeExpired => self.phase_purge_expired(round),
+            RoundPhase::ContentUpdates => self.phase_content_updates(round),
+            RoundPhase::Queries => self.phase_queries(round),
+            RoundPhase::Bookkeeping => self.phase_bookkeeping(round),
+        }
+    }
+
+    /// Adaptive-TTL adjustment, gauges, and the round's metrics mark.
+    fn phase_bookkeeping(&mut self, round: u64) {
+        if let Some(ctl) = &mut self.adaptive {
+            if ctl.end_round() {
+                self.ttl_rounds = ctl.ttl_rounds();
+            }
+        }
+        self.metrics.gauge("indexed_keys", Round(round), self.peers.distinct_keys() as f64);
+        self.metrics.gauge("availability", Round(round), self.churn.liveness().availability());
+        self.metrics.gauge("hits", Round(round), self.hits as f64);
+        self.metrics.gauge("misses", Round(round), self.misses as f64);
+        self.metrics.gauge("search_failures", Round(round), self.search_failures as f64);
+        self.metrics.gauge("lookup_failures", Round(round), self.lookup_failures as f64);
+        self.metrics.gauge("stale_hits", Round(round), self.stale_hits as f64);
+        self.metrics.gauge("skipped_offline", Round(round), self.skipped_offline as f64);
+        self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
+        self.metrics.mark_round(Round(round));
+    }
+
+    /// Aggregates a report over rounds `[from, to]` (inclusive; rounds must
+    /// already have run).
+    ///
+    /// # Panics
+    /// Panics if the window was not simulated.
+    pub fn report(&self, from: u64, to: u64) -> SimReport {
+        let counts = self
+            .metrics
+            .counts_between(Round(from), Round(to))
+            .expect("window must have been simulated");
+        let span = (to - from + 1) as f64;
+        let by_kind: Vec<(MessageKind, f64)> =
+            counts.iter().map(|(k, v)| (k, v as f64 / span)).collect();
+        let hits = Self::gauge_window_delta(&self.metrics, "hits", from, to);
+        let misses = Self::gauge_window_delta(&self.metrics, "misses", from, to);
+        let answered = hits + misses;
+        SimReport {
+            rounds: (from, to),
+            msgs_per_round: counts.total() as f64 / span,
+            by_kind,
+            p_indexed: if answered > 0.0 { hits / answered } else { 0.0 },
+            indexed_keys: self
+                .metrics
+                .gauge_mean("indexed_keys", Round(from), Round(to))
+                .unwrap_or(0.0),
+            availability: self
+                .metrics
+                .gauge_mean("availability", Round(from), Round(to))
+                .unwrap_or(1.0),
+            search_failures: Self::gauge_window_delta(&self.metrics, "search_failures", from, to)
+                as u64,
+            lookup_failures: Self::gauge_window_delta(&self.metrics, "lookup_failures", from, to)
+                as u64,
+            stale_hits: Self::gauge_window_delta(&self.metrics, "stale_hits", from, to) as u64,
+            skipped_offline: Self::gauge_window_delta(&self.metrics, "skipped_offline", from, to)
+                as u64,
+        }
+    }
+
+    /// Difference of a cumulative gauge across the window (gauges store
+    /// cumulative counters sampled per round).
+    fn gauge_window_delta(metrics: &Metrics, name: &str, from: u64, to: u64) -> f64 {
+        let series = metrics.gauge_series(name);
+        let at = |round: u64| -> f64 {
+            match series.binary_search_by_key(&Round(round), |&(r, _)| r) {
+                Ok(i) => series[i].1,
+                Err(0) => 0.0,
+                Err(i) => series[i - 1].1,
+            }
+        };
+        let start = if from == 0 { 0.0 } else { at(from - 1) };
+        at(to) - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdht_model::Scenario;
+
+    fn cfg(strategy: Strategy, f_qry: f64) -> PdhtConfig {
+        // 1 000 peers, 2 000 keys — fast enough for unit tests.
+        PdhtConfig::new(Scenario::table1_scaled(20), f_qry, strategy)
+    }
+
+    #[test]
+    fn builds_for_all_strategies() {
+        for strategy in [Strategy::Partial, Strategy::IndexAll, Strategy::NoIndex] {
+            let net = PdhtNetwork::new(cfg(strategy, 1.0 / 60.0)).expect("buildable");
+            match strategy {
+                Strategy::NoIndex => assert_eq!(net.num_active_peers(), 0),
+                _ => assert!(net.num_active_peers() >= 2),
+            }
+        }
+    }
+
+    #[test]
+    fn builds_on_both_overlays() {
+        for kind in [OverlayKind::Trie, OverlayKind::Chord] {
+            let mut c = cfg(Strategy::Partial, 1.0 / 60.0);
+            c.overlay = kind;
+            let mut net = PdhtNetwork::new(c).expect("buildable");
+            net.run(10);
+            assert!(net.report(0, 9).msgs_per_round > 0.0);
+        }
+    }
+
+    #[test]
+    fn index_all_preloads_every_key() {
+        let net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        assert_eq!(net.indexed_keys(), 2_000);
+    }
+
+    #[test]
+    fn index_all_preloads_every_key_on_chord() {
+        let mut c = cfg(Strategy::IndexAll, 1.0 / 60.0);
+        c.overlay = OverlayKind::Chord;
+        let net = PdhtNetwork::new(c).unwrap();
+        assert_eq!(net.indexed_keys(), 2_000);
+    }
+
+    #[test]
+    fn partial_starts_empty_and_fills_with_queries() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 30.0)).unwrap();
+        assert_eq!(net.indexed_keys(), 0);
+        net.run(30);
+        assert!(net.indexed_keys() > 0, "queries must populate the index");
+        let report = net.report(0, 29);
+        assert!(report.p_indexed > 0.0, "repeat queries should start hitting");
+        assert!(report.msgs_per_round > 0.0);
+    }
+
+    #[test]
+    fn no_index_never_indexes_and_always_broadcasts() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::NoIndex, 1.0 / 30.0)).unwrap();
+        net.run(20);
+        assert_eq!(net.indexed_keys(), 0);
+        let report = net.report(0, 19);
+        assert_eq!(report.p_indexed, 0.0);
+        let walk: f64 = report
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == MessageKind::WalkStep)
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(walk > 0.0, "NoIndex must pay broadcast search");
+        let probes: f64 =
+            report.by_kind.iter().filter(|(k, _)| *k == MessageKind::Probe).map(|&(_, v)| v).sum();
+        assert_eq!(probes, 0.0, "NoIndex maintains no routing tables");
+    }
+
+    #[test]
+    fn index_all_hits_after_preload() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 30.0)).unwrap();
+        net.run(20);
+        let report = net.report(5, 19);
+        assert!(
+            report.p_indexed > 0.95,
+            "preloaded index should answer nearly everything, got {}",
+            report.p_indexed
+        );
+        assert_eq!(report.search_failures, 0);
+    }
+
+    #[test]
+    fn maintenance_cost_matches_env_calibration() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 120.0)).unwrap();
+        let nap = net.num_active_peers() as f64;
+        net.run(30);
+        let report = net.report(5, 29);
+        let probes: f64 =
+            report.by_kind.iter().filter(|(k, _)| *k == MessageKind::Probe).map(|&(_, v)| v).sum();
+        let expected = net.config().scenario.env * nap.log2() * nap;
+        assert!(
+            (probes - expected).abs() / expected < 0.1,
+            "probe rate {probes}/round should be ≈ env·log2(nap)·nap = {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut c = cfg(Strategy::Partial, 1.0 / 60.0);
+            c.seed = seed;
+            let mut net = PdhtNetwork::new(c).unwrap();
+            net.run(15);
+            let r = net.report(0, 14);
+            (r.msgs_per_round, r.p_indexed, net.indexed_keys())
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn ttl_eviction_shrinks_index_after_popularity_dies() {
+        // Run with a tiny fixed TTL and a burst of load, then stop querying:
+        // the index must drain.
+        let mut c = cfg(Strategy::Partial, 1.0 / 30.0);
+        c.ttl_policy = TtlPolicy::Fixed(5);
+        c.purge_stride = 1;
+        let mut net = PdhtNetwork::new(c).unwrap();
+        net.run(20);
+        let filled = net.indexed_keys();
+        assert!(filled > 0);
+        // Cut the load to zero by swapping in a zero-rate workload.
+        net.workload = QueryWorkload::new(2_000, 1.2, 1_000, 0.0, None).unwrap();
+        net.run(10);
+        assert!(
+            net.indexed_keys() < filled / 4,
+            "index should drain after queries stop: {} -> {}",
+            filled,
+            net.indexed_keys()
+        );
+    }
+
+    #[test]
+    fn report_excludes_entry_messages_in_model_view() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        net.run(10);
+        let r = net.report(0, 9);
+        assert!(r.msgs_per_round_model_view() <= r.msgs_per_round);
+    }
+
+    #[test]
+    fn boundary_events_belong_to_the_next_round() {
+        // An event parked exactly on the round boundary (the seam external
+        // schedulers are promised) must not fire during the earlier round.
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        net.events.schedule_at(Round(1).start(), RoundPhase::Churn);
+        net.step_round();
+        assert_eq!(net.events.len(), 1, "boundary event must survive round 0");
+        net.step_round();
+        assert!(net.events.is_empty(), "boundary event must fire in round 1");
+    }
+
+    #[test]
+    fn phases_drain_within_their_round() {
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        assert!(net.events.is_empty());
+        net.step_round();
+        assert!(net.events.is_empty(), "all phase events must fire in-round");
+        assert_eq!(net.events.now(), Round(0).end());
+        assert_eq!(net.next_round(), 1);
+    }
+}

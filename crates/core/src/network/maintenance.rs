@@ -1,0 +1,122 @@
+//! Background phases: churn, routing-table maintenance, TTL eviction, and
+//! update propagation.
+//!
+//! Each handler corresponds to one [`super::RoundPhase`] scheduled by the
+//! engine; none of them is called from anywhere else.
+
+use super::engine::{PdhtNetwork, NEVER};
+use crate::config::Strategy;
+use pdht_gossip::VersionedValue;
+use pdht_sim::Metrics;
+use pdht_types::{MessageKind, PeerId};
+
+impl PdhtNetwork {
+    /// Churn phase: session transitions; rejoining active peers pull missed
+    /// updates (IndexAll — the proactive-consistency strategy; the
+    /// selection algorithm relies on replica flooding instead,
+    /// Section 5.1).
+    pub(crate) fn phase_churn(&mut self, round: u64) {
+        let transitions = self.churn.step_second(&mut self.rng_churn);
+        if self.cfg.strategy == Strategy::IndexAll {
+            for (peer, now_online) in &transitions {
+                if *now_online && peer.idx() < self.nap {
+                    self.pull_on_rejoin(*peer, round);
+                }
+            }
+        }
+    }
+
+    /// Maintenance phase: probe routing tables at the calibrated rate.
+    pub(crate) fn phase_overlay_maintenance(&mut self) {
+        if let Some(o) = &mut self.overlay {
+            o.maintenance_round(
+                self.probe_rate,
+                self.churn.liveness(),
+                &mut self.rng_overlay,
+                &mut self.metrics,
+            );
+        }
+    }
+
+    /// Purge phase: staggered eviction of expired entries (Partial only —
+    /// IndexAll entries never expire).
+    pub(crate) fn phase_purge_expired(&mut self, round: u64) {
+        if self.cfg.strategy != Strategy::Partial {
+            return;
+        }
+        let stride = self.cfg.purge_stride;
+        let phase = round % stride;
+        for p in 0..self.nap {
+            if p as u64 % stride == phase {
+                self.peers.purge_expired(PeerId::from_idx(p), round);
+            }
+        }
+    }
+
+    /// Update phase: content replacement, plus (IndexAll) proactive
+    /// propagation of the new versions into the index.
+    pub(crate) fn phase_content_updates(&mut self, round: u64) {
+        let replacements = self.updates.round_updates(&mut self.rng_updates);
+        for rep in &replacements {
+            self.content.replace_item(rep.article as usize, &mut self.rng_updates);
+        }
+        if self.cfg.strategy == Strategy::IndexAll {
+            for rep in replacements {
+                self.propagate_update(rep.article, rep.new_version, round);
+            }
+        }
+    }
+
+    /// IndexAll rejoin path: pull the donor's store (2 messages).
+    fn pull_on_rejoin(&mut self, peer: PeerId, round: u64) {
+        let Some(o) = &self.overlay else { return };
+        let group = o.group_of_peer(peer);
+        let live = self.churn.liveness();
+        let donor =
+            o.group_members(group).iter().copied().find(|&m| m != peer && live.is_online(m));
+        let Some(donor) = donor else { return };
+        self.metrics.record_n(MessageKind::GossipPull, 2);
+        for (key, value) in self.peers.snapshot(donor) {
+            self.peers.insert(peer, key, value, round, NEVER);
+        }
+    }
+
+    /// IndexAll update path (Eq. 9): route to a responsible peer, then
+    /// gossip the new version through the replica group.
+    fn propagate_update(&mut self, article: u32, new_version: u64, round: u64) {
+        let Some(o) = &self.overlay else { return };
+        let live = self.churn.liveness();
+        let Some(entry) = o.entry_peer(live, &mut self.rng_overlay) else { return };
+        let key_indices = self.keys_by_article[article as usize].clone();
+        for ki in key_indices {
+            let key = self.keys[ki as usize];
+            let value = VersionedValue { version: new_version, data: u64::from(ki) };
+            // Route (cSIndx part of cUpd) — hops are update traffic.
+            let mut scratch = Metrics::new();
+            let arrival =
+                o.lookup(entry, key, self.churn.liveness(), &mut self.rng_overlay, &mut scratch);
+            let hops = scratch.totals()[MessageKind::RouteHop];
+            self.metrics.record_n(MessageKind::GossipPush, hops);
+            let Ok(outcome) = arrival else { continue };
+            // Gossip within the replica group (repl·dup2 part).
+            let group = &self.groups[o.group_of_key(key)];
+            let peers = &mut self.peers;
+            group.push_rumor(
+                outcome.peer,
+                |member_local| {
+                    let member = group.members()[member_local];
+                    // "Fresh" means this delivery changed the member's
+                    // state — the rumor-death condition. (Reporting "member
+                    // is current" instead would keep spreaders alive
+                    // forever once everyone converged.)
+                    let prior = peers.peek(member, key, round).map(|v| v.version);
+                    peers.insert(member, key, value, round, NEVER);
+                    prior.is_none_or(|pv| pv < new_version)
+                },
+                self.churn.liveness(),
+                &mut self.rng_overlay,
+                &mut self.metrics,
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-peer index state.
+//!
+//! Every active peer owns a [`PartialIndex`] (its slice of the distributed
+//! index); the engine additionally needs the *global* count of distinct
+//! indexed keys — the paper's `indexSize` metric (Fig. 3). Keeping the
+//! replica-copy reference counts next to the stores, behind one facade,
+//! means no call site can update a store and forget the accounting (the
+//! monolithic engine threaded two `&mut` maps through every closure to
+//! achieve the same).
+
+use crate::index::{InsertResult, PartialIndex};
+use pdht_gossip::VersionedValue;
+use pdht_types::{fasthash, FastHashMap, Key, PeerId};
+
+/// The per-peer TTL stores of all active peers, plus distinct-key
+/// accounting across them.
+pub(crate) struct PeerStores {
+    /// One [`PartialIndex`] per active peer, indexed by `PeerId`.
+    stores: Vec<PartialIndex>,
+    /// Replica copies per key currently resident in any store.
+    indexed_copies: FastHashMap<Key, u32>,
+}
+
+impl PeerStores {
+    /// `nap` empty stores of `capacity` entries each.
+    pub(crate) fn new(nap: usize, capacity: usize, expected_keys: usize) -> PeerStores {
+        PeerStores {
+            stores: (0..nap).map(|_| PartialIndex::new(capacity)).collect(),
+            indexed_copies: fasthash::map_with_capacity(expected_keys.min(65_536)),
+        }
+    }
+
+    /// Distinct keys resident in at least one store.
+    pub(crate) fn distinct_keys(&self) -> usize {
+        self.indexed_copies.len()
+    }
+
+    /// Inserts at `peer`, maintaining the distinct-key accounting for both
+    /// the insert and any eviction it caused. Returns the raw result for
+    /// callers that assert fit.
+    pub(crate) fn insert(
+        &mut self,
+        peer: PeerId,
+        key: Key,
+        value: VersionedValue,
+        now: u64,
+        ttl: u64,
+    ) -> InsertResult {
+        let res = self.stores[peer.idx()].insert(key, value, now, ttl);
+        if res.was_new {
+            *self.indexed_copies.entry(key).or_insert(0) += 1;
+        }
+        if let Some(victim) = res.evicted {
+            self.drop_copy(victim);
+        }
+        res
+    }
+
+    /// Read-through at `peer`, refreshing the entry's TTL on hit
+    /// (the selection algorithm's refresh-on-query rule).
+    pub(crate) fn get_and_refresh(
+        &mut self,
+        peer: PeerId,
+        key: Key,
+        now: u64,
+        ttl: u64,
+    ) -> Option<VersionedValue> {
+        self.stores[peer.idx()].get_and_refresh(key, now, ttl)
+    }
+
+    /// Non-refreshing visibility check at `peer`.
+    pub(crate) fn peek(&self, peer: PeerId, key: Key, now: u64) -> Option<VersionedValue> {
+        self.stores[peer.idx()].peek(key, now)
+    }
+
+    /// Evicts every expired entry at `peer`, updating the accounting.
+    pub(crate) fn purge_expired(&mut self, peer: PeerId, now: u64) {
+        for key in self.stores[peer.idx()].purge_expired(now) {
+            self.drop_copy(key);
+        }
+    }
+
+    /// Snapshot of `peer`'s live entries (rejoin donors hand this over).
+    pub(crate) fn snapshot(&self, peer: PeerId) -> Vec<(Key, VersionedValue)> {
+        self.stores[peer.idx()].iter().map(|(k, e)| (k, e.value)).collect()
+    }
+
+    fn drop_copy(&mut self, key: Key) {
+        if let Some(c) = self.indexed_copies.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.indexed_copies.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: VersionedValue = VersionedValue { version: 1, data: 7 };
+
+    #[test]
+    fn distinct_keys_track_copies_not_replicas() {
+        let mut p = PeerStores::new(3, 8, 16);
+        let k = Key(42);
+        p.insert(PeerId(0), k, V, 0, 10);
+        p.insert(PeerId(1), k, V, 0, 10);
+        assert_eq!(p.distinct_keys(), 1, "two replicas, one key");
+        p.insert(PeerId(2), Key(43), V, 0, 10);
+        assert_eq!(p.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn purge_releases_accounting() {
+        let mut p = PeerStores::new(2, 8, 16);
+        p.insert(PeerId(0), Key(1), V, 0, 5);
+        p.insert(PeerId(1), Key(1), V, 0, 5);
+        p.purge_expired(PeerId(0), 100);
+        assert_eq!(p.distinct_keys(), 1, "one replica still holds the key");
+        p.purge_expired(PeerId(1), 100);
+        assert_eq!(p.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn eviction_by_capacity_is_accounted() {
+        let mut p = PeerStores::new(1, 1, 4);
+        p.insert(PeerId(0), Key(1), V, 0, 10);
+        let res = p.insert(PeerId(0), Key(2), V, 0, 10);
+        assert!(res.evicted.is_some(), "capacity 1 must evict");
+        assert_eq!(p.distinct_keys(), 1);
+        assert!(p.peek(PeerId(0), Key(2), 0).is_some());
+        assert!(p.peek(PeerId(0), Key(1), 0).is_none());
+    }
+
+    #[test]
+    fn snapshot_returns_live_entries() {
+        let mut p = PeerStores::new(1, 8, 4);
+        p.insert(PeerId(0), Key(1), V, 0, 10);
+        p.insert(PeerId(0), Key(2), V, 0, 10);
+        let mut snap = p.snapshot(PeerId(0));
+        snap.sort_by_key(|&(k, _)| k.0);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, Key(1));
+    }
+}

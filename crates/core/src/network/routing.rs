@@ -1,0 +1,197 @@
+//! Query execution: the selection algorithm's full pipeline over the
+//! structured and unstructured substrates (Section 5.1).
+
+use super::engine::{PdhtNetwork, NEVER};
+use crate::config::Strategy;
+use pdht_gossip::VersionedValue;
+use pdht_sim::Metrics;
+use pdht_types::{MessageKind, PeerId};
+use pdht_unstructured::random_walks;
+use pdht_workload::Query;
+
+impl PdhtNetwork {
+    /// Query phase: drives the round's workload through the pipeline.
+    pub(crate) fn phase_queries(&mut self, round: u64) {
+        let queries = self.workload.round_queries(round, &mut self.rng_workload);
+        for q in queries {
+            self.process_query(q, round);
+        }
+    }
+
+    /// The full query pipeline.
+    fn process_query(&mut self, q: Query, round: u64) {
+        if !self.churn.liveness().is_online(q.origin) {
+            self.skipped_offline += 1;
+            return;
+        }
+        let key = self.keys[q.key_index];
+        let article = self.article_of[q.key_index];
+
+        match self.cfg.strategy {
+            Strategy::NoIndex => {
+                let found = self.broadcast_search(q.origin, article);
+                if found.is_none() {
+                    self.search_failures += 1;
+                } else {
+                    self.misses += 1; // every query is a "miss" in index terms
+                }
+            }
+            Strategy::IndexAll | Strategy::Partial => {
+                let is_partial = self.cfg.strategy == Strategy::Partial;
+                let ttl = if is_partial { self.ttl_rounds } else { NEVER };
+
+                // Entry into the DHT.
+                let entry = self.dht_entry(q.origin);
+                let Some(entry) = entry else {
+                    // Index unreachable: fall back to pure broadcast.
+                    if self.broadcast_search(q.origin, article).is_none() {
+                        self.search_failures += 1;
+                    }
+                    self.record_outcome(false, article, None);
+                    return;
+                };
+
+                // Route to a responsible peer.
+                let arrival = {
+                    let o = self.overlay.as_deref().expect("entry implies overlay");
+                    let live = self.churn.liveness();
+                    o.lookup(entry, key, live, &mut self.rng_overlay, &mut self.metrics)
+                };
+                let responsible = match arrival {
+                    Ok(out) => out.peer,
+                    Err(_) => {
+                        self.lookup_failures += 1;
+                        if self.broadcast_search(q.origin, article).is_none() {
+                            self.search_failures += 1;
+                        }
+                        self.record_outcome(false, article, None);
+                        return;
+                    }
+                };
+
+                // Local index check (refreshes TTL on hit).
+                if let Some(v) = self.peers.get_and_refresh(responsible, key, round, ttl) {
+                    self.record_outcome(true, article, Some(v));
+                    return;
+                }
+
+                // Replica-subnetwork flood (Eq. 16) — the selection
+                // algorithm's consistency net. IndexAll uses it too (its
+                // replicas can drift during churn).
+                let group_idx = self.overlay.as_deref().expect("overlay present").group_of_key(key);
+                let flood_hit = {
+                    let group = &self.groups[group_idx];
+                    let peers = &self.peers;
+                    let (found, _msgs) = group.flood_query(
+                        responsible,
+                        |member_local| {
+                            peers.peek(group.members()[member_local], key, round).is_some()
+                        },
+                        self.churn.liveness(),
+                        &mut self.metrics,
+                    );
+                    found
+                };
+                if let Some(answering) = flood_hit {
+                    let v = self
+                        .peers
+                        .get_and_refresh(answering, key, round, ttl)
+                        .expect("peeked entry must be readable");
+                    self.record_outcome(true, article, Some(v));
+                    return;
+                }
+
+                // Index miss: broadcast search the unstructured overlay.
+                let found = self.broadcast_search(q.origin, article);
+                let Some(_holder) = found else {
+                    self.search_failures += 1;
+                    self.record_outcome(false, article, None);
+                    return;
+                };
+                let value = VersionedValue {
+                    version: self.updates.version(article),
+                    data: q.key_index as u64,
+                };
+
+                // Admission check: the paper admits every miss; the
+                // frequency-aware extension requires a repeat miss first.
+                if is_partial && !self.admission.on_miss(key, round) {
+                    self.record_outcome(false, article, None);
+                    return;
+                }
+
+                // Insert the result at the responsible replicas
+                // (route, counted as IndexInsert, then replica flood).
+                let mut scratch = Metrics::new();
+                let insert_arrival = {
+                    let o = self.overlay.as_deref().expect("overlay present");
+                    let live = self.churn.liveness();
+                    o.lookup(entry, key, live, &mut self.rng_search, &mut scratch)
+                };
+                self.metrics
+                    .record_n(MessageKind::IndexInsert, scratch.totals()[MessageKind::RouteHop]);
+                if let Ok(out) = insert_arrival {
+                    let group = &self.groups[group_idx];
+                    let peers = &mut self.peers;
+                    group.flood_all(
+                        out.peer,
+                        |member_local| {
+                            peers.insert(group.members()[member_local], key, value, round, ttl);
+                        },
+                        self.churn.liveness(),
+                        &mut self.metrics,
+                    );
+                }
+                self.record_outcome(false, article, None);
+            }
+        }
+    }
+
+    /// Finds an online DHT peer to hand the query to; free if the origin
+    /// itself participates, one `QueryEntry` message otherwise.
+    fn dht_entry(&mut self, origin: PeerId) -> Option<PeerId> {
+        let o = self.overlay.as_deref()?;
+        let live = self.churn.liveness();
+        if origin.idx() < self.nap && live.is_online(origin) {
+            return Some(origin);
+        }
+        let entry = o.entry_peer(live, &mut self.rng_overlay)?;
+        self.metrics.record(MessageKind::QueryEntry);
+        Some(entry)
+    }
+
+    /// k-random-walk broadcast search for a holder of `article`.
+    fn broadcast_search(&mut self, origin: PeerId, article: u32) -> Option<PeerId> {
+        let budget =
+            u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
+        let live = self.churn.liveness();
+        let content = &self.content;
+        let out = random_walks(
+            &self.topo,
+            origin,
+            self.cfg.walkers,
+            budget,
+            |p| content.is_holder(article as usize, p),
+            live,
+            &mut self.rng_search,
+            &mut self.metrics,
+        );
+        out.found
+    }
+
+    fn record_outcome(&mut self, hit: bool, article: u32, value: Option<VersionedValue>) {
+        if hit {
+            self.hits += 1;
+            if let Some(v) = value {
+                if v.version < self.updates.version(article) {
+                    self.stale_hits += 1;
+                }
+            }
+        } else {
+            self.misses += 1;
+        }
+        if let Some(ctl) = &mut self.adaptive {
+            ctl.observe(hit);
+        }
+    }
+}

@@ -401,8 +401,24 @@ mod tests {
         let live = all_online(30);
         let mut r = rng();
         let mut m = Metrics::new();
-        g.push_update(PeerId(100), K, VersionedValue { version: 1, data: 1 }, &mut s, &live, &mut r, &mut m);
-        g.push_update(PeerId(115), K, VersionedValue { version: 2, data: 2 }, &mut s, &live, &mut r, &mut m);
+        g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 1, data: 1 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        g.push_update(
+            PeerId(115),
+            K,
+            VersionedValue { version: 2, data: 2 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
         assert_eq!(s.latest_version(K), Some(2));
         // Rumor spreading with coin death may strand a few members on the
         // old version (they catch up via pull — the "hybrid" part of
@@ -425,8 +441,7 @@ mod tests {
         let (g, _s) = group(40);
         let live = all_online(40);
         let mut m = Metrics::new();
-        let (found, msgs) =
-            g.flood_query(PeerId(100), |local| local == 33, &live, &mut m);
+        let (found, msgs) = g.flood_query(PeerId(100), |local| local == 33, &live, &mut m);
         assert_eq!(found, Some(PeerId(133)));
         assert!(msgs > 0);
         assert_eq!(m.totals()[MessageKind::ReplicaFlood], msgs);
@@ -477,7 +492,15 @@ mod tests {
         let mut r = rng();
         let mut m = Metrics::new();
         assert_eq!(
-            g.push_update(PeerId(1), K, VersionedValue { version: 1, data: 0 }, &mut s, &live, &mut r, &mut m),
+            g.push_update(
+                PeerId(1),
+                K,
+                VersionedValue { version: 1, data: 0 },
+                &mut s,
+                &live,
+                &mut r,
+                &mut m
+            ),
             0
         );
         let (found, msgs) = g.flood_query(PeerId(1), |_| true, &live, &mut m);

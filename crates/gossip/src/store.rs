@@ -26,9 +26,7 @@ pub struct VersionedStore {
 impl VersionedStore {
     /// Empty stores for `members` replicas.
     pub fn new(members: usize) -> VersionedStore {
-        VersionedStore {
-            stores: (0..members).map(|_| fasthash::map_with_capacity(16)).collect(),
-        }
+        VersionedStore { stores: (0..members).map(|_| fasthash::map_with_capacity(16)).collect() }
     }
 
     /// Number of members.

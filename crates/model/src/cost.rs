@@ -175,9 +175,7 @@ mod tests {
         let m = CostModel::new(&s);
         let nap = 20_000.0;
         let keys = 40_000.0;
-        assert!(
-            (m.c_ind_key(nap, keys) - (m.c_rtn(nap, keys) + m.c_upd(nap))).abs() < 1e-12
-        );
+        assert!((m.c_ind_key(nap, keys) - (m.c_rtn(nap, keys) + m.c_upd(nap))).abs() < 1e-12);
     }
 
     #[test]

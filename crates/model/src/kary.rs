@@ -175,9 +175,7 @@ mod tests {
         let s = Scenario::table1();
         let binary = KaryCost::new(&s, 2).unwrap();
         let wide = KaryCost::new(&s, 256).unwrap();
-        assert!(
-            wide.c_ind_key(20_000.0, 40_000.0) > 10.0 * binary.c_ind_key(20_000.0, 40_000.0)
-        );
+        assert!(wide.c_ind_key(20_000.0, 40_000.0) > 10.0 * binary.c_ind_key(20_000.0, 40_000.0));
         // …which raises the indexing bar.
         assert!(wide.f_min(20_000.0, 40_000.0) > binary.f_min(20_000.0, 40_000.0));
     }

@@ -94,11 +94,7 @@ impl Scenario {
         check(self.keys >= 1, "keys", "need at least one key")?;
         check(self.stor >= 1, "stor", "peers must store at least one key")?;
         check(self.repl >= 1, "repl", "replication factor must be >= 1")?;
-        check(
-            self.repl <= self.num_peers,
-            "repl",
-            "cannot replicate to more peers than exist",
-        )?;
+        check(self.repl <= self.num_peers, "repl", "cannot replicate to more peers than exist")?;
         check(self.alpha.is_finite() && self.alpha >= 0.0, "alpha", "must be finite, >= 0")?;
         check(self.f_upd.is_finite() && self.f_upd >= 0.0, "f_upd", "must be finite, >= 0")?;
         check(self.env.is_finite() && self.env > 0.0, "env", "must be finite, > 0")?;

@@ -235,9 +235,7 @@ mod tests {
         let sol = solve(1.0 / 300.0);
         let round =
             RoundModel::new(s.keys as usize, s.alpha, s.queries_per_round(1.0 / 300.0)).unwrap();
-        assert!(
-            (sol.p_indexed - round.dist().head_mass(sol.max_rank as usize)).abs() < 1e-12
-        );
+        assert!((sol.p_indexed - round.dist().head_mass(sol.max_rank as usize)).abs() < 1e-12);
     }
 
     #[test]
@@ -253,9 +251,7 @@ mod tests {
     fn index_fraction_is_consistent() {
         let s = Scenario::table1();
         let sol = solve(1.0 / 120.0);
-        assert!(
-            (sol.index_fraction(&s) - f64::from(sol.max_rank) / 40_000.0).abs() < 1e-12
-        );
+        assert!((sol.index_fraction(&s) - f64::from(sol.max_rank) / 40_000.0).abs() < 1e-12);
     }
 
     #[test]

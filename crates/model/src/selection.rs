@@ -49,11 +49,8 @@ impl SelectionModel {
     /// Propagates validation errors from the underlying models.
     pub fn evaluate(s: &Scenario, f_qry: f64) -> Result<SelectionModel> {
         let ideal = IdealPartial::solve(s, f_qry)?;
-        let key_ttl = if ideal.f_min.is_finite() && ideal.f_min > 0.0 {
-            1.0 / ideal.f_min
-        } else {
-            0.0
-        };
+        let key_ttl =
+            if ideal.f_min.is_finite() && ideal.f_min > 0.0 { 1.0 / ideal.f_min } else { 0.0 };
         Self::evaluate_with_ttl(s, f_qry, key_ttl)
     }
 
@@ -142,11 +139,8 @@ pub fn ttl_sensitivity(
     factors: &[f64],
 ) -> Result<Vec<TtlSensitivityPoint>> {
     let ideal = IdealPartial::solve(s, f_qry)?;
-    let base_ttl = if ideal.f_min.is_finite() && ideal.f_min > 0.0 {
-        1.0 / ideal.f_min
-    } else {
-        0.0
-    };
+    let base_ttl =
+        if ideal.f_min.is_finite() && ideal.f_min > 0.0 { 1.0 / ideal.f_min } else { 0.0 };
     let mut out = Vec::with_capacity(factors.len());
     for &factor in factors {
         let m = SelectionModel::evaluate_with_ttl(s, f_qry, base_ttl * factor)?;
@@ -259,11 +253,7 @@ mod tests {
         let perfect = pts.iter().find(|p| p.ttl_factor == 1.0).unwrap().clone();
         for p in &pts {
             let drop = perfect.saving_vs_no_index - p.saving_vs_no_index;
-            assert!(
-                drop.abs() < 0.10,
-                "factor {}: saving drop {drop} too large",
-                p.ttl_factor
-            );
+            assert!(drop.abs() < 0.10, "factor {}: saving drop {drop} too large", p.ttl_factor);
         }
     }
 

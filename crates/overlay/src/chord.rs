@@ -1,10 +1,10 @@
 //! A Chord-style ring DHT (\[StMo01\]).
 //!
 //! Included to back the paper's claim (Section 1) that the analysis applies
-//! to any "traditional DHT": peers sit on a 2^64 identifier ring, the peer
-//! responsible for a key is its clockwise successor, replication uses the
-//! next `repl − 1` successors, and routing walks fingers that halve the
-//! remaining clockwise distance — the same `O(log n)` hop and table
+//! to any "traditional DHT": peers sit on a 2^64 identifier ring, a key
+//! belongs to the disjoint **replica arc** containing its clockwise
+//! successor (see [`ChordOverlay`]), and routing walks fingers that halve
+//! the remaining clockwise distance — the same `O(log n)` hop and table
 //! asymptotics as the trie, with different constants.
 
 use crate::traits::{LookupOutcome, Overlay};
@@ -13,8 +13,8 @@ use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// Successor-list length (also the replica group size exposed by
-/// [`Overlay::responsible_group`]).
+/// Successor-list length — routing redundancy only; replica groups are the
+/// ring arcs described on [`ChordOverlay`] and may be smaller or larger.
 const SUCCESSORS: usize = 8;
 
 /// One ring participant.
@@ -29,13 +29,24 @@ struct Node {
 }
 
 /// A Chord-style overlay.
+///
+/// Replica groups are **consecutive ring arcs**: the sorted ring is cut
+/// into `⌈n / group_size⌉` chunks of `group_size` successive positions, and
+/// a key belongs to the chunk containing its successor. This gives Chord
+/// the same disjoint-partition structure as the trie's leaves (each active
+/// peer in exactly one group), which is what the engine's replica gossip
+/// and index placement are built on — see the [`Overlay`] trait docs.
 pub struct ChordOverlay {
     /// Nodes indexed by `PeerId`.
     nodes: Vec<Node>,
     /// `(ring_id, peer)` sorted by `ring_id` for successor queries.
     ring: Vec<(u64, PeerId)>,
-    /// Replica group size reported to callers.
+    /// Replica-arc length (`group_size` positions per bucket).
     group_size: usize,
+    /// Members of each replica arc, in ring order.
+    buckets: Vec<Vec<PeerId>>,
+    /// Peer index → its replica-arc index.
+    bucket_of: Vec<usize>,
 }
 
 impl ChordOverlay {
@@ -96,7 +107,25 @@ impl ChordOverlay {
             fingers.dedup();
             nodes.push(Node { id: my_id, fingers, successors });
         }
-        Ok(ChordOverlay { nodes, ring, group_size: group_size.min(n) })
+
+        // Replica arcs: chunks of `group_size` consecutive ring positions.
+        let group_size = group_size.min(n);
+        let mut buckets: Vec<Vec<PeerId>> =
+            ring.chunks(group_size).map(|chunk| chunk.iter().map(|&(_, p)| p).collect()).collect();
+        // A short trailing chunk would be a degenerate replica group; merge
+        // it into its predecessor instead.
+        if buckets.len() > 1 && buckets[buckets.len() - 1].len() < group_size {
+            let tail = buckets.pop().expect("checked non-empty");
+            buckets.last_mut().expect("len > 1").extend(tail);
+        }
+        let mut bucket_of = vec![0usize; n];
+        for (b, members) in buckets.iter().enumerate() {
+            for &m in members {
+                bucket_of[m.idx()] = b;
+            }
+        }
+
+        Ok(ChordOverlay { nodes, ring, group_size, buckets, bucket_of })
     }
 
     /// First peer clockwise from `point` (inclusive).
@@ -130,13 +159,22 @@ impl Overlay for ChordOverlay {
         self.nodes.len()
     }
 
-    fn responsible_group(&self, key: Key) -> Vec<PeerId> {
-        let start = self.ring.partition_point(|&(id, _)| id < key.0) % self.ring.len();
-        (0..self.group_size).map(|o| self.ring[(start + o) % self.ring.len()].1).collect()
+    fn group_count(&self) -> usize {
+        self.buckets.len()
     }
 
-    fn is_responsible(&self, peer: PeerId, key: Key) -> bool {
-        self.responsible_group(key).contains(&peer)
+    fn group_members(&self, group: usize) -> &[PeerId] {
+        &self.buckets[group]
+    }
+
+    fn group_of_key(&self, key: Key) -> usize {
+        let pos = self.ring.partition_point(|&(id, _)| id < key.0) % self.ring.len();
+        // The trailing arc absorbs any short final chunk; clamp into range.
+        (pos / self.group_size).min(self.buckets.len() - 1)
+    }
+
+    fn group_of_peer(&self, peer: PeerId) -> usize {
+        self.bucket_of[peer.idx()]
     }
 
     fn lookup(
@@ -148,11 +186,15 @@ impl Overlay for ChordOverlay {
         metrics: &mut Metrics,
     ) -> Result<LookupOutcome> {
         let _ = rng; // Chord routing is deterministic given the tables.
+
+        // The key's arc is loop-invariant; resolve the ring binary search
+        // once so the per-hop responsibility checks are O(1).
+        let target_arc = self.group_of_key(key);
         let mut current = from;
         let mut hops = 0u32;
         let mut budget = 4 * 64 + 16; // generous bound: fingers are halving
         loop {
-            if self.is_responsible(current, key) {
+            if self.bucket_of[current.idx()] == target_arc {
                 return Ok(LookupOutcome { peer: current, hops });
             }
             budget -= 1;
@@ -188,7 +230,27 @@ impl Overlay for ChordOverlay {
                 }
             }
             match next {
-                Some(p) => current = p,
+                Some(p) => {
+                    // Monotone-progress guard: every legitimate hop strictly
+                    // shrinks the clockwise distance to the key. A hop that
+                    // grows it is a successor that overshot the key into a
+                    // *different* (non-responsible) arc — possible when the
+                    // key's whole arc is offline and the arc is shorter than
+                    // the successor list. Routing can never get back in front
+                    // of the key from there, so fail fast instead of cycling
+                    // the ring until the hop budget runs out.
+                    let d_cur = key.0.wrapping_sub(self.nodes[current.idx()].id);
+                    let d_next = key.0.wrapping_sub(self.nodes[p.idx()].id);
+                    if d_next >= d_cur && self.bucket_of[p.idx()] != target_arc {
+                        return Err(PdhtError::LookupFailed {
+                            key: key.0,
+                            reason: format!(
+                                "responsible arc unreachable: overshot the key from {current}"
+                            ),
+                        });
+                    }
+                    current = p;
+                }
                 None => {
                     return Err(PdhtError::LookupFailed {
                         key: key.0,
@@ -225,8 +287,7 @@ impl Overlay for ChordOverlay {
                         let mut replacement = Self::successor_on(&self.ring, probe_point);
                         let mut guard = 0;
                         while !live.is_online(replacement) && guard < self.ring.len() {
-                            probe_point =
-                                self.nodes[replacement.idx()].id.wrapping_add(1);
+                            probe_point = self.nodes[replacement.idx()].id.wrapping_add(1);
                             replacement = Self::successor_on(&self.ring, probe_point);
                             guard += 1;
                         }
@@ -321,19 +382,37 @@ mod tests {
     }
 
     #[test]
-    fn responsible_group_is_consecutive_successors() {
+    fn replica_arcs_partition_the_ring() {
         let o = build(64, 5);
-        let key = Key(0x1234_5678_9abc_def0);
-        let group = o.responsible_group(key);
-        assert_eq!(group.len(), 5);
-        assert_eq!(group[0], o.successor(key));
-        // Group ids are strictly increasing clockwise from the key.
-        let mut prev = key.0.wrapping_sub(1);
-        for &p in &group {
-            let d_prev = prev.wrapping_sub(key.0);
-            let d_cur = o.ring_id(p).wrapping_sub(key.0);
-            assert!(d_cur > d_prev || prev == key.0.wrapping_sub(1));
-            prev = o.ring_id(p);
+        // 64 peers in arcs of 5: 12 full arcs plus a 4-peer tail merged
+        // into the last one.
+        assert_eq!(o.group_count(), 12);
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..o.group_count() {
+            let members = o.group_members(g);
+            assert!((5..=9).contains(&members.len()), "arc size {}", members.len());
+            // Members are consecutive ring positions (strictly increasing
+            // ids) and each reports this arc as its group.
+            for w in members.windows(2) {
+                assert!(o.ring_id(w[0]) < o.ring_id(w[1]));
+            }
+            for &m in members {
+                assert_eq!(o.group_of_peer(m), g);
+                assert!(seen.insert(m), "arcs must be disjoint");
+            }
+        }
+        assert_eq!(seen.len(), 64, "arcs must cover every peer");
+    }
+
+    #[test]
+    fn key_group_contains_its_successor() {
+        let o = build(64, 5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let key = Key(r.random::<u64>());
+            let group = o.responsible_group(key);
+            assert!(group.contains(&o.successor(key)));
+            assert!(o.is_responsible(o.successor(key), key));
         }
     }
 
@@ -436,6 +515,37 @@ mod tests {
             "stale fingers should be repaired: {stale}/{total}"
         );
         assert!(m.totals()[MessageKind::Probe] > 0);
+    }
+
+    #[test]
+    fn offline_arc_fails_fast_instead_of_cycling() {
+        // Arcs smaller than the successor list: when a key's whole arc is
+        // offline, successors overshoot into the next arc and the old
+        // routing loop cycled the ring until its ~272-hop budget died.
+        // The monotone-progress guard must dead-end within a few hops.
+        let o = build(50, 2);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let mut exercised = 0;
+        for _ in 0..40 {
+            let key = Key(r.random::<u64>());
+            let arc = o.responsible_group(key);
+            let mut live = Liveness::all_online(50);
+            for &p in &arc {
+                live.set(p, false);
+            }
+            let from = (0..50)
+                .map(PeerId::from_idx)
+                .find(|&p| live.is_online(p))
+                .expect("someone is online");
+            let before = m.totals()[MessageKind::RouteHop];
+            let out = o.lookup(from, key, &live, &mut r, &mut m);
+            let spent = m.totals()[MessageKind::RouteHop] - before;
+            assert!(out.is_err(), "whole responsible arc is offline");
+            assert!(spent < 60, "dead-end must be cheap, spent {spent} hops");
+            exercised += 1;
+        }
+        assert_eq!(exercised, 40);
     }
 
     #[test]

@@ -72,8 +72,7 @@ impl ChurnModel {
             for (i, toggle) in next_toggle.iter_mut().enumerate() {
                 let online = rand::Rng::random::<f64>(rng) < p_online;
                 liveness.set(PeerId::from_idx(i), online);
-                let mean =
-                    if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
+                let mean = if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
                 // Exponential residual life (memorylessness makes the
                 // residual the same distribution as a full session).
                 *toggle = exponential(rng, 1.0 / mean);
@@ -110,11 +109,8 @@ impl ChurnModel {
                 let was_online = self.liveness.is_online(id);
                 self.liveness.set(id, !was_online);
                 transitions.push((id, !was_online));
-                let mean = if was_online {
-                    self.cfg.mean_offline_secs
-                } else {
-                    self.cfg.mean_online_secs
-                };
+                let mean =
+                    if was_online { self.cfg.mean_offline_secs } else { self.cfg.mean_online_secs };
                 self.next_toggle[i] += exponential(rng, 1.0 / mean);
             }
         }

@@ -22,15 +22,50 @@ pub struct LookupOutcome {
 ///   (`MessageKind::RouteHop` / `MessageKind::Probe`),
 /// * treat stale routing entries as wasted hops, repaired for free when
 ///   detected (the paper's piggybacking assumption, Section 3.3.1).
+///
+/// # Replica partition
+///
+/// Beyond routing, the simulation engine needs a **disjoint partition** of
+/// the active peers into replica groups: index entries for a key are
+/// replicated across exactly one group, and that group gossips/floods
+/// internally (Section 5.1). The `group_*` methods expose this partition
+/// abstractly — trie leaves for [`crate::TrieOverlay`], consecutive ring
+/// arcs for [`crate::ChordOverlay`] — so the engine can hold any overlay as
+/// a `Box<dyn Overlay>`. Invariants:
+///
+/// * groups are disjoint and jointly cover all active peers,
+/// * `group_of_peer(m) == g` for every `m` in `group_members(g)`,
+/// * `responsible_group(key) == group_members(group_of_key(key))`,
+/// * `is_responsible(p, key)` ⇔ `group_of_peer(p) == group_of_key(key)`
+///   (routing terminates exactly when it reaches the key's group).
 pub trait Overlay {
     /// Number of peers participating in the overlay (`numActivePeers`).
     fn num_active(&self) -> usize;
 
+    /// Number of replica groups in the partition.
+    fn group_count(&self) -> usize;
+
+    /// Members of group `group`, in deterministic order.
+    ///
+    /// # Panics
+    /// Panics if `group` is out of range.
+    fn group_members(&self, group: usize) -> &[PeerId];
+
+    /// Index of the replica group responsible for `key`.
+    fn group_of_key(&self, key: Key) -> usize;
+
+    /// Index of the replica group `peer` belongs to.
+    fn group_of_peer(&self, peer: PeerId) -> usize;
+
     /// The replica group responsible for `key`, in deterministic order.
-    fn responsible_group(&self, key: Key) -> Vec<PeerId>;
+    fn responsible_group(&self, key: Key) -> Vec<PeerId> {
+        self.group_members(self.group_of_key(key)).to_vec()
+    }
 
     /// Is `peer` one of the peers responsible for `key`?
-    fn is_responsible(&self, peer: PeerId, key: Key) -> bool;
+    fn is_responsible(&self, peer: PeerId, key: Key) -> bool {
+        self.group_of_peer(peer) == self.group_of_key(key)
+    }
 
     /// Routes from `from` towards the peer responsible for `key`, counting
     /// hops into `metrics`.

@@ -148,11 +148,8 @@ impl TrieOverlay {
                 let my_block_start = (my_leaf >> (self.depth - level)) << (self.depth - level);
                 let half = self.depth - level - 1;
                 let my_side = (my_leaf >> half) & 1;
-                let sibling_start = if my_side == 0 {
-                    my_block_start + block
-                } else {
-                    my_block_start
-                };
+                let sibling_start =
+                    if my_side == 0 { my_block_start + block } else { my_block_start };
                 let mut level_refs = Vec::with_capacity(REFS_PER_LEVEL);
                 for _ in 0..REFS_PER_LEVEL {
                     let leaf = sibling_start + rng.random_range(0..block);
@@ -209,8 +206,20 @@ impl Overlay for TrieOverlay {
         self.paths.len()
     }
 
-    fn responsible_group(&self, key: Key) -> Vec<PeerId> {
-        self.leaves[self.leaf_of(key)].clone()
+    fn group_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    fn group_members(&self, group: usize) -> &[PeerId] {
+        &self.leaves[group]
+    }
+
+    fn group_of_key(&self, key: Key) -> usize {
+        self.leaf_of(key)
+    }
+
+    fn group_of_peer(&self, peer: PeerId) -> usize {
+        self.leaf_of_peer(peer)
     }
 
     fn is_responsible(&self, peer: PeerId, key: Key) -> bool {
@@ -333,6 +342,7 @@ mod tests {
         assert_eq!(build(1600, 50).depth(), 5); // 32 leaves, exact
         assert_eq!(build(400, 50).depth(), 3); // 8 leaves, exact
         assert_eq!(build(50, 50).depth(), 0); // single leaf
+
         // 20 000/50 = 400 → log2 ≈ 8.64 rounds to 9 (512 leaves of ~39):
         // closer to the target in log space than 256 leaves of 78.
         assert_eq!(build(20_000, 50).depth(), 9);
@@ -399,10 +409,7 @@ mod tests {
         }
         let avg = total as f64 / f64::from(trials);
         let expect = f64::from(o.depth()) / 2.0;
-        assert!(
-            (avg - expect).abs() < 0.25,
-            "avg hops {avg} should be ≈ depth/2 = {expect}"
-        );
+        assert!((avg - expect).abs() < 0.25, "avg hops {avg} should be ≈ depth/2 = {expect}");
     }
 
     #[test]
@@ -413,9 +420,7 @@ mod tests {
         let mut m = Metrics::new();
         let mut manual = 0u64;
         for _ in 0..50 {
-            let out = o
-                .lookup(PeerId(0), Key(r.random::<u64>()), &live, &mut r, &mut m)
-                .unwrap();
+            let out = o.lookup(PeerId(0), Key(r.random::<u64>()), &live, &mut r, &mut m).unwrap();
             manual += u64::from(out.hops);
         }
         assert_eq!(m.totals()[MessageKind::RouteHop], manual);
@@ -508,8 +513,7 @@ mod tests {
         for _ in 0..rounds {
             o.maintenance_round(env, &live, &mut r, &mut m);
         }
-        let total_entries: usize =
-            (0..1000).map(|p| o.routing_entries(PeerId::from_idx(p))).sum();
+        let total_entries: usize = (0..1000).map(|p| o.routing_entries(PeerId::from_idx(p))).sum();
         let expected = env * total_entries as f64 * f64::from(rounds);
         let got = m.totals()[MessageKind::Probe] as f64;
         assert!(

@@ -126,8 +126,7 @@ mod tests {
         let mut r = rng();
         let lambda = 500.0;
         let n = 20_000usize;
-        let mean =
-            (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+        let mean = (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
         assert!((mean - lambda).abs() < 2.0, "mean {mean}");
     }
 
@@ -155,10 +154,9 @@ mod tests {
             assert!(geometric_capped(&mut r, 0.01, 5) <= 5);
         }
         let n = 100_000;
-        let mean: f64 = (0..n)
-            .map(|_| f64::from(geometric_capped(&mut r, 0.5, u32::MAX)))
-            .sum::<f64>()
-            / f64::from(n);
+        let mean: f64 =
+            (0..n).map(|_| f64::from(geometric_capped(&mut r, 0.5, u32::MAX))).sum::<f64>()
+                / f64::from(n);
         // Mean of geometric(0.5) failures-before-success = (1-p)/p = 1.
         assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
     }

@@ -70,11 +70,7 @@ impl Liveness {
 
     /// Iterates ids of online peers in index order.
     pub fn iter_online(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.online
-            .iter()
-            .enumerate()
-            .filter(|&(_, &on)| on)
-            .map(|(i, _)| PeerId::from_idx(i))
+        self.online.iter().enumerate().filter(|&(_, &on)| on).map(|(i, _)| PeerId::from_idx(i))
     }
 }
 

@@ -134,12 +134,8 @@ where
             }
             // Step to a random online neighbor (walkers pass through the
             // online subgraph only — an offline peer cannot forward).
-            let candidates: Vec<PeerId> = topo
-                .neighbors(*pos)
-                .iter()
-                .copied()
-                .filter(|&p| live.is_online(p))
-                .collect();
+            let candidates: Vec<PeerId> =
+                topo.neighbors(*pos).iter().copied().filter(|&p| live.is_online(p)).collect();
             let Some(&next) = candidates.as_slice().choose(rng) else {
                 continue; // walker is stuck; others may proceed
             };
@@ -240,8 +236,16 @@ mod tests {
         let (topo, repl, live) = setup(2_000, 100);
         let mut r = rng();
         let mut m = Metrics::new();
-        let walk =
-            random_walks(&topo, PeerId(0), 16, 50_000, |p| repl.is_holder(1, p), &live, &mut r, &mut m);
+        let walk = random_walks(
+            &topo,
+            PeerId(0),
+            16,
+            50_000,
+            |p| repl.is_holder(1, p),
+            &live,
+            &mut r,
+            &mut m,
+        );
         assert!(walk.found.is_some());
         assert!(repl.is_holder(1, walk.found.unwrap()));
         let mut m2 = Metrics::new();

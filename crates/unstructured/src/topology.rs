@@ -212,7 +212,8 @@ mod tests {
     fn preferential_graph_is_connected_and_heavy_tailed() {
         let t = Topology::preferential(2_000, 3, &mut rng()).unwrap();
         assert!(t.is_connected());
-        let mut degrees: Vec<usize> = (0..2_000).map(|i| t.neighbors(PeerId::from_idx(i)).len()).collect();
+        let mut degrees: Vec<usize> =
+            (0..2_000).map(|i| t.neighbors(PeerId::from_idx(i)).len()).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // Heavy tail: the top hub has far more links than the median peer.
         assert!(

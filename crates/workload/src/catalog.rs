@@ -83,12 +83,7 @@ impl KeyCatalog {
     /// Key indices belonging to `article` (scan; used by the update path on
     /// small per-article key sets).
     pub fn keys_of_article(&self, article: u32) -> Vec<usize> {
-        self.article_of
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == article)
-            .map(|(i, _)| i)
-            .collect()
+        self.article_of.iter().enumerate().filter(|&(_, &a)| a == article).map(|(i, _)| i).collect()
     }
 }
 

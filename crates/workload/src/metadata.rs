@@ -78,8 +78,22 @@ impl Article {
 
 /// Word lists for plausible-looking news metadata.
 const PLACES: [&str; 16] = [
-    "Iráklion", "Lausanne", "Geneva", "Athens", "Berlin", "Paris", "Oslo", "Madrid", "Rome",
-    "Vienna", "Lisbon", "Dublin", "Prague", "Zurich", "Warsaw", "Helsinki",
+    "Iráklion",
+    "Lausanne",
+    "Geneva",
+    "Athens",
+    "Berlin",
+    "Paris",
+    "Oslo",
+    "Madrid",
+    "Rome",
+    "Vienna",
+    "Lisbon",
+    "Dublin",
+    "Prague",
+    "Zurich",
+    "Warsaw",
+    "Helsinki",
 ];
 const TOPICS: [&str; 12] = [
     "Weather", "Election", "Markets", "Football", "Research", "Transit", "Energy", "Health",

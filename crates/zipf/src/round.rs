@@ -73,11 +73,7 @@ impl RoundModel {
     /// # Errors
     /// Propagates distribution construction errors; rejects negative or
     /// non-finite query volumes.
-    pub fn new(
-        keys: usize,
-        alpha: f64,
-        queries_per_round: f64,
-    ) -> pdht_types::Result<RoundModel> {
+    pub fn new(keys: usize, alpha: f64, queries_per_round: f64) -> pdht_types::Result<RoundModel> {
         if !queries_per_round.is_finite() || queries_per_round < 0.0 {
             return Err(pdht_types::PdhtError::InvalidConfig {
                 param: "queries_per_round",

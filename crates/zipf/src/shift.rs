@@ -206,16 +206,10 @@ mod tests {
     fn schedule_validation() {
         assert!(PopularityShift::new(vec![]).is_err());
         assert!(PopularityShift::new(vec![(5, RankMap::identity(4))]).is_err());
-        assert!(PopularityShift::new(vec![
-            (0, RankMap::identity(4)),
-            (0, RankMap::identity(4)),
-        ])
-        .is_err());
-        assert!(PopularityShift::new(vec![
-            (0, RankMap::identity(4)),
-            (10, RankMap::identity(5)),
-        ])
-        .is_err());
+        assert!(PopularityShift::new(vec![(0, RankMap::identity(4)), (0, RankMap::identity(4)),])
+            .is_err());
+        assert!(PopularityShift::new(vec![(0, RankMap::identity(4)), (10, RankMap::identity(5)),])
+            .is_err());
     }
 
     #[test]

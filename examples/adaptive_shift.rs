@@ -38,7 +38,11 @@ fn main() {
         net.run(window);
         let end = start + window - 1;
         let rep = net.report(start, end);
-        let marker = if (start..start + window).contains(&shift_round) { "  <-- popularity shift" } else { "" };
+        let marker = if (start..start + window).contains(&shift_round) {
+            "  <-- popularity shift"
+        } else {
+            ""
+        };
         println!(
             "{:>5}..{:<5} |   {:.3}  | {:>8.0}{marker}",
             start, end, rep.p_indexed, rep.indexed_keys
@@ -48,6 +52,8 @@ fn main() {
     let before = net.report(shift_round - 2 * window, shift_round - window - 1).p_indexed;
     let during = net.report(shift_round, shift_round + window - 1).p_indexed;
     let after = net.report(total - window, total - 1).p_indexed;
-    println!("\nhit rate: {before:.3} before shift, {during:.3} right after, {after:.3} at the end");
+    println!(
+        "\nhit rate: {before:.3} before shift, {during:.3} right after, {after:.3} at the end"
+    );
     println!("the TTL index re-learned the new head on its own — the paper's adaptivity claim.");
 }

@@ -14,8 +14,7 @@ use pdht::model::Scenario;
 use pdht::types::MessageKind;
 
 fn run(policy: AdmissionPolicy) -> pdht::core::SimReport {
-    let mut cfg =
-        PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 45.0, Strategy::Partial);
+    let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 45.0, Strategy::Partial);
     cfg.admission = policy;
     cfg.ttl_policy = TtlPolicy::Fixed(200);
     cfg.seed = 0x7_11;
@@ -33,12 +32,8 @@ fn main() {
         ("second-chance, window 40 ", AdmissionPolicy::SecondChance { window_rounds: 40 }),
     ] {
         let rep = run(policy);
-        let walks: f64 = rep
-            .by_kind
-            .iter()
-            .filter(|(k, _)| *k == MessageKind::WalkStep)
-            .map(|&(_, v)| v)
-            .sum();
+        let walks: f64 =
+            rep.by_kind.iter().filter(|(k, _)| *k == MessageKind::WalkStep).map(|&(_, v)| v).sum();
         println!(
             "{label} | {:>9.0} | {:>8.3} | {:>12.0} | {:>10.0}",
             rep.msgs_per_round, rep.p_indexed, rep.indexed_keys, walks

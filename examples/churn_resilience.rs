@@ -34,7 +34,11 @@ fn main() {
 
     let rep = net.report(rounds / 2, rounds - 1);
     println!("steady state under churn (rounds {}..{}):", rep.rounds.0, rep.rounds.1);
-    println!("  availability            : {:.3} (theory: {:.3})", rep.availability, churn.availability());
+    println!(
+        "  availability            : {:.3} (theory: {:.3})",
+        rep.availability,
+        churn.availability()
+    );
     println!("  index hit probability   : {:.3}", rep.p_indexed);
     println!("  distinct indexed keys   : {:.0}", rep.indexed_keys);
     println!("  messages per round      : {:.0}", rep.msgs_per_round);
@@ -43,18 +47,13 @@ fn main() {
     println!("  index routing failures               : {}", rep.lookup_failures);
     println!("  stale hits (version lag)             : {}", rep.stale_hits);
 
-    let probes: f64 = rep
-        .by_kind
-        .iter()
-        .filter(|(k, _)| *k == MessageKind::Probe)
-        .map(|&(_, v)| v)
-        .sum();
+    let probes: f64 =
+        rep.by_kind.iter().filter(|(k, _)| *k == MessageKind::Probe).map(|&(_, v)| v).sum();
     println!("\nmaintenance probes/round: {probes:.0} — the [MaCa03]-style probing that");
     println!("keeps routing usable while 40% of the population is offline at any time.");
 
-    let total_queries = rep.skipped_offline as f64
-        + rep.search_failures as f64
-        + (rep.p_indexed * 1.0).max(0.0); // denominators differ; report rates instead:
+    let total_queries =
+        rep.skipped_offline as f64 + rep.search_failures as f64 + (rep.p_indexed * 1.0).max(0.0); // denominators differ; report rates instead:
     let _ = total_queries;
     println!(
         "\nverdict: {} — hit rate {:.0}% at {:.0}% availability",

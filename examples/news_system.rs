@@ -32,7 +32,10 @@ fn main() {
 
     // 2. Extract the indexable keys.
     let catalog = KeyCatalog::build(&articles);
-    println!("\nkey catalog: {} unique keys (20 raw per article, shared metadata dedupes)", catalog.len());
+    println!(
+        "\nkey catalog: {} unique keys (20 raw per article, shared metadata dedupes)",
+        catalog.len()
+    );
     println!("sample keys of article 0:");
     for s in articles[0].key_strings().iter().take(6) {
         println!("  hash({s}) = {}", Key::hash_str(s));
@@ -46,7 +49,11 @@ fn main() {
     let ideal = IdealPartial::solve(&scenario, f_qry).expect("model solves");
     let cost = CostModel::new(&scenario);
     println!("\ncost model at one query per peer per {:.0} s:", 1.0 / f_qry);
-    println!("  broadcast search costs {:.0} msg, index search {:.2} msg", cost.c_s_unstr(), ideal.c_s_indx);
+    println!(
+        "  broadcast search costs {:.0} msg, index search {:.2} msg",
+        cost.c_s_unstr(),
+        ideal.c_s_indx
+    );
     println!("  minimum query rate worth indexing (fMin) = {:.2e} per round", ideal.f_min);
     println!("  => worth indexing: the {} most queried keys of {}", ideal.max_rank, scenario.keys);
     println!("  => they answer {:.1}% of all queries", ideal.p_indexed * 100.0);
@@ -78,7 +85,11 @@ fn main() {
         store.purge_expired(now);
     }
     println!("\nafter 200 rounds with keyTtl = {ttl}:");
-    println!("  '{}' (queried)    in index: {}", catalog.key_string(0), store.peek(hot, 200).is_some());
+    println!(
+        "  '{}' (queried)    in index: {}",
+        catalog.key_string(0),
+        store.peek(hot, 200).is_some()
+    );
     println!(
         "  '{}' (never queried) in index: {}",
         catalog.key_string(catalog.len() - 1),

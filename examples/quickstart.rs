@@ -29,7 +29,11 @@ fn main() {
     //    replica flooding + TTL selection.
     let cfg = PdhtConfig::new(scenario, f_qry, Strategy::Partial);
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
-    println!("\nnetwork: {} active DHT peers, keyTtl = {} rounds", net.num_active_peers(), net.ttl_rounds());
+    println!(
+        "\nnetwork: {} active DHT peers, keyTtl = {} rounds",
+        net.num_active_peers(),
+        net.ttl_rounds()
+    );
 
     let rounds = 300;
     net.run(rounds);

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock mean over a fixed iteration count — no
+//! statistical analysis, outlier rejection, or HTML reports. Under
+//! `cargo test` (or when the harness is invoked with `--test`) every
+//! benchmark body runs exactly once, as a smoke test; `cargo bench` runs
+//! the measured loop. Set `CRITERION_SHIM_ITERS` to override the iteration
+//! count.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Default measured iterations per benchmark in bench mode.
+const DEFAULT_ITERS: u64 = 25;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` executes harness-less bench targets to check they
+        // run; keep that mode to a single iteration per benchmark.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let iters = std::env::var("CRITERION_SHIM_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if test_mode { 1 } else { DEFAULT_ITERS });
+        Criterion { iters: iters.max(1) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.iters, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), iters: self.iters, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// iteration count is global, so this caps it instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = self.iters.min(n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.iters, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.iters, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally carrying a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the measured loop.
+pub struct Bencher {
+    iters: u64,
+    /// Total time spent inside `iter` across all iterations.
+    elapsed_nanos: u128,
+    /// Iterations actually executed.
+    executed: u64,
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim times per-iteration regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_nanos += start.elapsed().as_nanos();
+        self.executed += self.iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_nanos += start.elapsed().as_nanos();
+        }
+        self.executed += self.iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u64, mut f: F) {
+    let mut b = Bencher { iters, elapsed_nanos: 0, executed: 0 };
+    f(&mut b);
+    if b.executed > 0 {
+        let per_iter = b.elapsed_nanos / u128::from(b.executed);
+        println!("bench: {name:<48} {per_iter:>12} ns/iter ({} iters)", b.executed);
+    } else {
+        println!("bench: {name:<48} (no measured loop)");
+    }
+}
+
+/// Declares a benchmark group function: `criterion_group!(benches, f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { iters: 3 };
+        let mut count = 0u64;
+        c.bench_function("counts", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut c = Criterion { iters: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = Vec::new();
+        for n in [5u64, 7] {
+            group.bench_with_input(BenchmarkId::new("p", n), &n, |b, &n| {
+                b.iter(|| seen.push(n));
+            });
+        }
+        group.finish();
+        assert_eq!(seen, vec![5, 5, 7, 7]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ — the same algorithm
+/// real `rand` 0.9 uses for `SmallRng` on 64-bit platforms. Period 2^256−1,
+/// passes BigCrush; **not** cryptographically secure (irrelevant here: the
+/// workspace only runs reproducible simulations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors (and
+        // used by real rand): guarantees a non-zero state for every seed.
+        let mut sm = state;
+        SmallRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the all-distinct reference
+        // state {1, 2, 3, 4} (computed from the public domain reference
+        // implementation).
+        let mut r = SmallRng { s: [1, 2, 3, 4] };
+        assert_eq!(r.next_u64(), 41943041);
+        assert_eq!(r.next_u64(), 58720359);
+        assert_eq!(r.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let outs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(outs.iter().any(|&x| x != 0));
+        assert_ne!(outs[0], outs[1]);
+    }
+}

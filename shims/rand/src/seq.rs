@@ -1,0 +1,81 @@
+//! Sequence-related helpers (`choose`, `shuffle`).
+
+use crate::Rng;
+
+/// Random element selection from slices.
+pub trait IndexedRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Uniformly permutes the slice (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{RngCore, SeedableRng};
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*items.as_slice().choose(&mut r).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    /// `RngCore` must stay usable through `&mut` references (call sites pass
+    /// `&mut SmallRng` into generic `R: Rng` functions).
+    #[test]
+    fn works_through_mut_reference() {
+        fn pick<R: RngCore>(rng: &mut R, xs: &[u8]) -> u8 {
+            *xs.choose(rng).unwrap()
+        }
+        let mut r = SmallRng::seed_from_u64(1);
+        let _ = pick(&mut r, &[1, 2, 3]);
+    }
+}

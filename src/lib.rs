@@ -6,21 +6,31 @@
 //! rests on (a P-Grid-style trie DHT, a Chord ring, a Gnutella-like
 //! unstructured overlay, replica gossip, churn), the TTL-based selection
 //! algorithm itself, and the experiment harness regenerating every table
-//! and figure of the evaluation.
+//! and figure of the evaluation (see `DESIGN.md` for the experiment index).
 //!
 //! This facade crate re-exports the workspace by topic:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`types`] | `pdht-types` | ids, keys, message taxonomy, liveness, RNG streams |
-//! | [`zipf`] | `pdht-zipf` | Zipf pmf/cdf, per-round probabilities, popularity shift |
-//! | [`model`] | `pdht-model` | the analytical cost model and figure sweeps |
-//! | [`sim`] | `pdht-sim` | event queue, metrics, distribution sampling |
-//! | [`overlay`] | `pdht-overlay` | trie + Chord DHTs, churn, maintenance |
-//! | [`unstructured`] | `pdht-unstructured` | random graphs, flooding, k-random-walks |
-//! | [`gossip`] | `pdht-gossip` | replica groups, push/pull rumor spreading |
-//! | [`workload`] | `pdht-workload` | news metadata, key catalogs, query/update streams |
-//! | [`core`] | `pdht-core` | the partial index, TTL policies, the network harness |
+//! | [`types`] | `crates/types` | ids, keys, message taxonomy, liveness, RNG streams |
+//! | [`zipf`] | `crates/zipf` | Zipf pmf/cdf, per-round probabilities, popularity shift |
+//! | [`model`] | `crates/model` | the analytical cost model and figure sweeps |
+//! | [`sim`] | `crates/sim` | deterministic event queue, round driver, metrics |
+//! | [`overlay`] | `crates/overlay` | the [`overlay::Overlay`] trait, trie + Chord DHTs, churn |
+//! | [`unstructured`] | `crates/unstructured` | random graphs, flooding, k-random-walks |
+//! | [`gossip`] | `crates/gossip` | replica groups, push/pull rumor spreading |
+//! | [`workload`] | `crates/workload` | news metadata, key catalogs, query/update streams |
+//! | [`core`] | `crates/core` | partial index, TTL policies, the event-driven network engine |
+//!
+//! Two pieces sit outside the facade: `crates/bench` (experiment binaries
+//! and criterion micro-benchmarks) and `shims/` (offline stand-ins for
+//! `rand`/`proptest`/`criterion`, vendored because the build environment
+//! has no crates.io access).
+//!
+//! The network engine (`core::network`) is event-driven: round phases are
+//! scheduled on [`sim::EventQueue`] and the structured overlay is selected
+//! at runtime via [`core::OverlayKind`] — the same simulation runs over
+//! the paper's trie or a Chord ring (ablation A2 in `DESIGN.md`).
 //!
 //! # Example
 //!

@@ -5,8 +5,7 @@ use pdht::model::Scenario;
 use pdht::overlay::ChurnConfig;
 
 fn churny_cfg(mean_on: f64, mean_off: f64) -> PdhtConfig {
-    let mut cfg =
-        PdhtConfig::new(Scenario::table1_scaled(40), 1.0 / 10.0, Strategy::Partial);
+    let mut cfg = PdhtConfig::new(Scenario::table1_scaled(40), 1.0 / 10.0, Strategy::Partial);
     cfg.churn = ChurnConfig { mean_online_secs: mean_on, mean_offline_secs: mean_off };
     cfg.ttl_policy = TtlPolicy::Fixed(80);
     cfg.purge_stride = 4;

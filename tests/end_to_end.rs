@@ -101,19 +101,11 @@ fn zero_query_load_is_quiet_except_maintenance() {
     net.run(30);
     let rep = net.report(0, 29);
     assert_eq!(rep.p_indexed, 0.0, "no queries, no hits");
-    let probes: f64 = rep
-        .by_kind
-        .iter()
-        .filter(|(k, _)| *k == MessageKind::Probe)
-        .map(|&(_, v)| v)
-        .sum();
+    let probes: f64 =
+        rep.by_kind.iter().filter(|(k, _)| *k == MessageKind::Probe).map(|&(_, v)| v).sum();
     assert!(probes > 0.0, "maintenance continues without load");
-    let walks: f64 = rep
-        .by_kind
-        .iter()
-        .filter(|(k, _)| *k == MessageKind::WalkStep)
-        .map(|&(_, v)| v)
-        .sum();
+    let walks: f64 =
+        rep.by_kind.iter().filter(|(k, _)| *k == MessageKind::WalkStep).map(|&(_, v)| v).sum();
     assert_eq!(walks, 0.0);
 }
 

@@ -38,10 +38,7 @@ fn stop_words_filtered_across_the_whole_corpus() {
     for i in 0..catalog.len() {
         let s = catalog.key_string(i);
         if let Some(term) = s.strip_prefix("term=") {
-            assert!(
-                !STOP_WORDS.contains(&term),
-                "stop word `{term}` made it into the catalog"
-            );
+            assert!(!STOP_WORDS.contains(&term), "stop word `{term}` made it into the catalog");
         }
     }
 }
