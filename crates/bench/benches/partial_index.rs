@@ -2,14 +2,14 @@
 //! the selection algorithm (hit/miss check on every routed query).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pdht_core::PartialIndex;
+use pdht_core::{PartialIndex, Ttl};
 use pdht_gossip::VersionedValue;
 use pdht_types::Key;
 
 fn filled(capacity: usize, n: usize) -> PartialIndex {
     let mut idx = PartialIndex::new(capacity);
     for i in 0..n as u64 {
-        idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, 1_000);
+        idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, Ttl::Rounds(1_000));
     }
     idx
 }
@@ -20,7 +20,7 @@ fn bench_hit(c: &mut Criterion) {
         let mut now = 1u64;
         b.iter(|| {
             now += 1;
-            black_box(idx.get_and_refresh(Key(now % 100), now, 1_000))
+            black_box(idx.get_and_refresh(Key(now % 100), now, Ttl::Rounds(1_000)))
         })
     });
 }
@@ -28,7 +28,7 @@ fn bench_hit(c: &mut Criterion) {
 fn bench_miss(c: &mut Criterion) {
     let mut idx = filled(128, 100);
     c.bench_function("index/get_miss", |b| {
-        b.iter(|| black_box(idx.get_and_refresh(Key(9_999_999), 1, 1_000)))
+        b.iter(|| black_box(idx.get_and_refresh(Key(9_999_999), 1, Ttl::Rounds(1_000))))
     });
 }
 
@@ -40,7 +40,12 @@ fn bench_insert_with_eviction(c: &mut Criterion) {
         let mut k = 1_000u64;
         b.iter(|| {
             k += 1;
-            black_box(idx.insert(Key(k), VersionedValue { version: 1, data: k }, 10, 500))
+            black_box(idx.insert(
+                Key(k),
+                VersionedValue { version: 1, data: k },
+                10,
+                Ttl::Rounds(500),
+            ))
         })
     });
 }
@@ -52,7 +57,7 @@ fn bench_purge(c: &mut Criterion) {
                 let mut idx = PartialIndex::new(256);
                 for i in 0..200u64 {
                     let ttl = if i % 2 == 0 { 10 } else { 1_000 };
-                    idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, ttl);
+                    idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, Ttl::Rounds(ttl));
                 }
                 idx
             },

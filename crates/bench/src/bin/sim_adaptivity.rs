@@ -7,17 +7,24 @@
 //! and then recover as the TTL mechanism re-learns the head — without any
 //! coordination or reconfiguration.
 
-use pdht_bench::{f1, f3, print_table, write_csv};
+use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv};
 use pdht_core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
 use pdht_model::Scenario;
 use pdht_zipf::{PopularityShift, RankMap};
 
 fn main() {
+    let args = parse_sim_args();
+    println!(
+        "S3 configuration: overlay = {:?}, latency = {:?}{}",
+        args.overlay,
+        args.latency,
+        if args.smoke { ", smoke mode" } else { "" }
+    );
     let scenario = Scenario::table1_scaled(20); // 1 000 peers, 2 000 keys
     let keys = scenario.keys as usize;
-    let shift_round = 400u64;
-    let total_rounds = 900u64;
-    let window = 50u64;
+    let shift_round = if args.smoke { 80 } else { 400u64 };
+    let total_rounds = if args.smoke { 200 } else { 900u64 };
+    let window = if args.smoke { 20 } else { 50u64 };
 
     let shift = PopularityShift::new(vec![
         (0, RankMap::identity(keys)),
@@ -26,10 +33,12 @@ fn main() {
     .expect("valid schedule");
 
     let mut cfg = PdhtConfig::new(scenario, 1.0 / 30.0, Strategy::Partial);
+    cfg.overlay = args.overlay;
+    cfg.latency = args.latency;
     cfg.shift = Some(shift);
     // A modest fixed TTL keeps the re-learning period visible at this time
     // scale (the Table-1 TTL of ~10^3 rounds would stretch the plot).
-    cfg.ttl_policy = TtlPolicy::Fixed(120);
+    cfg.ttl_policy = TtlPolicy::Fixed(if args.smoke { 40 } else { 120 });
     cfg.purge_stride = 4;
     cfg.seed = 0xada_2004;
 

@@ -12,8 +12,8 @@
 //! misses where Eq. 16 charges every query — but the *ordering* of the
 //! strategies and the adaptive index size must reproduce.
 
-use pdht_bench::{f1, f3, print_table, write_csv};
-use pdht_core::{PdhtConfig, PdhtNetwork, Strategy};
+use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, SimArgs};
+use pdht_core::{LatencyConfig, PdhtConfig, PdhtNetwork, Strategy};
 use pdht_model::figures::freq_label;
 use pdht_model::{Scenario, SelectionModel, StrategyCosts};
 
@@ -31,27 +31,50 @@ fn run_strategy(
     strategy: Strategy,
     rounds: u64,
     warmup: u64,
+    args: &SimArgs,
 ) -> (f64, f64, f64) {
     let mut cfg = PdhtConfig::new(scenario.clone(), f_qry, strategy);
     cfg.seed = 0x51_2004;
+    cfg.overlay = args.overlay;
+    cfg.latency = args.latency;
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
     net.run(rounds);
     let rep = net.report(warmup, rounds - 1);
+    if args.latency != LatencyConfig::Zero {
+        if let Some(lat) = rep.query_latency_us {
+            println!(
+                "  {strategy:?}: query latency p50/p95/p99 = {:.1}/{:.1}/{:.1} ms over {} queries",
+                lat.p50 as f64 / 1e3,
+                lat.p95 as f64 / 1e3,
+                lat.p99 as f64 / 1e3,
+                lat.count
+            );
+        }
+    }
     (rep.msgs_per_round_model_view(), rep.p_indexed, rep.indexed_keys)
 }
 
 fn main() {
-    let scenario = Scenario::table1_scaled(10); // 2 000 peers, 4 000 keys
-    let freqs = [1.0 / 30.0, 1.0 / 120.0, 1.0 / 600.0];
+    let args = parse_sim_args();
+    println!(
+        "S2 configuration: overlay = {:?}, latency = {:?}{}",
+        args.overlay,
+        args.latency,
+        if args.smoke { ", smoke mode" } else { "" }
+    );
+    let scenario =
+        if args.smoke { Scenario::table1_scaled(20) } else { Scenario::table1_scaled(10) };
+    let freqs: &[f64] =
+        if args.smoke { &[1.0 / 30.0] } else { &[1.0 / 30.0, 1.0 / 120.0, 1.0 / 600.0] };
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
-    for &f_qry in &freqs {
+    for &f_qry in freqs {
         let model = StrategyCosts::evaluate(&scenario, f_qry).expect("model");
         let sel = SelectionModel::evaluate(&scenario, f_qry).expect("model");
         // Steady state needs ~keyTtl rounds for the TTL index; bound the
         // runtime while letting the index reach equilibrium.
         let ttl = sel.key_ttl.min(400.0) as u64;
-        let rounds = (2 * ttl + 200).min(900);
+        let rounds = if args.smoke { 60 } else { (2 * ttl + 200).min(900) };
         let warmup = rounds / 2;
 
         let mut results: Vec<RunResult> = Vec::new();
@@ -61,7 +84,7 @@ fn main() {
             ("noIndex", Strategy::NoIndex, model.no_index),
         ] {
             let (sim_msgs, p_indexed, indexed) =
-                run_strategy(&scenario, f_qry, strategy, rounds, warmup);
+                run_strategy(&scenario, f_qry, strategy, rounds, warmup, &args);
             results.push(RunResult {
                 strategy: name,
                 model_msgs,
@@ -86,8 +109,9 @@ fn main() {
             .collect();
         print_table(
             &format!(
-                "S2 sim-vs-model at fQry = {} (scale 1/10, {} rounds, keyTtl = {:.0})",
+                "S2 sim-vs-model at fQry = {} (1/{} scale, {} rounds, keyTtl = {:.0})",
                 freq_label(f_qry),
+                if args.smoke { 20 } else { 10 },
                 rounds,
                 sel.key_ttl
             ),
@@ -129,6 +153,17 @@ fn main() {
         }
     }
 
+    if args.smoke {
+        let path = write_csv(
+            "sim_vs_model",
+            &["f_qry", "strategy", "model_msgs", "sim_msgs", "sim_p_indexed", "sim_indexed_keys"],
+            &csv_rows,
+        )
+        .expect("write results CSV");
+        println!("\nsmoke mode: skipping the full Table-1 run; wrote {}", path.display());
+        return;
+    }
+
     // --- Full Table-1 scale: the headline ordering ---------------------
     // At 20 000 peers the broadcast cost (720 msg) dwarfs index search, so
     // the model predicts the selection algorithm beats BOTH baselines at
@@ -152,6 +187,8 @@ fn main() {
     ] {
         let mut cfg = PdhtConfig::new(full.clone(), f_qry, strategy);
         cfg.seed = 0x51_2004;
+        cfg.overlay = args.overlay;
+        cfg.latency = args.latency;
         cfg.ttl_policy = pdht_core::TtlPolicy::Fixed(ttl);
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.run(rounds);

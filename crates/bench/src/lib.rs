@@ -91,3 +91,103 @@ mod tests {
         assert_eq!(f1(719.96), "720.0");
     }
 }
+
+/// Command-line flags shared by the simulation bins (S2/S3): overlay
+/// substrate, latency model, and a CI-friendly smoke mode.
+#[derive(Clone, Copy, Debug)]
+pub struct SimArgs {
+    /// `--overlay trie|chord` (default: trie, the paper's substrate).
+    pub overlay: pdht_core::OverlayKind,
+    /// `--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA`
+    /// (default: zero, the paper's whole-round semantics).
+    pub latency: pdht_core::LatencyConfig,
+    /// `--smoke`: shrink rounds/scale so CI can exercise the bin quickly.
+    pub smoke: bool,
+}
+
+/// Parses the shared simulation flags from `std::env::args`, exiting with a
+/// usage message on anything unrecognized.
+pub fn parse_sim_args() -> SimArgs {
+    use pdht_core::{LatencyConfig, OverlayKind};
+    let usage = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: [--overlay trie|chord] \
+             [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] [--smoke]"
+        );
+        std::process::exit(2);
+    };
+    let mut args =
+        SimArgs { overlay: OverlayKind::Trie, latency: LatencyConfig::Zero, smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--overlay" => {
+                let v = it.next().unwrap_or_else(|| usage("--overlay needs a value"));
+                args.overlay = match v.as_str() {
+                    "trie" => OverlayKind::Trie,
+                    "chord" => OverlayKind::Chord,
+                    other => usage(&format!("unknown overlay {other:?}")),
+                };
+            }
+            "--latency" => {
+                let v = it.next().unwrap_or_else(|| usage("--latency needs a value"));
+                args.latency = parse_latency(&v).unwrap_or_else(|e| usage(&e));
+            }
+            "--smoke" => args.smoke = true,
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+/// Parses a latency-model spec (`zero`, `uniform:LO_MS,HI_MS`,
+/// `lognormal:MEDIAN_MS,SIGMA`).
+///
+/// # Errors
+/// Returns a human-readable description of the malformed spec.
+pub fn parse_latency(spec: &str) -> Result<pdht_core::LatencyConfig, String> {
+    use pdht_core::LatencyConfig;
+    if spec == "zero" {
+        return Ok(LatencyConfig::Zero);
+    }
+    let two = |body: &str, what: &str| -> Result<(f64, f64), String> {
+        let (a, b) = body
+            .split_once(',')
+            .ok_or_else(|| format!("{what} needs two comma-separated numbers, got {body:?}"))?;
+        let a = a.trim().parse::<f64>().map_err(|e| format!("bad {what} number {a:?}: {e}"))?;
+        let b = b.trim().parse::<f64>().map_err(|e| format!("bad {what} number {b:?}: {e}"))?;
+        Ok((a, b))
+    };
+    if let Some(body) = spec.strip_prefix("uniform:") {
+        let (lo_ms, hi_ms) = two(body, "uniform")?;
+        return Ok(LatencyConfig::Uniform { lo_ms, hi_ms });
+    }
+    if let Some(body) = spec.strip_prefix("lognormal:") {
+        let (median_ms, sigma) = two(body, "lognormal")?;
+        return Ok(LatencyConfig::LogNormal { median_ms, sigma });
+    }
+    Err(format!("unknown latency model {spec:?}"))
+}
+
+#[cfg(test)]
+mod latency_spec_tests {
+    use super::parse_latency;
+    use pdht_core::LatencyConfig;
+
+    #[test]
+    fn parses_all_model_specs() {
+        assert_eq!(parse_latency("zero").unwrap(), LatencyConfig::Zero);
+        assert_eq!(
+            parse_latency("uniform:5,20").unwrap(),
+            LatencyConfig::Uniform { lo_ms: 5.0, hi_ms: 20.0 }
+        );
+        assert_eq!(
+            parse_latency("lognormal:30,0.5").unwrap(),
+            LatencyConfig::LogNormal { median_ms: 30.0, sigma: 0.5 }
+        );
+        assert!(parse_latency("gaussian:1,2").is_err());
+        assert!(parse_latency("uniform:5").is_err());
+        assert!(parse_latency("lognormal:a,b").is_err());
+    }
+}

@@ -4,7 +4,8 @@ use crate::admission::AdmissionPolicy;
 use crate::ttl::TtlPolicy;
 use pdht_model::Scenario;
 use pdht_overlay::ChurnConfig;
-use pdht_types::{PdhtError, Result};
+use pdht_sim::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
+use pdht_types::{PdhtError, Result, SimTime};
 use pdht_zipf::PopularityShift;
 
 /// Which indexing strategy the network runs (the three lines of Fig. 1).
@@ -32,6 +33,80 @@ pub enum OverlayKind {
     Chord,
 }
 
+/// Which per-hop latency model drives the message-granular engine.
+///
+/// [`LatencyConfig::Zero`] reproduces the whole-round semantics of the
+/// paper's cost model (every hop lands instantly, queries resolve in issue
+/// order); the non-zero models give each forwarded message (or parallel
+/// message wave) a virtual-time delay, surfacing per-query latency and
+/// in-flight queries crossing churn.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LatencyConfig {
+    /// Every hop lands instantly (the default; bit-compatible with the
+    /// pre-message-level engine's accounting).
+    #[default]
+    Zero,
+    /// Uniform delay in `[lo_ms, hi_ms]` milliseconds.
+    Uniform {
+        /// Lower bound in milliseconds.
+        lo_ms: f64,
+        /// Upper bound in milliseconds.
+        hi_ms: f64,
+    },
+    /// Log-normal delay (heavy-tailed WAN RTTs) with the given median and
+    /// shape.
+    LogNormal {
+        /// Median delay in milliseconds.
+        median_ms: f64,
+        /// Shape of the underlying normal (`0` = constant).
+        sigma: f64,
+    },
+}
+
+impl LatencyConfig {
+    /// Instantiates the model (validated configurations never panic).
+    pub(crate) fn build(&self) -> Box<dyn LatencyModel> {
+        match *self {
+            LatencyConfig::Zero => Box::new(ZeroLatency),
+            LatencyConfig::Uniform { lo_ms, hi_ms } => Box::new(UniformLatency::new(
+                SimTime::from_secs_f64(lo_ms / 1e3),
+                SimTime::from_secs_f64(hi_ms / 1e3),
+            )),
+            LatencyConfig::LogNormal { median_ms, sigma } => {
+                Box::new(LogNormalLatency::new(SimTime::from_secs_f64(median_ms / 1e3), sigma))
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match *self {
+            LatencyConfig::Zero => Ok(()),
+            LatencyConfig::Uniform { lo_ms, hi_ms } => {
+                if !(lo_ms.is_finite() && hi_ms.is_finite()) || lo_ms < 0.0 || hi_ms < lo_ms {
+                    return Err(PdhtError::InvalidConfig {
+                        param: "latency",
+                        reason: format!(
+                            "uniform bounds need 0 <= lo <= hi, got [{lo_ms}, {hi_ms}] ms"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            LatencyConfig::LogNormal { median_ms, sigma } => {
+                if !median_ms.is_finite() || median_ms <= 0.0 || !sigma.is_finite() || sigma < 0.0 {
+                    return Err(PdhtError::InvalidConfig {
+                        param: "latency",
+                        reason: format!(
+                            "log-normal needs median > 0 and sigma >= 0, got ({median_ms} ms, {sigma})"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Full harness configuration.
 #[derive(Clone, Debug)]
 pub struct PdhtConfig {
@@ -50,6 +125,12 @@ pub struct PdhtConfig {
     /// Churn model. [`ChurnConfig::none`] reproduces the analytical setting
     /// where `env` alone prices maintenance.
     pub churn: ChurnConfig,
+    /// Per-hop message latency model.
+    pub latency: LatencyConfig,
+    /// Abandon in-flight queries older than this many (virtual) seconds;
+    /// `None` disables timeouts. Only meaningful with a non-zero latency
+    /// model — under [`LatencyConfig::Zero`] queries resolve instantly.
+    pub query_timeout_secs: Option<f64>,
     /// Optional popularity-shift schedule (adaptivity experiments).
     pub shift: Option<PopularityShift>,
     /// Metadata keys per article (Table 1: 20).
@@ -80,6 +161,8 @@ impl PdhtConfig {
             ttl_policy: TtlPolicy::FromModel { factor: 1.0 },
             admission: AdmissionPolicy::Always,
             churn: ChurnConfig::none(),
+            latency: LatencyConfig::Zero,
+            query_timeout_secs: None,
             shift: None,
             keys_per_article: 20,
             walkers: 16,
@@ -97,6 +180,15 @@ impl PdhtConfig {
     /// Returns the first domain violation found.
     pub fn validate(&self) -> Result<()> {
         self.scenario.validate()?;
+        self.latency.validate()?;
+        if let Some(t) = self.query_timeout_secs {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(PdhtError::InvalidConfig {
+                    param: "query_timeout_secs",
+                    reason: format!("must be finite and > 0, got {t}"),
+                });
+            }
+        }
         if !self.f_qry.is_finite() || self.f_qry < 0.0 {
             return Err(PdhtError::InvalidConfig {
                 param: "f_qry",
@@ -193,6 +285,33 @@ mod tests {
 
         let mut c = base();
         c.purge_stride = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn latency_and_timeout_bounds_are_checked() {
+        let mut c = base();
+        c.latency = LatencyConfig::Uniform { lo_ms: 5.0, hi_ms: 1.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.latency = LatencyConfig::Uniform { lo_ms: -1.0, hi_ms: 1.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.latency = LatencyConfig::LogNormal { median_ms: 0.0, sigma: 1.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.latency = LatencyConfig::LogNormal { median_ms: 20.0, sigma: -0.5 };
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.latency = LatencyConfig::Uniform { lo_ms: 1.0, hi_ms: 50.0 };
+        c.query_timeout_secs = Some(2.0);
+        assert!(c.validate().is_ok());
+
+        c.query_timeout_secs = Some(0.0);
         assert!(c.validate().is_err());
     }
 }

@@ -9,6 +9,7 @@
 //! soonest is evicted first — it is the entry the TTL policy already deems
 //! least worth keeping.
 
+use crate::ttl::Ttl;
 use pdht_gossip::VersionedValue;
 use pdht_types::{fasthash, FastHashMap, Key};
 
@@ -65,10 +66,10 @@ impl PartialIndex {
     /// Looks up `key` at round `now`. On a hit the entry's expiry is reset
     /// to `now + ttl` (the query-refresh rule that makes the index
     /// query-adaptive). Expired entries are treated as absent.
-    pub fn get_and_refresh(&mut self, key: Key, now: u64, ttl: u64) -> Option<VersionedValue> {
+    pub fn get_and_refresh(&mut self, key: Key, now: u64, ttl: Ttl) -> Option<VersionedValue> {
         match self.entries.get_mut(&key) {
             Some(e) if e.expires_at > now => {
-                e.expires_at = now.saturating_add(ttl);
+                e.expires_at = ttl.expires_at(now);
                 Some(e.value)
             }
             _ => None,
@@ -82,8 +83,8 @@ impl PartialIndex {
 
     /// Inserts `key` with expiry `now + ttl`, overwriting only with newer
     /// versions. If at capacity, evicts the soonest-expiring entry.
-    pub fn insert(&mut self, key: Key, value: VersionedValue, now: u64, ttl: u64) -> InsertResult {
-        let expires_at = now.saturating_add(ttl);
+    pub fn insert(&mut self, key: Key, value: VersionedValue, now: u64, ttl: Ttl) -> InsertResult {
+        let expires_at = ttl.expires_at(now);
         if let Some(existing) = self.entries.get_mut(&key) {
             if existing.value.version <= value.version {
                 existing.value = value;
@@ -145,27 +146,27 @@ mod tests {
     #[test]
     fn insert_then_get_within_ttl() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, 5);
-        assert_eq!(idx.get_and_refresh(Key(1), 4, 5), Some(v(1)));
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
+        assert_eq!(idx.get_and_refresh(Key(1), 4, Ttl::Rounds(5)), Some(v(1)));
         assert_eq!(idx.peek(Key(2), 0), None);
     }
 
     #[test]
     fn entries_expire_after_ttl() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, 5);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
         // Expiry at round 5 is exclusive.
         assert_eq!(idx.peek(Key(1), 4), Some(v(1)));
         assert_eq!(idx.peek(Key(1), 5), None);
-        assert_eq!(idx.get_and_refresh(Key(1), 5, 5), None);
+        assert_eq!(idx.get_and_refresh(Key(1), 5, Ttl::Rounds(5)), None);
     }
 
     #[test]
     fn queries_refresh_expiry() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, 5);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
         // Touch at round 4: new expiry 9.
-        assert!(idx.get_and_refresh(Key(1), 4, 5).is_some());
+        assert!(idx.get_and_refresh(Key(1), 4, Ttl::Rounds(5)).is_some());
         assert_eq!(idx.peek(Key(1), 8), Some(v(1)));
         assert_eq!(idx.peek(Key(1), 9), None);
     }
@@ -175,10 +176,10 @@ mod tests {
         // The selection mechanism in miniature: two keys, one queried every
         // round, one never; after ttl rounds only the queried key remains.
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, 3);
-        idx.insert(Key(2), v(1), 0, 3);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(3));
+        idx.insert(Key(2), v(1), 0, Ttl::Rounds(3));
         for now in 1..10 {
-            idx.get_and_refresh(Key(1), now, 3);
+            idx.get_and_refresh(Key(1), now, Ttl::Rounds(3));
             idx.purge_expired(now);
         }
         assert!(idx.peek(Key(1), 9).is_some());
@@ -188,8 +189,8 @@ mod tests {
     #[test]
     fn purge_returns_expired_keys() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, 2);
-        idx.insert(Key(2), v(1), 0, 4);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(2));
+        idx.insert(Key(2), v(1), 0, Ttl::Rounds(4));
         let mut gone = idx.purge_expired(2);
         gone.sort_unstable();
         assert_eq!(gone, vec![Key(1)]);
@@ -199,9 +200,9 @@ mod tests {
     #[test]
     fn capacity_evicts_soonest_expiring() {
         let mut idx = PartialIndex::new(2);
-        assert!(idx.insert(Key(1), v(1), 0, 10).was_new);
-        assert!(idx.insert(Key(2), v(1), 0, 3).was_new); // soonest to expire
-        let res = idx.insert(Key(3), v(1), 0, 7);
+        assert!(idx.insert(Key(1), v(1), 0, Ttl::Rounds(10)).was_new);
+        assert!(idx.insert(Key(2), v(1), 0, Ttl::Rounds(3)).was_new); // soonest to expire
+        let res = idx.insert(Key(3), v(1), 0, Ttl::Rounds(7));
         assert!(res.was_new);
         assert_eq!(res.evicted, Some(Key(2)));
         assert_eq!(idx.len(), 2);
@@ -212,8 +213,8 @@ mod tests {
     #[test]
     fn reinsert_reports_not_new() {
         let mut idx = PartialIndex::new(4);
-        assert!(idx.insert(Key(1), v(1), 0, 5).was_new);
-        let res = idx.insert(Key(1), v(2), 1, 5);
+        assert!(idx.insert(Key(1), v(1), 0, Ttl::Rounds(5)).was_new);
+        let res = idx.insert(Key(1), v(2), 1, Ttl::Rounds(5));
         assert!(!res.was_new);
         assert_eq!(res.evicted, None);
     }
@@ -221,12 +222,12 @@ mod tests {
     #[test]
     fn reinsert_extends_but_never_downgrades_version() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(3), 0, 5);
+        idx.insert(Key(1), v(3), 0, Ttl::Rounds(5));
         // Stale version: value kept, expiry extended.
-        idx.insert(Key(1), v(2), 2, 5);
+        idx.insert(Key(1), v(2), 2, Ttl::Rounds(5));
         assert_eq!(idx.peek(Key(1), 6).unwrap().version, 3);
         // Newer version replaces.
-        idx.insert(Key(1), v(4), 3, 5);
+        idx.insert(Key(1), v(4), 3, Ttl::Rounds(5));
         assert_eq!(idx.peek(Key(1), 4).unwrap().version, 4);
         assert_eq!(idx.len(), 1);
     }
@@ -234,15 +235,15 @@ mod tests {
     #[test]
     fn reinsert_never_shortens_expiry() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(1), 0, 10);
-        idx.insert(Key(1), v(1), 1, 2); // would expire at 3 < 10
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(10));
+        idx.insert(Key(1), v(1), 1, Ttl::Rounds(2)); // would expire at 3 < 10
         assert!(idx.peek(Key(1), 9).is_some(), "expiry must keep the max");
     }
 
     #[test]
     fn zero_capacity_index_stores_nothing() {
         let mut idx = PartialIndex::new(0);
-        idx.insert(Key(1), v(1), 0, 5);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
         assert!(idx.is_empty());
         assert_eq!(idx.peek(Key(1), 0), None);
     }
@@ -250,8 +251,8 @@ mod tests {
     #[test]
     fn remove_and_iter() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(1), 0, 5);
-        idx.insert(Key(2), v(2), 0, 5);
+        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
+        idx.insert(Key(2), v(2), 0, Ttl::Rounds(5));
         assert_eq!(idx.iter().count(), 2);
         assert!(idx.remove(Key(1)));
         assert!(!idx.remove(Key(1)));
@@ -261,7 +262,10 @@ mod tests {
     #[test]
     fn saturating_ttl_does_not_overflow() {
         let mut idx = PartialIndex::new(2);
-        idx.insert(Key(1), v(1), u64::MAX - 1, u64::MAX);
+        idx.insert(Key(1), v(1), u64::MAX - 1, Ttl::Rounds(u64::MAX));
         assert!(idx.peek(Key(1), u64::MAX - 1).is_some());
+        // Infinite TTL entries survive any clock.
+        idx.insert(Key(2), v(1), 0, Ttl::Infinite);
+        assert!(idx.peek(Key(2), u64::MAX - 1).is_some());
     }
 }

@@ -39,7 +39,9 @@ pub mod network;
 pub mod ttl;
 
 pub use admission::{AdmissionFilter, AdmissionPolicy};
-pub use config::{OverlayKind, PdhtConfig, Strategy, DEFAULT_SEED};
+pub use config::{LatencyConfig, OverlayKind, PdhtConfig, Strategy, DEFAULT_SEED};
 pub use index::{IndexEntry, InsertResult, PartialIndex};
-pub use network::{PdhtNetwork, RoundPhase, SimReport};
-pub use ttl::{model_key_ttl, AdaptiveTtl, TtlPolicy};
+pub use network::{
+    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
+};
+pub use ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};

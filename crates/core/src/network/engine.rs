@@ -1,29 +1,95 @@
-//! Round orchestration.
+//! Round orchestration over a message-granular event queue.
 //!
 //! [`PdhtNetwork::step_round`] does not run phases inline: it schedules one
 //! [`RoundPhase`] event per phase on a [`pdht_sim::EventQueue`] at staggered
 //! sub-round instants, then drains the queue in virtual-time order and
 //! dispatches each event to its handler in [`super::maintenance`] /
 //! [`super::routing`]. The queue's total pop order (ties break by insertion)
-//! keeps runs bit-for-bit reproducible, and gives future work (per-peer
-//! events, async/sharded execution, latency modelling) a seam to hook into
-//! without touching the phase handlers.
+//! keeps runs bit-for-bit reproducible.
+//!
+//! Since the message-level refactor the queue carries [`NetEvent`]s, not
+//! bare phases: the query pipeline in [`super::routing`] runs as a state
+//! machine over in-flight queries, scheduling one [`NetEvent::MessageArrival`]
+//! per forwarded message (or parallel message wave) with a delay drawn from
+//! the configured [`crate::LatencyConfig`]. Zero-delay steps are executed
+//! inline in issue order — which is exactly the old synchronous semantics,
+//! so a [`crate::LatencyConfig::Zero`] run reproduces the phase-granular
+//! engine's accounting bit-for-bit. Non-zero delays let queries interleave,
+//! cross round boundaries, and race churn, and populate the per-query
+//! latency histograms surfaced in [`SimReport`].
 
 use crate::admission::AdmissionFilter;
 use crate::config::{OverlayKind, PdhtConfig, Strategy};
 use crate::network::peer::PeerStores;
-use crate::ttl::{model_key_ttl, AdaptiveTtl, TtlPolicy};
+use crate::network::routing::QueryCtx;
+use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
 use pdht_overlay::{ChordOverlay, ChurnModel, Overlay, TrieOverlay};
-use pdht_sim::{EventQueue, Metrics, RoundDriver};
-use pdht_types::{Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
+use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver};
+use pdht_types::{FastHashMap, Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
 use pdht_unstructured::{Replication, Topology};
 use pdht_workload::{QueryWorkload, UpdateProcess};
 use rand::rngs::SmallRng;
 
-/// TTL used for entries that must never expire (IndexAll stores).
-pub(crate) const NEVER: u64 = u64::MAX / 4;
+/// Identifier of an in-flight query (unique within one network's lifetime).
+pub type QueryId = u64;
+
+/// An event on the engine's virtual-time queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A round phase comes due.
+    Phase(RoundPhase),
+    /// A message of an in-flight query lands at its destination: advance
+    /// that query's state machine by one step.
+    MessageArrival {
+        /// The query whose message arrived.
+        query: QueryId,
+        /// The query's step counter when the message was sent (diagnostics
+        /// for hooks; arrival for a query no longer in flight is ignored).
+        hop: u32,
+    },
+    /// An in-flight query's deadline expired: abandon it if still running.
+    QueryTimeout {
+        /// The query to abandon.
+        query: QueryId,
+    },
+}
+
+/// Where in the event stream an [`EventHook`] observation fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HookPoint {
+    /// A round phase is about to dispatch — the seam for injecting faults
+    /// at precise instants (e.g. a blackout between `Churn` and `Queries`).
+    BeforePhase {
+        /// The round being executed.
+        round: u64,
+        /// The phase about to run.
+        phase: RoundPhase,
+    },
+    /// A message-level event (arrival or timeout) is about to dispatch.
+    BeforeMessage {
+        /// The round the event fires in.
+        round: u64,
+        /// The in-flight query it belongs to.
+        query: QueryId,
+    },
+}
+
+/// A fault an [`EventHook`] can inject at the observed instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HookAction {
+    /// Knock a uniform fraction of all peers offline at once (they rejoin
+    /// through the configured churn process).
+    Blackout {
+        /// Fraction of peers to take down, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// An experiment hook observing event boundaries; returned actions are
+/// applied before the event dispatches.
+pub type EventHook = Box<dyn FnMut(HookPoint) -> Vec<HookAction>>;
 
 /// One phase of a simulated round, scheduled on the engine's event queue.
 ///
@@ -89,14 +155,23 @@ pub struct PdhtNetwork {
     pub(crate) probe_rate: f64,
     pub(crate) metrics: Metrics,
     pub(crate) driver: RoundDriver,
-    /// Virtual-time queue sequencing each round's phases.
-    pub(crate) events: EventQueue<RoundPhase>,
+    /// Virtual-time queue sequencing phases and in-flight query messages.
+    pub(crate) events: EventQueue<NetEvent>,
+    /// In-flight queries, keyed by [`QueryId`]. Empty whenever every hop
+    /// delay is zero (steps run inline).
+    pub(crate) inflight: FastHashMap<QueryId, QueryCtx>,
+    pub(crate) next_query_id: QueryId,
+    /// Per-hop delay model built from [`PdhtConfig::latency`].
+    pub(crate) latency: Box<dyn LatencyModel>,
+    /// Experiment hook observing phase/message boundaries.
+    pub(crate) hook: Option<EventHook>,
     // Component RNG streams.
     pub(crate) rng_churn: SmallRng,
     pub(crate) rng_workload: SmallRng,
     pub(crate) rng_overlay: SmallRng,
     pub(crate) rng_search: SmallRng,
     pub(crate) rng_updates: SmallRng,
+    pub(crate) rng_latency: SmallRng,
     // Cumulative outcome counters.
     pub(crate) hits: u64,
     pub(crate) misses: u64,
@@ -104,6 +179,7 @@ pub struct PdhtNetwork {
     pub(crate) lookup_failures: u64,
     pub(crate) search_failures: u64,
     pub(crate) skipped_offline: u64,
+    pub(crate) query_timeouts: u64,
 }
 
 /// Aggregated results over a round window.
@@ -130,6 +206,16 @@ pub struct SimReport {
     /// Queries skipped because their origin was offline, within the
     /// window.
     pub skipped_offline: u64,
+    /// In-flight queries abandoned by timeout, within the window (always 0
+    /// without a configured `query_timeout_secs`).
+    pub query_timeouts: u64,
+    /// Per-query forwarding steps (message hops/waves), cumulative over the
+    /// whole run so far — histograms are not windowed.
+    pub query_hops: Option<HistogramSummary>,
+    /// Per-query virtual-time latency in microseconds, cumulative over the
+    /// whole run so far. Timed-out queries are included, censored at their
+    /// abandonment instant. All-zero under [`crate::LatencyConfig::Zero`].
+    pub query_latency_us: Option<HistogramSummary>,
 }
 
 impl SimReport {
@@ -267,7 +353,7 @@ impl PdhtNetwork {
                     let value = VersionedValue { version: 1, data: i as u64 };
                     let group = o.group_of_key(key);
                     for &member in o.group_members(group) {
-                        let res = peers.insert(member, key, value, 0, NEVER);
+                        let res = peers.insert(member, key, value, 0, Ttl::Infinite);
                         debug_assert!(res.evicted.is_none(), "preload must fit");
                     }
                 }
@@ -275,12 +361,15 @@ impl PdhtNetwork {
         }
 
         let cfg_admission = cfg.admission;
+        let latency = cfg.latency.build();
         Ok(PdhtNetwork {
             rng_churn: streams.stream("churn-run"),
             rng_workload: streams.stream("workload"),
             rng_overlay: streams.stream("overlay"),
             rng_search: streams.stream("search"),
             rng_updates: streams.stream("updates"),
+            rng_latency: streams.stream("latency"),
+            latency,
             cfg,
             keys,
             article_of,
@@ -301,12 +390,16 @@ impl PdhtNetwork {
             metrics: Metrics::new(),
             driver: RoundDriver::new(),
             events: EventQueue::new(),
+            inflight: pdht_types::fasthash::map_with_capacity(64),
+            next_query_id: 0,
+            hook: None,
             hits: 0,
             misses: 0,
             stale_hits: 0,
             lookup_failures: 0,
             search_failures: 0,
             skipped_offline: 0,
+            query_timeouts: 0,
         })
     }
 
@@ -346,6 +439,23 @@ impl PdhtNetwork {
         self.churn.force_blackout(fraction, &mut self.rng_churn);
     }
 
+    /// Installs an [`EventHook`] observing every phase and message boundary;
+    /// actions it returns are applied before the event dispatches. Replaces
+    /// any previous hook.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the event hook.
+    pub fn clear_event_hook(&mut self) {
+        self.hook = None;
+    }
+
+    /// Queries currently in flight (always 0 when every hop delay is zero).
+    pub fn queries_in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Runs `n` rounds.
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
@@ -354,13 +464,19 @@ impl PdhtNetwork {
     }
 
     /// Executes one round by scheduling its phases on the event queue and
-    /// draining it in virtual-time order.
+    /// draining it in virtual-time order. Message arrivals of in-flight
+    /// queries interleave with the phases at their own instants; arrivals
+    /// falling beyond the round boundary stay parked and fire in the round
+    /// they belong to.
     pub fn step_round(&mut self) {
         let round = self.driver.next_round();
         // Each phase gets its own instant inside the round; the queue's
         // (time, insertion) order fixes the sequence deterministically.
         for (i, phase) in PHASES.into_iter().enumerate() {
-            self.events.schedule_at(round.start() + SimTime::from_micros(i as u64), phase);
+            self.events.schedule_at(
+                round.start() + SimTime::from_micros(i as u64),
+                NetEvent::Phase(phase),
+            );
         }
         // Drain strictly *within* the round: `pop_until` is inclusive and
         // `round.end()` is the next round's start, so the deadline is one
@@ -368,7 +484,9 @@ impl PdhtNetwork {
         // the next round and must not fire here with this round's number.
         let in_round = round.end() - SimTime::from_micros(1);
         while let Some(scheduled) = self.events.pop_until(in_round) {
-            self.dispatch(scheduled.event, round.0);
+            // Message events carry their own round (they may have been
+            // scheduled rounds ago); within this loop it equals `round`.
+            self.dispatch(scheduled.event, scheduled.time.round().0);
         }
         // Park the clock at the round boundary so external schedulers can
         // target the next round directly.
@@ -376,15 +494,44 @@ impl PdhtNetwork {
         self.driver.advance();
     }
 
-    /// Routes one phase event to its handler.
-    fn dispatch(&mut self, phase: RoundPhase, round: u64) {
-        match phase {
-            RoundPhase::Churn => self.phase_churn(round),
-            RoundPhase::OverlayMaintenance => self.phase_overlay_maintenance(),
-            RoundPhase::PurgeExpired => self.phase_purge_expired(round),
-            RoundPhase::ContentUpdates => self.phase_content_updates(round),
-            RoundPhase::Queries => self.phase_queries(round),
-            RoundPhase::Bookkeeping => self.phase_bookkeeping(round),
+    /// Routes one event to its handler, consulting the hook first.
+    fn dispatch(&mut self, event: NetEvent, round: u64) {
+        if self.hook.is_some() {
+            // Stale message events (arrivals/timeouts of already-resolved
+            // queries) are no-ops and stay invisible to the hook.
+            let point = match event {
+                NetEvent::Phase(phase) => Some(HookPoint::BeforePhase { round, phase }),
+                NetEvent::MessageArrival { query, .. } | NetEvent::QueryTimeout { query } => self
+                    .inflight
+                    .contains_key(&query)
+                    .then_some(HookPoint::BeforeMessage { round, query }),
+            };
+            if let Some(point) = point {
+                self.run_hook(point);
+            }
+        }
+        match event {
+            NetEvent::Phase(RoundPhase::Churn) => self.phase_churn(round),
+            NetEvent::Phase(RoundPhase::OverlayMaintenance) => self.phase_overlay_maintenance(),
+            NetEvent::Phase(RoundPhase::PurgeExpired) => self.phase_purge_expired(round),
+            NetEvent::Phase(RoundPhase::ContentUpdates) => self.phase_content_updates(round),
+            NetEvent::Phase(RoundPhase::Queries) => self.phase_queries(round),
+            NetEvent::Phase(RoundPhase::Bookkeeping) => self.phase_bookkeeping(round),
+            NetEvent::MessageArrival { query, .. } => self.on_message_arrival(query, round),
+            NetEvent::QueryTimeout { query } => self.on_query_timeout(query),
+        }
+    }
+
+    /// Calls the hook (temporarily detached to keep the borrow checker
+    /// happy) and applies any requested actions.
+    fn run_hook(&mut self, point: HookPoint) {
+        let Some(mut hook) = self.hook.take() else { return };
+        let actions = hook(point);
+        self.hook = Some(hook);
+        for action in actions {
+            match action {
+                HookAction::Blackout { fraction } => self.force_blackout(fraction),
+            }
         }
     }
 
@@ -403,6 +550,7 @@ impl PdhtNetwork {
         self.metrics.gauge("lookup_failures", Round(round), self.lookup_failures as f64);
         self.metrics.gauge("stale_hits", Round(round), self.stale_hits as f64);
         self.metrics.gauge("skipped_offline", Round(round), self.skipped_offline as f64);
+        self.metrics.gauge("query_timeouts", Round(round), self.query_timeouts as f64);
         self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
         self.metrics.mark_round(Round(round));
     }
@@ -443,6 +591,13 @@ impl PdhtNetwork {
             stale_hits: Self::gauge_window_delta(&self.metrics, "stale_hits", from, to) as u64,
             skipped_offline: Self::gauge_window_delta(&self.metrics, "skipped_offline", from, to)
                 as u64,
+            query_timeouts: Self::gauge_window_delta(&self.metrics, "query_timeouts", from, to)
+                as u64,
+            query_hops: self.metrics.histogram("query_hops").map(pdht_sim::Histogram::summary),
+            query_latency_us: self
+                .metrics
+                .histogram("query_latency_us")
+                .map(pdht_sim::Histogram::summary),
         }
     }
 
@@ -615,7 +770,7 @@ mod tests {
         // An event parked exactly on the round boundary (the seam external
         // schedulers are promised) must not fire during the earlier round.
         let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
-        net.events.schedule_at(Round(1).start(), RoundPhase::Churn);
+        net.events.schedule_at(Round(1).start(), NetEvent::Phase(RoundPhase::Churn));
         net.step_round();
         assert_eq!(net.events.len(), 1, "boundary event must survive round 0");
         net.step_round();

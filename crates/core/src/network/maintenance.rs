@@ -4,8 +4,9 @@
 //! Each handler corresponds to one [`super::RoundPhase`] scheduled by the
 //! engine; none of them is called from anywhere else.
 
-use super::engine::{PdhtNetwork, NEVER};
+use super::engine::PdhtNetwork;
 use crate::config::Strategy;
+use crate::ttl::Ttl;
 use pdht_gossip::VersionedValue;
 use pdht_sim::Metrics;
 use pdht_types::{MessageKind, PeerId};
@@ -77,7 +78,7 @@ impl PdhtNetwork {
         let Some(donor) = donor else { return };
         self.metrics.record_n(MessageKind::GossipPull, 2);
         for (key, value) in self.peers.snapshot(donor) {
-            self.peers.insert(peer, key, value, round, NEVER);
+            self.peers.insert(peer, key, value, round, Ttl::Infinite);
         }
     }
 
@@ -110,7 +111,7 @@ impl PdhtNetwork {
                     // is current" instead would keep spreaders alive
                     // forever once everyone converged.)
                     let prior = peers.peek(member, key, round).map(|v| v.version);
-                    peers.insert(member, key, value, round, NEVER);
+                    peers.insert(member, key, value, round, Ttl::Infinite);
                     prior.is_none_or(|pv| pv < new_version)
                 },
                 self.churn.liveness(),

@@ -14,16 +14,19 @@
 //! * [`peer`] — per-peer state: every active peer's TTL'd [`crate::PartialIndex`]
 //!   plus the global distinct-key accounting, behind one borrow-friendly
 //!   facade ([`peer::PeerStores`]),
-//! * [`routing`] — query execution: DHT entry, structured lookup, replica
-//!   flood, unstructured broadcast search, and the insert-on-miss path of
-//!   the selection algorithm (Section 5.1),
+//! * [`routing`] — query execution: the Section 5.1 pipeline (DHT entry,
+//!   structured lookup, replica flood, unstructured broadcast search,
+//!   insert-on-miss) as a message-granular state machine over in-flight
+//!   queries — one event per DHT forward, flood frontier level, or walker
+//!   wave, each delayed by the configured [`crate::LatencyConfig`],
 //! * [`maintenance`] — background work: churn transitions and rejoin
 //!   pulls, routing-table probe maintenance, TTL eviction sweeps, and
 //!   update propagation through replica gossip,
-//! * [`engine`] — round orchestration: each round's phases are scheduled
-//!   as [`RoundPhase`] events on a [`pdht_sim::EventQueue`] at staggered
-//!   sub-round instants and dispatched in virtual-time order, with
-//!   [`pdht_sim::RoundDriver`] tracking the round counter.
+//! * [`engine`] — orchestration: round phases and query messages ride one
+//!   deterministic [`pdht_sim::EventQueue`] as [`NetEvent`]s dispatched in
+//!   virtual-time order, with [`pdht_sim::RoundDriver`] tracking the round
+//!   counter, per-query latency histograms feeding [`SimReport`], and
+//!   [`engine::EventHook`]s injecting faults at precise instants.
 //!
 //! The structured overlay is held as a `Box<dyn Overlay>` chosen from
 //! [`crate::PdhtConfig::overlay`] at build time, so the same engine runs
@@ -53,4 +56,6 @@ pub(crate) mod maintenance;
 pub(crate) mod peer;
 pub(crate) mod routing;
 
-pub use engine::{PdhtNetwork, RoundPhase, SimReport};
+pub use engine::{
+    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
+};

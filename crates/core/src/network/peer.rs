@@ -9,6 +9,7 @@
 //! achieve the same).
 
 use crate::index::{InsertResult, PartialIndex};
+use crate::ttl::Ttl;
 use pdht_gossip::VersionedValue;
 use pdht_types::{fasthash, FastHashMap, Key, PeerId};
 
@@ -44,7 +45,7 @@ impl PeerStores {
         key: Key,
         value: VersionedValue,
         now: u64,
-        ttl: u64,
+        ttl: Ttl,
     ) -> InsertResult {
         let res = self.stores[peer.idx()].insert(key, value, now, ttl);
         if res.was_new {
@@ -63,7 +64,7 @@ impl PeerStores {
         peer: PeerId,
         key: Key,
         now: u64,
-        ttl: u64,
+        ttl: Ttl,
     ) -> Option<VersionedValue> {
         self.stores[peer.idx()].get_and_refresh(key, now, ttl)
     }
@@ -105,18 +106,18 @@ mod tests {
     fn distinct_keys_track_copies_not_replicas() {
         let mut p = PeerStores::new(3, 8, 16);
         let k = Key(42);
-        p.insert(PeerId(0), k, V, 0, 10);
-        p.insert(PeerId(1), k, V, 0, 10);
+        p.insert(PeerId(0), k, V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(1), k, V, 0, Ttl::Rounds(10));
         assert_eq!(p.distinct_keys(), 1, "two replicas, one key");
-        p.insert(PeerId(2), Key(43), V, 0, 10);
+        p.insert(PeerId(2), Key(43), V, 0, Ttl::Rounds(10));
         assert_eq!(p.distinct_keys(), 2);
     }
 
     #[test]
     fn purge_releases_accounting() {
         let mut p = PeerStores::new(2, 8, 16);
-        p.insert(PeerId(0), Key(1), V, 0, 5);
-        p.insert(PeerId(1), Key(1), V, 0, 5);
+        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(5));
+        p.insert(PeerId(1), Key(1), V, 0, Ttl::Rounds(5));
         p.purge_expired(PeerId(0), 100);
         assert_eq!(p.distinct_keys(), 1, "one replica still holds the key");
         p.purge_expired(PeerId(1), 100);
@@ -126,8 +127,8 @@ mod tests {
     #[test]
     fn eviction_by_capacity_is_accounted() {
         let mut p = PeerStores::new(1, 1, 4);
-        p.insert(PeerId(0), Key(1), V, 0, 10);
-        let res = p.insert(PeerId(0), Key(2), V, 0, 10);
+        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(10));
+        let res = p.insert(PeerId(0), Key(2), V, 0, Ttl::Rounds(10));
         assert!(res.evicted.is_some(), "capacity 1 must evict");
         assert_eq!(p.distinct_keys(), 1);
         assert!(p.peek(PeerId(0), Key(2), 0).is_some());
@@ -137,8 +138,8 @@ mod tests {
     #[test]
     fn snapshot_returns_live_entries() {
         let mut p = PeerStores::new(1, 8, 4);
-        p.insert(PeerId(0), Key(1), V, 0, 10);
-        p.insert(PeerId(0), Key(2), V, 0, 10);
+        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(0), Key(2), V, 0, Ttl::Rounds(10));
         let mut snap = p.snapshot(PeerId(0));
         snap.sort_by_key(|&(k, _)| k.0);
         assert_eq!(snap.len(), 2);

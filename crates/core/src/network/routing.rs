@@ -1,25 +1,160 @@
 //! Query execution: the selection algorithm's full pipeline over the
-//! structured and unstructured substrates (Section 5.1).
+//! structured and unstructured substrates (Section 5.1), run as a
+//! message-granular state machine.
+//!
+//! Every query is a [`QueryCtx`] advancing through [`QueryStage`]s; each
+//! step performs the work due at the current virtual instant and either
+//! finishes the query or puts one message (or one parallel message wave)
+//! in flight:
+//!
+//! * DHT routing forwards one hop per step
+//!   ([`pdht_overlay::Overlay::next_hop`]),
+//! * the replica-subnetwork flood advances one BFS frontier level per step
+//!   ([`pdht_gossip::ReplicaGroup::flood_wave`]),
+//! * the unstructured broadcast advances one parallel walker wave per step
+//!   ([`pdht_unstructured::RandomWalk::wave`]).
+//!
+//! The delay of each in-flight message is drawn from the configured
+//! [`crate::LatencyConfig`]. A zero delay advances the state machine
+//! *inline* instead of going through the event queue — so under
+//! [`crate::LatencyConfig::Zero`] every query runs to completion in issue
+//! order, consuming the component RNG streams in exactly the order the
+//! synchronous pipeline did, which keeps the accounting bit-for-bit
+//! identical. Non-zero delays interleave queries, let them cross round
+//! boundaries (observing churn and TTL expiry as they go), and populate
+//! the `query_hops` / `query_latency_us` histograms.
 
-use super::engine::{PdhtNetwork, NEVER};
+use super::engine::{NetEvent, PdhtNetwork, QueryId};
 use crate::config::Strategy;
-use pdht_gossip::VersionedValue;
+use crate::ttl::Ttl;
+use pdht_gossip::{FloodWave, VersionedValue};
+use pdht_overlay::{HopOutcome, LookupState};
 use pdht_sim::Metrics;
-use pdht_types::{MessageKind, PeerId};
-use pdht_unstructured::random_walks;
+use pdht_types::{Key, MessageKind, PeerId, SimTime};
+use pdht_unstructured::{RandomWalk, SearchOutcome, WalkWave};
 use pdht_workload::Query;
 
+/// Why a broadcast search is running — determines how its outcome is
+/// accounted, mirroring the three broadcast call sites of the synchronous
+/// pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkMode {
+    /// `Strategy::NoIndex`: every query broadcasts; a success is a "miss"
+    /// in index terms, a failure counts only as a search failure.
+    NoIndex,
+    /// The index was unreachable (no entry peer / routing dead-end): pure
+    /// fallback, never inserts.
+    Fallback,
+    /// The index missed: a found key is (subject to admission) inserted at
+    /// the responsible replicas.
+    IndexMiss,
+}
+
+/// The pipeline position of an in-flight query.
+enum QueryStage {
+    /// Structured routing towards a responsible peer.
+    Route {
+        /// Resumable lookup state (one forward per step).
+        lookup: LookupState,
+    },
+    /// Replica-subnetwork flood after a local miss (Eq. 16).
+    Flood {
+        /// Resumable BFS frontier (one level per step).
+        flood: FloodWave,
+    },
+    /// Unstructured broadcast search.
+    Walk {
+        /// Resumable walker positions (one parallel wave per step).
+        walk: RandomWalk,
+        /// How to account the outcome.
+        mode: WalkMode,
+    },
+    /// Routing the found key back towards its responsible replicas
+    /// (selection algorithm's insert-on-miss; hops count as `IndexInsert`).
+    InsertRoute {
+        /// Resumable lookup state from the original entry peer.
+        lookup: LookupState,
+        /// The value to index, fixed when the broadcast resolved.
+        value: VersionedValue,
+    },
+    /// Distributing the found key through the replica subnetwork.
+    InsertFlood {
+        /// Resumable BFS frontier delivering the insert.
+        flood: FloodWave,
+        /// The value being distributed.
+        value: VersionedValue,
+    },
+}
+
+/// An in-flight query: everything the state machine needs between events.
+pub(crate) struct QueryCtx {
+    id: QueryId,
+    /// The querying peer (fallback broadcasts start here).
+    origin: PeerId,
+    key: Key,
+    key_index: usize,
+    article: u32,
+    /// The DHT peer the query entered through (the insert route starts
+    /// here, as in the synchronous pipeline).
+    entry: PeerId,
+    /// The key's replica-group index, resolved once at issue (loop
+    /// invariant; flood waves would otherwise re-run the ring binary
+    /// search every level under Chord).
+    group: usize,
+    /// TTL captured at issue time (the adaptive controller may move
+    /// `ttl_rounds` while the query is in flight).
+    ttl: Ttl,
+    issued_at: SimTime,
+    /// Forwarding steps so far (message hops / parallel waves).
+    steps: u32,
+    /// Whether a timeout event has been scheduled for this query.
+    timeout_armed: bool,
+    stage: QueryStage,
+}
+
+/// What one state-machine step did.
+enum StepFate {
+    /// The query resolved; its context can be dropped.
+    Done,
+    /// A message (or wave) is now in flight; the next step runs when it
+    /// lands.
+    Next,
+}
+
 impl PdhtNetwork {
-    /// Query phase: drives the round's workload through the pipeline.
+    /// Query phase: issues the round's workload into the state machine.
+    /// With zero hop latency every query completes inline, in issue order.
     pub(crate) fn phase_queries(&mut self, round: u64) {
         let queries = self.workload.round_queries(round, &mut self.rng_workload);
         for q in queries {
-            self.process_query(q, round);
+            self.start_query(q, round);
         }
     }
 
-    /// The full query pipeline.
-    fn process_query(&mut self, q: Query, round: u64) {
+    /// Advances the query whose message just landed. Arrivals for queries
+    /// no longer in flight (answered or timed out) are ignored.
+    pub(crate) fn on_message_arrival(&mut self, id: QueryId, round: u64) {
+        if let Some(ctx) = self.inflight.remove(&id) {
+            self.drive_query(ctx, round);
+        }
+    }
+
+    /// Abandons an in-flight query whose deadline expired: accounted as a
+    /// miss plus a timeout (stale timeouts for completed queries are
+    /// no-ops). The query still enters the latency histograms, censored at
+    /// its abandonment instant — dropping it would bias the percentiles
+    /// toward the survivors.
+    pub(crate) fn on_query_timeout(&mut self, id: QueryId) {
+        if let Some(ctx) = self.inflight.remove(&id) {
+            self.query_timeouts += 1;
+            self.record_outcome(false, ctx.article, None);
+            self.observe_query_done(ctx.steps, ctx.issued_at);
+        }
+    }
+
+    /// Issues one query: resolves its DHT entry (or starts a broadcast)
+    /// and drives the state machine until it completes or goes in flight.
+    fn start_query(&mut self, q: Query, round: u64) {
         if !self.churn.liveness().is_online(q.origin) {
             self.skipped_offline += 1;
             return;
@@ -27,124 +162,369 @@ impl PdhtNetwork {
         let key = self.keys[q.key_index];
         let article = self.article_of[q.key_index];
 
-        match self.cfg.strategy {
-            Strategy::NoIndex => {
-                let found = self.broadcast_search(q.origin, article);
-                if found.is_none() {
-                    self.search_failures += 1;
-                } else {
-                    self.misses += 1; // every query is a "miss" in index terms
-                }
-            }
-            Strategy::IndexAll | Strategy::Partial => {
-                let is_partial = self.cfg.strategy == Strategy::Partial;
-                let ttl = if is_partial { self.ttl_rounds } else { NEVER };
-
-                // Entry into the DHT.
-                let entry = self.dht_entry(q.origin);
-                let Some(entry) = entry else {
-                    // Index unreachable: fall back to pure broadcast.
-                    if self.broadcast_search(q.origin, article).is_none() {
-                        self.search_failures += 1;
-                    }
-                    self.record_outcome(false, article, None);
+        let stage = match self.cfg.strategy {
+            Strategy::NoIndex => match self.begin_walk(q.origin, article) {
+                Ok(walk) => QueryStage::Walk { walk, mode: WalkMode::NoIndex },
+                Err(resolved) => {
+                    self.resolve_walk(WalkMode::NoIndex, resolved.found.is_some(), article);
+                    self.finish_inline();
                     return;
-                };
-
-                // Route to a responsible peer.
-                let arrival = {
+                }
+            },
+            Strategy::IndexAll | Strategy::Partial => match self.dht_entry(q.origin) {
+                Some(entry) => {
                     let o = self.overlay.as_deref().expect("entry implies overlay");
-                    let live = self.churn.liveness();
-                    o.lookup(entry, key, live, &mut self.rng_overlay, &mut self.metrics)
-                };
-                let responsible = match arrival {
-                    Ok(out) => out.peer,
-                    Err(_) => {
-                        self.lookup_failures += 1;
-                        if self.broadcast_search(q.origin, article).is_none() {
-                            self.search_failures += 1;
-                        }
-                        self.record_outcome(false, article, None);
+                    QueryStage::Route { lookup: o.begin_lookup(entry, key) }
+                }
+                // Index unreachable: fall back to pure broadcast.
+                None => match self.begin_walk(q.origin, article) {
+                    Ok(walk) => QueryStage::Walk { walk, mode: WalkMode::Fallback },
+                    Err(resolved) => {
+                        self.resolve_walk(WalkMode::Fallback, resolved.found.is_some(), article);
+                        self.finish_inline();
                         return;
                     }
-                };
+                },
+            },
+        };
 
-                // Local index check (refreshes TTL on hit).
-                if let Some(v) = self.peers.get_and_refresh(responsible, key, round, ttl) {
-                    self.record_outcome(true, article, Some(v));
+        let is_partial = self.cfg.strategy == Strategy::Partial;
+        let (entry, group) = match stage {
+            QueryStage::Route { ref lookup } => (lookup.current, lookup.target_group),
+            _ => (q.origin, 0),
+        };
+        let ctx = QueryCtx {
+            id: self.next_query_id,
+            origin: q.origin,
+            key,
+            key_index: q.key_index,
+            article,
+            entry,
+            group,
+            ttl: if is_partial { Ttl::Rounds(self.ttl_rounds) } else { Ttl::Infinite },
+            issued_at: self.events.now(),
+            steps: 0,
+            timeout_armed: false,
+            stage,
+        };
+        self.next_query_id += 1;
+        self.drive_query(ctx, round);
+    }
+
+    /// Steps `ctx` until it resolves or a message with a non-zero delay
+    /// goes in flight (zero delays advance inline — the fast path that
+    /// makes `LatencyConfig::Zero` reproduce synchronous execution).
+    fn drive_query(&mut self, mut ctx: QueryCtx, round: u64) {
+        loop {
+            match self.step_query(&mut ctx, round) {
+                StepFate::Done => {
+                    self.observe_query_done(ctx.steps, ctx.issued_at);
                     return;
                 }
+                StepFate::Next => {
+                    ctx.steps += 1;
+                    let delay = self.latency.sample(&mut self.rng_latency);
+                    if delay == SimTime::ZERO {
+                        continue;
+                    }
+                    if !ctx.timeout_armed {
+                        // Armed before the first non-zero hop, when virtual
+                        // time still equals the issue instant.
+                        if let Some(timeout) = self.cfg.query_timeout_secs {
+                            self.events.schedule_in(
+                                SimTime::from_secs_f64(timeout),
+                                NetEvent::QueryTimeout { query: ctx.id },
+                            );
+                        }
+                        ctx.timeout_armed = true;
+                    }
+                    let event = NetEvent::MessageArrival { query: ctx.id, hop: ctx.steps };
+                    self.events.schedule_in(delay, event);
+                    self.inflight.insert(ctx.id, ctx);
+                    return;
+                }
+            }
+        }
+    }
 
-                // Replica-subnetwork flood (Eq. 16) — the selection
-                // algorithm's consistency net. IndexAll uses it too (its
-                // replicas can drift during churn).
-                let group_idx = self.overlay.as_deref().expect("overlay present").group_of_key(key);
-                let flood_hit = {
-                    let group = &self.groups[group_idx];
+    /// Queries resolved at their issue instant still count in the
+    /// histograms (zero steps, zero latency).
+    fn finish_inline(&mut self) {
+        let now = self.events.now();
+        self.observe_query_done(0, now);
+    }
+
+    /// The single place every finished (or abandoned) query enters the
+    /// per-query histograms.
+    fn observe_query_done(&mut self, steps: u32, issued_at: SimTime) {
+        self.metrics.observe("query_hops", u64::from(steps));
+        let elapsed = self.events.now().saturating_sub(issued_at);
+        self.metrics.observe("query_latency_us", elapsed.as_micros());
+    }
+
+    /// One step of the pipeline state machine, at the current virtual
+    /// instant inside round `round`.
+    fn step_query(&mut self, ctx: &mut QueryCtx, round: u64) -> StepFate {
+        match ctx.stage {
+            QueryStage::Route { lookup } => {
+                let mut lookup = lookup;
+                let outcome = {
+                    let o = self.overlay.as_deref().expect("routing implies overlay");
+                    let live = self.churn.liveness();
+                    o.next_hop(ctx.key, &mut lookup, live, &mut self.rng_overlay, &mut self.metrics)
+                };
+                match outcome {
+                    Ok(HopOutcome::Forwarded(_)) => {
+                        ctx.stage = QueryStage::Route { lookup };
+                        StepFate::Next
+                    }
+                    Ok(HopOutcome::Arrived(responsible)) => {
+                        // Local index check (refreshes TTL on hit).
+                        if let Some(v) =
+                            self.peers.get_and_refresh(responsible, ctx.key, round, ctx.ttl)
+                        {
+                            self.record_outcome(true, ctx.article, Some(v));
+                            return StepFate::Done;
+                        }
+                        // Replica-subnetwork flood (Eq. 16) — the selection
+                        // algorithm's consistency net. IndexAll uses it too
+                        // (its replicas can drift during churn).
+                        let group = &self.groups[ctx.group];
+                        let peers = &self.peers;
+                        let key = ctx.key;
+                        let flood = group.flood_begin(
+                            responsible,
+                            |member_local| {
+                                peers.peek(group.members()[member_local], key, round).is_some()
+                            },
+                            self.churn.liveness(),
+                        );
+                        ctx.stage = QueryStage::Flood { flood };
+                        StepFate::Next
+                    }
+                    Err(_) => {
+                        self.lookup_failures += 1;
+                        self.walk_or_resolve(ctx, WalkMode::Fallback, round)
+                    }
+                }
+            }
+
+            QueryStage::Flood { ref mut flood } => {
+                let done = {
+                    let group = &self.groups[ctx.group];
                     let peers = &self.peers;
-                    let (found, _msgs) = group.flood_query(
-                        responsible,
+                    let key = ctx.key;
+                    group.flood_wave(
+                        flood,
                         |member_local| {
                             peers.peek(group.members()[member_local], key, round).is_some()
                         },
                         self.churn.liveness(),
                         &mut self.metrics,
-                    );
-                    found
+                    )
                 };
-                if let Some(answering) = flood_hit {
-                    let v = self
-                        .peers
-                        .get_and_refresh(answering, key, round, ttl)
-                        .expect("peeked entry must be readable");
-                    self.record_outcome(true, article, Some(v));
-                    return;
+                if !done {
+                    return StepFate::Next;
                 }
-
+                if let Some(answering) = flood.found() {
+                    // The answer can expire while the flood sweeps the group
+                    // (possible only with non-zero latency); that is just a
+                    // miss.
+                    if let Some(v) = self.peers.get_and_refresh(answering, ctx.key, round, ctx.ttl)
+                    {
+                        self.record_outcome(true, ctx.article, Some(v));
+                        return StepFate::Done;
+                    }
+                }
                 // Index miss: broadcast search the unstructured overlay.
-                let found = self.broadcast_search(q.origin, article);
-                let Some(_holder) = found else {
-                    self.search_failures += 1;
-                    self.record_outcome(false, article, None);
-                    return;
-                };
-                let value = VersionedValue {
-                    version: self.updates.version(article),
-                    data: q.key_index as u64,
-                };
+                self.walk_or_resolve(ctx, WalkMode::IndexMiss, round)
+            }
 
-                // Admission check: the paper admits every miss; the
-                // frequency-aware extension requires a repeat miss first.
-                if is_partial && !self.admission.on_miss(key, round) {
-                    self.record_outcome(false, article, None);
-                    return;
+            QueryStage::Walk { ref mut walk, mode } => {
+                let wave = {
+                    let content = &self.content;
+                    let article = ctx.article as usize;
+                    let live = self.churn.liveness();
+                    walk.wave(
+                        &self.topo,
+                        |p| content.is_holder(article, p),
+                        live,
+                        &mut self.rng_search,
+                        &mut self.metrics,
+                    )
+                };
+                match wave {
+                    WalkWave::InProgress => StepFate::Next,
+                    WalkWave::Found(_) => self.after_walk(ctx, mode, true, round),
+                    WalkWave::Exhausted => self.after_walk(ctx, mode, false, round),
                 }
+            }
 
-                // Insert the result at the responsible replicas
-                // (route, counted as IndexInsert, then replica flood).
+            QueryStage::InsertRoute { lookup, value } => {
+                let mut lookup = lookup;
+                // Hops of the insert route count as IndexInsert traffic,
+                // exactly as the synchronous pipeline recorded them.
                 let mut scratch = Metrics::new();
-                let insert_arrival = {
+                let outcome = {
                     let o = self.overlay.as_deref().expect("overlay present");
                     let live = self.churn.liveness();
-                    o.lookup(entry, key, live, &mut self.rng_search, &mut scratch)
+                    o.next_hop(ctx.key, &mut lookup, live, &mut self.rng_search, &mut scratch)
                 };
                 self.metrics
                     .record_n(MessageKind::IndexInsert, scratch.totals()[MessageKind::RouteHop]);
-                if let Ok(out) = insert_arrival {
-                    let group = &self.groups[group_idx];
+                match outcome {
+                    Ok(HopOutcome::Forwarded(_)) => {
+                        ctx.stage = QueryStage::InsertRoute { lookup, value };
+                        StepFate::Next
+                    }
+                    Ok(HopOutcome::Arrived(at)) => {
+                        let flood = {
+                            let group = &self.groups[ctx.group];
+                            let peers = &mut self.peers;
+                            let key = ctx.key;
+                            let ttl = ctx.ttl;
+                            group.flood_begin(
+                                at,
+                                |member_local| {
+                                    peers.insert(
+                                        group.members()[member_local],
+                                        key,
+                                        value,
+                                        round,
+                                        ttl,
+                                    );
+                                    false
+                                },
+                                self.churn.liveness(),
+                            )
+                        };
+                        ctx.stage = QueryStage::InsertFlood { flood, value };
+                        StepFate::Next
+                    }
+                    Err(_) => {
+                        // Insert route dead-ended: the key stays unindexed
+                        // this time (same as the synchronous pipeline).
+                        self.record_outcome(false, ctx.article, None);
+                        StepFate::Done
+                    }
+                }
+            }
+
+            QueryStage::InsertFlood { ref mut flood, value } => {
+                let done = {
+                    let group = &self.groups[ctx.group];
                     let peers = &mut self.peers;
-                    group.flood_all(
-                        out.peer,
+                    let key = ctx.key;
+                    let ttl = ctx.ttl;
+                    group.flood_wave(
+                        flood,
                         |member_local| {
                             peers.insert(group.members()[member_local], key, value, round, ttl);
+                            false
                         },
                         self.churn.liveness(),
                         &mut self.metrics,
-                    );
+                    )
+                };
+                if done {
+                    self.record_outcome(false, ctx.article, None);
+                    StepFate::Done
+                } else {
+                    StepFate::Next
+                }
+            }
+        }
+    }
+
+    /// Starts a fresh broadcast for `ctx` (or resolves it immediately) in
+    /// `mode`.
+    fn walk_or_resolve(&mut self, ctx: &mut QueryCtx, mode: WalkMode, round: u64) -> StepFate {
+        match self.begin_walk(ctx.origin, ctx.article) {
+            Ok(walk) => {
+                ctx.stage = QueryStage::Walk { walk, mode };
+                StepFate::Next
+            }
+            Err(resolved) => self.after_walk(ctx, mode, resolved.found.is_some(), round),
+        }
+    }
+
+    /// Accounts a finished broadcast and, on an index-miss hit, starts the
+    /// insert path.
+    fn after_walk(
+        &mut self,
+        ctx: &mut QueryCtx,
+        mode: WalkMode,
+        found: bool,
+        round: u64,
+    ) -> StepFate {
+        match mode {
+            WalkMode::NoIndex | WalkMode::Fallback => {
+                self.resolve_walk(mode, found, ctx.article);
+                StepFate::Done
+            }
+            WalkMode::IndexMiss => {
+                if !found {
+                    self.search_failures += 1;
+                    self.record_outcome(false, ctx.article, None);
+                    return StepFate::Done;
+                }
+                let value = VersionedValue {
+                    version: self.updates.version(ctx.article),
+                    data: ctx.key_index as u64,
+                };
+                // Admission check: the paper admits every miss; the
+                // frequency-aware extension requires a repeat miss first.
+                let is_partial = self.cfg.strategy == Strategy::Partial;
+                if is_partial && !self.admission.on_miss(ctx.key, round) {
+                    self.record_outcome(false, ctx.article, None);
+                    return StepFate::Done;
+                }
+                // Insert the result at the responsible replicas (routed from
+                // the entry peer, counted as IndexInsert, then replica
+                // flood).
+                let o = self.overlay.as_deref().expect("overlay present");
+                ctx.stage =
+                    QueryStage::InsertRoute { lookup: o.begin_lookup(ctx.entry, ctx.key), value };
+                StepFate::Next
+            }
+        }
+    }
+
+    /// Outcome accounting for broadcasts that never insert.
+    fn resolve_walk(&mut self, mode: WalkMode, found: bool, article: u32) {
+        match mode {
+            WalkMode::NoIndex => {
+                if found {
+                    self.misses += 1; // every query is a "miss" in index terms
+                } else {
+                    self.search_failures += 1;
+                }
+            }
+            WalkMode::Fallback => {
+                if !found {
+                    self.search_failures += 1;
                 }
                 self.record_outcome(false, article, None);
             }
+            WalkMode::IndexMiss => unreachable!("index-miss walks resolve in after_walk"),
         }
+    }
+
+    /// Begins a k-random-walk broadcast for a holder of `article` from
+    /// `origin`; `Err` is the immediately resolved outcome.
+    fn begin_walk(&mut self, origin: PeerId, article: u32) -> Result<RandomWalk, SearchOutcome> {
+        let budget =
+            u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
+        let live = self.churn.liveness();
+        let content = &self.content;
+        RandomWalk::begin(
+            &self.topo,
+            origin,
+            self.cfg.walkers,
+            budget,
+            |p| content.is_holder(article as usize, p),
+            live,
+        )
     }
 
     /// Finds an online DHT peer to hand the query to; free if the origin
@@ -158,25 +538,6 @@ impl PdhtNetwork {
         let entry = o.entry_peer(live, &mut self.rng_overlay)?;
         self.metrics.record(MessageKind::QueryEntry);
         Some(entry)
-    }
-
-    /// k-random-walk broadcast search for a holder of `article`.
-    fn broadcast_search(&mut self, origin: PeerId, article: u32) -> Option<PeerId> {
-        let budget =
-            u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
-        let live = self.churn.liveness();
-        let content = &self.content;
-        let out = random_walks(
-            &self.topo,
-            origin,
-            self.cfg.walkers,
-            budget,
-            |p| content.is_holder(article as usize, p),
-            live,
-            &mut self.rng_search,
-            &mut self.metrics,
-        );
-        out.found
     }
 
     fn record_outcome(&mut self, hit: bool, article: u32, value: Option<VersionedValue>) {

@@ -10,6 +10,33 @@
 use pdht_model::{IdealPartial, Scenario};
 use pdht_types::Result;
 
+/// A key's time-to-live: a finite number of rounds, or never-expiring.
+///
+/// IndexAll replicas every key forever; encoding that as a huge finite TTL
+/// (the old `u64::MAX / 4` sentinel) risked colliding with arithmetic on
+/// real TTLs, so "never" is now its own variant and the expiry computation
+/// is the single place that interprets it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ttl {
+    /// Expires `0` rounds after its last refresh (a zero TTL is immediately
+    /// stale — callers use at least 1).
+    Rounds(u64),
+    /// Never expires (IndexAll stores).
+    Infinite,
+}
+
+impl Ttl {
+    /// The absolute expiry round for an entry (re)inserted at `now`
+    /// (`u64::MAX` = never, unreachable by saturating finite arithmetic).
+    #[inline]
+    pub fn expires_at(self, now: u64) -> u64 {
+        match self {
+            Ttl::Rounds(rounds) => now.saturating_add(rounds),
+            Ttl::Infinite => u64::MAX,
+        }
+    }
+}
+
 /// How peers choose the keyTtl.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TtlPolicy {

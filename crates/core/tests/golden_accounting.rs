@@ -1,0 +1,79 @@
+//! Bit-for-bit accounting parity with the phase-granular engine.
+//!
+//! The message-level refactor promises that a [`LatencyConfig::Zero`] run
+//! reproduces the synchronous pipeline's message accounting *exactly*. The
+//! vectors below were captured from the pre-refactor engine (seed `0x601d`,
+//! `Scenario::table1_scaled(20)`, `fQry = 1/30`, 40 rounds) — any drift in
+//! RNG consumption order or message counting breaks these equalities.
+
+use pdht_core::{LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, Strategy};
+use pdht_model::Scenario;
+use pdht_types::MessageKind;
+
+/// Per-kind cumulative totals in [`MessageKind::ALL`] order.
+fn run_totals(kind: OverlayKind, strategy: Strategy) -> [u64; MessageKind::COUNT] {
+    let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, strategy);
+    cfg.overlay = kind;
+    cfg.seed = 0x601d;
+    cfg.latency = LatencyConfig::Zero;
+    let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    net.run(40);
+    let totals = net.metrics().totals();
+    let mut out = [0u64; MessageKind::COUNT];
+    for (i, &k) in MessageKind::ALL.iter().enumerate() {
+        out[i] = totals[k];
+    }
+    out
+}
+
+// Golden vectors, in MessageKind::ALL order:
+// [RouteHop, Probe, FloodStep, WalkStep, GossipPush, GossipPull,
+//  ReplicaFlood, IndexInsert, QueryEntry, Membership]
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_trie_partial() {
+    assert_eq!(
+        run_totals(OverlayKind::Trie, Strategy::Partial),
+        [2012, 7732, 0, 11287, 0, 0, 97480, 448, 899, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_trie_index_all() {
+    assert_eq!(
+        run_totals(OverlayKind::Trie, Strategy::IndexAll),
+        [2695, 28669, 0, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_trie_no_index() {
+    assert_eq!(
+        run_totals(OverlayKind::Trie, Strategy::NoIndex),
+        [0, 0, 0, 47280, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_chord_partial() {
+    assert_eq!(
+        run_totals(OverlayKind::Chord, Strategy::Partial),
+        [2690, 7732, 0, 13383, 0, 0, 133840, 533, 899, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_chord_index_all() {
+    assert_eq!(
+        run_totals(OverlayKind::Chord, Strategy::IndexAll),
+        [3952, 28615, 0, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_chord_no_index() {
+    assert_eq!(
+        run_totals(OverlayKind::Chord, Strategy::NoIndex),
+        [0, 0, 0, 47280, 0, 0, 0, 0, 0, 0]
+    );
+}

@@ -1,7 +1,7 @@
 //! Property tests for the TTL partial index — the data structure at the
 //! heart of the selection algorithm.
 
-use pdht_core::{AdmissionFilter, AdmissionPolicy, PartialIndex};
+use pdht_core::{AdmissionFilter, AdmissionPolicy, PartialIndex, Ttl};
 use pdht_gossip::VersionedValue;
 use pdht_types::Key;
 use proptest::prelude::*;
@@ -50,7 +50,7 @@ proptest! {
                 Op::Insert { key, version, ttl } => {
                     let k = Key(u64::from(key));
                     let before = idx.peek(k, now).map(|v| v.version);
-                    idx.insert(k, VersionedValue { version, data: u64::from(key) }, now, ttl);
+                    idx.insert(k, VersionedValue { version, data: u64::from(key) }, now, Ttl::Rounds(ttl));
                     let ceiling = max_inserted.entry(key).or_insert(0);
                     *ceiling = (*ceiling).max(version);
                     // Overwrite of a live entry keeps the newer version.
@@ -60,7 +60,7 @@ proptest! {
                     }
                 }
                 Op::Get { key } => {
-                    if let Some(v) = idx.get_and_refresh(Key(u64::from(key)), now, ttl_default) {
+                    if let Some(v) = idx.get_and_refresh(Key(u64::from(key)), now, Ttl::Rounds(ttl_default)) {
                         let ceiling = max_inserted.get(&key).copied().unwrap_or(0);
                         prop_assert!(
                             v.version <= ceiling,
@@ -84,7 +84,7 @@ proptest! {
                     // means expires_at > now by contract; cross-check via
                     // get (which must also succeed).
                     prop_assert!(
-                        idx.get_and_refresh(Key(u64::from(k)), now, ttl_default).is_some()
+                        idx.get_and_refresh(Key(u64::from(k)), now, Ttl::Rounds(ttl_default)).is_some()
                     );
                     break; // one cross-check per step keeps the test fast
                 }
@@ -100,7 +100,7 @@ proptest! {
     ) {
         let mut idx = PartialIndex::new(1024);
         for &(key, ttl) in &entries {
-            idx.insert(Key(u64::from(key)), VersionedValue { version: 1, data: 0 }, 0, ttl);
+            idx.insert(Key(u64::from(key)), VersionedValue { version: 1, data: 0 }, 0, Ttl::Rounds(ttl));
         }
         let visible_before: Vec<u8> = (0..=255u8)
             .filter(|&k| idx.peek(Key(u64::from(k)), purge_at).is_some())

@@ -30,6 +30,33 @@ pub struct ReplicaGroup {
     subnet: Topology,
 }
 
+/// Resumable state of an intra-group BFS flood, advanced one frontier level
+/// (= one parallel message wave) per [`ReplicaGroup::flood_wave`] call.
+/// Message-granular engines park this between waves.
+#[derive(Clone, Debug)]
+pub struct FloodWave {
+    /// Members already reached (local indices).
+    visited: Vec<bool>,
+    /// The current frontier (local indices), in BFS discovery order.
+    frontier: Vec<usize>,
+    /// Transmissions so far, duplicates included.
+    messages: u64,
+    /// First answering member, if any.
+    found: Option<PeerId>,
+}
+
+impl FloodWave {
+    /// Transmissions so far, duplicates included.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// First member whose visit closure answered, if any.
+    pub fn found(&self) -> Option<PeerId> {
+        self.found
+    }
+}
+
 impl ReplicaGroup {
     /// Builds the group and its subnetwork.
     ///
@@ -76,11 +103,91 @@ impl ReplicaGroup {
         (0..self.members.len()).filter(|&i| live.is_online(self.members[i])).collect()
     }
 
+    /// Starts a resumable BFS flood from `origin` over the replica
+    /// subnetwork. `visit(local_idx)` fires for every member reached
+    /// (origin included, before any message is sent) and reports whether
+    /// that member answers the flood; once someone answers, `visit` is not
+    /// consulted again. Advance with [`ReplicaGroup::flood_wave`].
+    pub fn flood_begin<F>(&self, origin: PeerId, mut visit: F, live: &Liveness) -> FloodWave
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let n = self.members.len();
+        let Some(start) = self.local_index(origin) else {
+            return FloodWave {
+                visited: Vec::new(),
+                frontier: Vec::new(),
+                messages: 0,
+                found: None,
+            };
+        };
+        if !live.is_online(origin) {
+            return FloodWave {
+                visited: Vec::new(),
+                frontier: Vec::new(),
+                messages: 0,
+                found: None,
+            };
+        }
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        if visit(start) {
+            return FloodWave {
+                visited,
+                frontier: Vec::new(),
+                messages: 0,
+                found: Some(self.members[start]),
+            };
+        }
+        FloodWave { visited, frontier: vec![start], messages: 0, found: None }
+    }
+
+    /// One frontier level of an in-progress flood: every frontier member
+    /// transmits to all its subnet neighbors in parallel (each transmission
+    /// one [`MessageKind::ReplicaFlood`], duplicates included). Returns
+    /// `true` when the flood has swept its reachable component — floods do
+    /// not stop early on an answer (no global stop signal; the full-sweep
+    /// cost is Eq. 16's `repl·dup2`).
+    pub fn flood_wave<F>(
+        &self,
+        wave: &mut FloodWave,
+        mut visit: F,
+        live: &Liveness,
+        metrics: &mut Metrics,
+    ) -> bool
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let n = self.members.len();
+        let mut next = Vec::new();
+        for &cur in &wave.frontier {
+            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
+                let nb = nb.idx();
+                if nb >= n {
+                    continue; // padding node from the 2-member special case
+                }
+                wave.messages += 1;
+                metrics.record(MessageKind::ReplicaFlood);
+                if wave.visited[nb] || !live.is_online(self.members[nb]) {
+                    continue;
+                }
+                wave.visited[nb] = true;
+                if wave.found.is_none() && visit(nb) {
+                    wave.found = Some(self.members[nb]);
+                }
+                next.push(nb);
+            }
+        }
+        wave.frontier = next;
+        wave.frontier.is_empty()
+    }
+
     /// Floods a query through the replica subnetwork from `origin` (Eq. 16):
     /// every online member receives it; `answers(member_local_idx)` reports
     /// whether that member can answer. Returns `(first answering peer,
     /// messages spent)`. Messages are counted as
-    /// [`MessageKind::ReplicaFlood`].
+    /// [`MessageKind::ReplicaFlood`]. This is [`ReplicaGroup::flood_begin`]
+    /// driven to completion with no inter-level delay.
     pub fn flood_query<F>(
         &self,
         origin: PeerId,
@@ -91,42 +198,9 @@ impl ReplicaGroup {
     where
         F: Fn(usize) -> bool,
     {
-        let Some(start) = self.local_index(origin) else {
-            return (None, 0);
-        };
-        if !live.is_online(origin) {
-            return (None, 0);
-        }
-        if answers(start) {
-            return (Some(origin), 0);
-        }
-        // Breadth-first flood over the *subnet*, mapping liveness through
-        // the member list; every transmission counts, duplicates included.
-        let n = self.members.len();
-        let mut visited = vec![false; n];
-        visited[start] = true;
-        let mut queue = std::collections::VecDeque::from([start]);
-        let mut messages = 0u64;
-        let mut found = None;
-        while let Some(cur) = queue.pop_front() {
-            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
-                let nb = nb.idx();
-                if nb >= n {
-                    continue; // padding node from the 2-member special case
-                }
-                messages += 1;
-                metrics.record(MessageKind::ReplicaFlood);
-                if visited[nb] || !live.is_online(self.members[nb]) {
-                    continue;
-                }
-                visited[nb] = true;
-                if found.is_none() && answers(nb) {
-                    found = Some(self.members[nb]);
-                }
-                queue.push_back(nb);
-            }
-        }
-        (found, messages)
+        let mut wave = self.flood_begin(origin, &answers, live);
+        while !self.flood_wave(&mut wave, &answers, live, metrics) {}
+        (wave.found, wave.messages)
     }
 
     /// Floods the subnetwork from `origin`, delivering to **every** online
@@ -145,35 +219,13 @@ impl ReplicaGroup {
     where
         F: FnMut(usize),
     {
-        let Some(start) = self.local_index(origin) else {
-            return 0;
+        let mut visit = |local: usize| {
+            deliver(local);
+            false
         };
-        if !live.is_online(origin) {
-            return 0;
-        }
-        let n = self.members.len();
-        let mut visited = vec![false; n];
-        visited[start] = true;
-        deliver(start);
-        let mut queue = std::collections::VecDeque::from([start]);
-        let mut messages = 0u64;
-        while let Some(cur) = queue.pop_front() {
-            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
-                let nb = nb.idx();
-                if nb >= n {
-                    continue;
-                }
-                messages += 1;
-                metrics.record(MessageKind::ReplicaFlood);
-                if visited[nb] || !live.is_online(self.members[nb]) {
-                    continue;
-                }
-                visited[nb] = true;
-                deliver(nb);
-                queue.push_back(nb);
-            }
-        }
-        messages
+        let mut wave = self.flood_begin(origin, &mut visit, live);
+        while !self.flood_wave(&mut wave, &mut visit, live, metrics) {}
+        wave.messages
     }
 
     /// Generic rumor spreading: like [`ReplicaGroup::push_update`] but the

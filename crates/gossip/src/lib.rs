@@ -18,5 +18,5 @@
 pub mod group;
 pub mod store;
 
-pub use group::ReplicaGroup;
+pub use group::{FloodWave, ReplicaGroup};
 pub use store::{VersionedStore, VersionedValue};

@@ -7,7 +7,7 @@
 //! the remaining clockwise distance — the same `O(log n)` hop and table
 //! asymptotics as the trie, with different constants.
 
-use crate::traits::{LookupOutcome, Overlay};
+use crate::traits::{HopOutcome, LookupState, Overlay};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result};
 use rand::rngs::SmallRng;
@@ -177,87 +177,93 @@ impl Overlay for ChordOverlay {
         self.bucket_of[peer.idx()]
     }
 
-    fn lookup(
+    fn begin_lookup(&self, from: PeerId, key: Key) -> LookupState {
+        // The key's arc is loop-invariant; resolve the ring binary search
+        // once so the per-hop responsibility checks are O(1). The budget is
+        // a generous step bound: fingers are halving.
+        LookupState {
+            current: from,
+            hops: 0,
+            budget: 4 * 64 + 16,
+            target_group: self.group_of_key(key),
+        }
+    }
+
+    fn next_hop(
         &self,
-        from: PeerId,
         key: Key,
+        state: &mut LookupState,
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
-    ) -> Result<LookupOutcome> {
+    ) -> Result<HopOutcome> {
         let _ = rng; // Chord routing is deterministic given the tables.
 
-        // The key's arc is loop-invariant; resolve the ring binary search
-        // once so the per-hop responsibility checks are O(1).
-        let target_arc = self.group_of_key(key);
-        let mut current = from;
-        let mut hops = 0u32;
-        let mut budget = 4 * 64 + 16; // generous bound: fingers are halving
-        loop {
-            if self.bucket_of[current.idx()] == target_arc {
-                return Ok(LookupOutcome { peer: current, hops });
-            }
-            budget -= 1;
-            if budget == 0 {
-                return Err(PdhtError::LookupFailed {
-                    key: key.0,
-                    reason: "routing did not converge".into(),
-                });
-            }
-            let me = &self.nodes[current.idx()];
-            // Closest preceding *online* finger within (me, key], falling
-            // back through successors. Every contact attempt costs a hop.
-            let mut next: Option<PeerId> = None;
-            for &f in me.fingers.iter().rev() {
-                let fid = self.nodes[f.idx()].id;
-                if Self::in_arc(me.id, key.0, fid) {
-                    hops += 1;
-                    metrics.record(MessageKind::RouteHop);
-                    if live.is_online(f) {
-                        next = Some(f);
-                        break;
-                    }
+        let current = state.current;
+        if self.bucket_of[current.idx()] == state.target_group {
+            return Ok(HopOutcome::Arrived(current));
+        }
+        // Saturating so a caller retrying after budget exhaustion keeps
+        // getting the error instead of underflowing (mirrors the trie).
+        state.budget = state.budget.saturating_sub(1);
+        if state.budget == 0 {
+            return Err(PdhtError::LookupFailed {
+                key: key.0,
+                reason: "routing did not converge".into(),
+            });
+        }
+        let me = &self.nodes[current.idx()];
+        // Closest preceding *online* finger within (me, key], falling
+        // back through successors. Every contact attempt costs a hop.
+        let mut next: Option<PeerId> = None;
+        for &f in me.fingers.iter().rev() {
+            let fid = self.nodes[f.idx()].id;
+            if Self::in_arc(me.id, key.0, fid) {
+                state.hops += 1;
+                metrics.record(MessageKind::RouteHop);
+                if live.is_online(f) {
+                    next = Some(f);
+                    break;
                 }
             }
-            if next.is_none() {
-                for &s in &me.successors {
-                    hops += 1;
-                    metrics.record(MessageKind::RouteHop);
-                    if live.is_online(s) {
-                        next = Some(s);
-                        break;
-                    }
+        }
+        if next.is_none() {
+            for &s in &me.successors {
+                state.hops += 1;
+                metrics.record(MessageKind::RouteHop);
+                if live.is_online(s) {
+                    next = Some(s);
+                    break;
                 }
             }
-            match next {
-                Some(p) => {
-                    // Monotone-progress guard: every legitimate hop strictly
-                    // shrinks the clockwise distance to the key. A hop that
-                    // grows it is a successor that overshot the key into a
-                    // *different* (non-responsible) arc — possible when the
-                    // key's whole arc is offline and the arc is shorter than
-                    // the successor list. Routing can never get back in front
-                    // of the key from there, so fail fast instead of cycling
-                    // the ring until the hop budget runs out.
-                    let d_cur = key.0.wrapping_sub(self.nodes[current.idx()].id);
-                    let d_next = key.0.wrapping_sub(self.nodes[p.idx()].id);
-                    if d_next >= d_cur && self.bucket_of[p.idx()] != target_arc {
-                        return Err(PdhtError::LookupFailed {
-                            key: key.0,
-                            reason: format!(
-                                "responsible arc unreachable: overshot the key from {current}"
-                            ),
-                        });
-                    }
-                    current = p;
-                }
-                None => {
+        }
+        match next {
+            Some(p) => {
+                // Monotone-progress guard: every legitimate hop strictly
+                // shrinks the clockwise distance to the key. A hop that
+                // grows it is a successor that overshot the key into a
+                // *different* (non-responsible) arc — possible when the
+                // key's whole arc is offline and the arc is shorter than
+                // the successor list. Routing can never get back in front
+                // of the key from there, so fail fast instead of cycling
+                // the ring until the hop budget runs out.
+                let d_cur = key.0.wrapping_sub(self.nodes[current.idx()].id);
+                let d_next = key.0.wrapping_sub(self.nodes[p.idx()].id);
+                if d_next >= d_cur && self.bucket_of[p.idx()] != state.target_group {
                     return Err(PdhtError::LookupFailed {
                         key: key.0,
-                        reason: format!("no online finger or successor from {current}"),
-                    })
+                        reason: format!(
+                            "responsible arc unreachable: overshot the key from {current}"
+                        ),
+                    });
                 }
+                state.current = p;
+                Ok(HopOutcome::Forwarded(p))
             }
+            None => Err(PdhtError::LookupFailed {
+                key: key.0,
+                reason: format!("no online finger or successor from {current}"),
+            }),
         }
     }
 
@@ -560,6 +566,74 @@ mod tests {
     fn degenerate_builds_rejected() {
         assert!(ChordOverlay::build(0, 4, &mut rng()).is_err());
         assert!(ChordOverlay::build(10, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn next_hop_stepping_matches_one_shot_lookup() {
+        let o = build(1000, 8);
+        let live = Liveness::all_online(1000);
+        let mut r = rng();
+        for _ in 0..100 {
+            let from = PeerId::from_idx(r.random_range(0..1000));
+            let key = Key(r.random::<u64>());
+            let mut m1 = Metrics::new();
+            let one_shot = o.lookup(from, key, &live, &mut r, &mut m1).expect("lookup");
+
+            let mut m2 = Metrics::new();
+            let mut st = o.begin_lookup(from, key);
+            let arrived = loop {
+                match o.next_hop(key, &mut st, &live, &mut r, &mut m2).expect("step") {
+                    HopOutcome::Arrived(p) => break p,
+                    HopOutcome::Forwarded(p) => assert_eq!(p, st.current),
+                }
+            };
+            // Chord routing is deterministic given the tables, so stepping
+            // arrives at the same peer with the same cost.
+            assert_eq!(arrived, one_shot.peer);
+            assert_eq!(st.hops, one_shot.hops);
+            assert_eq!(m1.totals()[MessageKind::RouteHop], m2.totals()[MessageKind::RouteHop]);
+        }
+    }
+
+    #[test]
+    fn next_hop_shrinks_clockwise_distance_every_forward() {
+        let o = build(2048, 8);
+        let live = Liveness::all_online(2048);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        for _ in 0..50 {
+            let key = Key(r.random::<u64>());
+            let from = PeerId::from_idx(r.random_range(0..2048));
+            let mut st = o.begin_lookup(from, key);
+            let mut d_last = key.0.wrapping_sub(o.ring_id(from));
+            loop {
+                match o.next_hop(key, &mut st, &live, &mut r, &mut m).unwrap() {
+                    HopOutcome::Arrived(p) => {
+                        assert!(o.is_responsible(p, key));
+                        break;
+                    }
+                    HopOutcome::Forwarded(p) => {
+                        let d = key.0.wrapping_sub(o.ring_id(p));
+                        assert!(d < d_last, "forwards must make clockwise progress");
+                        d_last = d;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_fails_cleanly_when_nothing_is_online() {
+        let o = build(100, 4);
+        let live = Liveness::all_offline(100);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let key = Key(r.random::<u64>());
+        let from =
+            (0..100).map(PeerId::from_idx).find(|&p| !o.is_responsible(p, key)).expect("someone");
+        let mut st = o.begin_lookup(from, key);
+        let out = o.next_hop(key, &mut st, &live, &mut r, &mut m);
+        assert!(matches!(out, Err(PdhtError::LookupFailed { .. })));
     }
 
     #[test]

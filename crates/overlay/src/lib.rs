@@ -23,5 +23,5 @@ pub mod trie;
 
 pub use chord::ChordOverlay;
 pub use churn::{ChurnConfig, ChurnModel};
-pub use traits::{LookupOutcome, Overlay};
+pub use traits::{HopOutcome, LookupOutcome, LookupState, Overlay};
 pub use trie::TrieOverlay;

@@ -14,6 +14,32 @@ pub struct LookupOutcome {
     pub hops: u32,
 }
 
+/// Resumable state of an in-progress lookup, advanced one forward at a time
+/// by [`Overlay::next_hop`]. Message-granular engines park this between hop
+/// events; [`Overlay::lookup`] just drives it in a loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupState {
+    /// Peer the query currently sits at.
+    pub current: PeerId,
+    /// Route-hop messages spent so far (wasted attempts included).
+    pub hops: u32,
+    /// Remaining substrate-specific budget (message attempts for the trie,
+    /// routing steps for Chord); exhaustion fails the lookup.
+    pub budget: u32,
+    /// The replica group responsible for the key (resolved once at
+    /// [`Overlay::begin_lookup`], so per-hop termination checks are cheap).
+    pub target_group: usize,
+}
+
+/// What one [`Overlay::next_hop`] step did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopOutcome {
+    /// The current peer is responsible for the key; the lookup is done.
+    Arrived(PeerId),
+    /// The query was forwarded: a message is now in flight to this peer.
+    Forwarded(PeerId),
+}
+
 /// A structured overlay ("traditional DHT").
 ///
 /// Implementations must:
@@ -67,8 +93,30 @@ pub trait Overlay {
         self.group_of_peer(peer) == self.group_of_key(key)
     }
 
+    /// Starts a resumable lookup for `key` at `from`.
+    fn begin_lookup(&self, from: PeerId, key: Key) -> LookupState;
+
+    /// Advances a lookup by one step: either detects arrival at a
+    /// responsible peer, or forwards to the next peer (one in-flight
+    /// message, possibly after wasted attempts to stale references — every
+    /// attempt is counted into `metrics`).
+    ///
+    /// # Errors
+    /// Fails when routing dead-ends: every known reference towards the key
+    /// is offline, no responsible peer is online, or the step budget is
+    /// exhausted.
+    fn next_hop(
+        &self,
+        key: Key,
+        state: &mut LookupState,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> Result<HopOutcome>;
+
     /// Routes from `from` towards the peer responsible for `key`, counting
-    /// hops into `metrics`.
+    /// hops into `metrics`. This is [`Overlay::next_hop`] driven to
+    /// completion with no inter-hop delay.
     ///
     /// # Errors
     /// Fails when routing dead-ends: every known reference towards the key
@@ -80,7 +128,15 @@ pub trait Overlay {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
-    ) -> Result<LookupOutcome>;
+    ) -> Result<LookupOutcome> {
+        let mut state = self.begin_lookup(from, key);
+        loop {
+            match self.next_hop(key, &mut state, live, rng, metrics)? {
+                HopOutcome::Arrived(peer) => return Ok(LookupOutcome { peer, hops: state.hops }),
+                HopOutcome::Forwarded(_) => {}
+            }
+        }
+    }
 
     /// One second of routing-table maintenance: probes each routing entry
     /// with probability `env`, counting probes; entries found stale are

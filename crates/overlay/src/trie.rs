@@ -12,7 +12,7 @@
 //! across leaves. The paper's own analysis likewise assumes a balanced
 //! binary key space (Section 3.2, footnote 3).
 
-use crate::traits::{LookupOutcome, Overlay};
+use crate::traits::{HopOutcome, LookupState, Overlay};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Prefix, Result};
 use rand::rngs::SmallRng;
@@ -226,54 +226,53 @@ impl Overlay for TrieOverlay {
         self.paths[peer.idx()].contains(key)
     }
 
-    fn lookup(
+    fn begin_lookup(&self, from: PeerId, key: Key) -> LookupState {
+        // Each hop resolves at least one more leading bit, so routing is
+        // bounded by the depth plus retries; belt-and-braces budget below.
+        let budget = ((self.depth as usize + 1) * MAX_ATTEMPTS_PER_LEVEL + 8) as u32;
+        LookupState { current: from, hops: 0, budget, target_group: self.leaf_of(key) }
+    }
+
+    fn next_hop(
         &self,
-        from: PeerId,
         key: Key,
+        state: &mut LookupState,
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
-    ) -> Result<LookupOutcome> {
-        let mut current = from;
-        let mut hops = 0u32;
-        // Each hop resolves at least one more leading bit, so the loop is
-        // bounded by the depth plus retries; belt-and-braces bound below.
-        let max_total_attempts = (self.depth as usize + 1) * MAX_ATTEMPTS_PER_LEVEL + 8;
-        let mut attempts = 0usize;
-        loop {
-            let path = self.paths[current.idx()];
-            if path.contains(key) {
-                return Ok(LookupOutcome { peer: current, hops });
+    ) -> Result<HopOutcome> {
+        let path = self.paths[state.current.idx()];
+        if path.contains(key) {
+            return Ok(HopOutcome::Arrived(state.current));
+        }
+        let level = key.common_prefix_len(Key(path.bits())).min(self.depth - 1);
+        let level_refs = &self.refs[state.current.idx()][level as usize];
+        // Try references in random order until one is online. Every
+        // attempt is a real message (wasted if the target is offline).
+        let mut order: Vec<PeerId> = level_refs.clone();
+        order.shuffle(rng);
+        for cand in order {
+            state.hops += 1;
+            // Saturating: once exhausted, each further level gets exactly one
+            // attempt before dead-ending (mirrors the attempt-counting loop
+            // this replaced).
+            state.budget = state.budget.saturating_sub(1);
+            metrics.record(MessageKind::RouteHop);
+            if live.is_online(cand) {
+                state.current = cand;
+                return Ok(HopOutcome::Forwarded(cand));
             }
-            let level = key.common_prefix_len(Key(path.bits())).min(self.depth - 1);
-            let level_refs = &self.refs[current.idx()][level as usize];
-            // Try references in random order until one is online. Every
-            // attempt is a real message (wasted if the target is offline).
-            let mut order: Vec<PeerId> = level_refs.clone();
-            order.shuffle(rng);
-            let mut advanced = false;
-            for cand in order {
-                hops += 1;
-                attempts += 1;
-                metrics.record(MessageKind::RouteHop);
-                if live.is_online(cand) {
-                    current = cand;
-                    advanced = true;
-                    break;
-                }
-                if attempts >= max_total_attempts {
-                    break;
-                }
-            }
-            if !advanced {
-                return Err(PdhtError::LookupFailed {
-                    key: key.0,
-                    reason: format!(
-                        "no online reference at level {level} from {current} after {hops} hops"
-                    ),
-                });
+            if state.budget == 0 {
+                break;
             }
         }
+        Err(PdhtError::LookupFailed {
+            key: key.0,
+            reason: format!(
+                "no online reference at level {level} from {} after {} hops",
+                state.current, state.hops
+            ),
+        })
     }
 
     fn maintenance_round(
@@ -548,5 +547,83 @@ mod tests {
     fn build_rejects_degenerate_input() {
         assert!(TrieOverlay::build(0, 10, &mut rng()).is_err());
         assert!(TrieOverlay::build(10, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn next_hop_stepping_matches_one_shot_lookup() {
+        // Driving the step API by hand, with an identically seeded rng, must
+        // reproduce lookup() exactly: same arrival peer, same hop count.
+        let o = build(1024, 16);
+        let live = Liveness::all_online(1024);
+        let mut r_pick = rng();
+        for _ in 0..100 {
+            let from = PeerId::from_idx(r_pick.random_range(0..1024));
+            let key = Key(r_pick.random::<u64>());
+            let seed = r_pick.random::<u64>();
+            let mut m1 = Metrics::new();
+            let one_shot = o
+                .lookup(from, key, &live, &mut SmallRng::seed_from_u64(seed), &mut m1)
+                .expect("lookup");
+
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let mut m2 = Metrics::new();
+            let mut st = o.begin_lookup(from, key);
+            let arrived = loop {
+                match o.next_hop(key, &mut st, &live, &mut r2, &mut m2).expect("step") {
+                    HopOutcome::Arrived(p) => break p,
+                    HopOutcome::Forwarded(p) => assert_eq!(p, st.current),
+                }
+            };
+            assert_eq!(arrived, one_shot.peer);
+            assert_eq!(st.hops, one_shot.hops);
+            assert_eq!(m1.totals()[MessageKind::RouteHop], m2.totals()[MessageKind::RouteHop]);
+        }
+    }
+
+    #[test]
+    fn next_hop_makes_monotone_prefix_progress() {
+        // Every forward strictly lengthens the common prefix between the
+        // current peer's path and the key — the trie's routing invariant.
+        let o = build(4096, 8);
+        let live = Liveness::all_online(4096);
+        let mut r = rng();
+        for _ in 0..50 {
+            let key = Key(r.random::<u64>());
+            let from = PeerId::from_idx(r.random_range(0..4096));
+            let mut st = o.begin_lookup(from, key);
+            let mut last_cpl = key.common_prefix_len(Key(o.path_of(from).bits()));
+            let mut m = Metrics::new();
+            loop {
+                match o.next_hop(key, &mut st, &live, &mut r, &mut m).unwrap() {
+                    HopOutcome::Arrived(p) => {
+                        assert!(o.is_responsible(p, key));
+                        break;
+                    }
+                    HopOutcome::Forwarded(p) => {
+                        let cpl = key.common_prefix_len(Key(o.path_of(p).bits()));
+                        assert!(cpl > last_cpl.min(o.depth() - 1), "prefix must grow");
+                        last_cpl = cpl;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_dead_end_reports_failure_without_panicking() {
+        let o = build(256, 16);
+        // Everyone except the start peer offline: the first step must fail.
+        let mut live = Liveness::all_offline(256);
+        live.set(PeerId(0), true);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        // Pick a key peer 0 is not responsible for.
+        let key = (0..)
+            .map(|i| Key(rng().random::<u64>().wrapping_add(i)))
+            .find(|&k| !o.is_responsible(PeerId(0), k))
+            .unwrap();
+        let mut st = o.begin_lookup(PeerId(0), key);
+        let out = o.next_hop(key, &mut st, &live, &mut r, &mut m);
+        assert!(matches!(out, Err(PdhtError::LookupFailed { .. })));
     }
 }

@@ -1,0 +1,173 @@
+//! Pluggable per-hop latency models.
+//!
+//! The message-granular engine asks a [`LatencyModel`] for the virtual-time
+//! delay of every forwarded message (or parallel message wave): zero delay
+//! collapses the simulation back to the whole-round semantics the paper's
+//! cost model assumes, while non-zero models surface per-query latency,
+//! in-flight queries crossing churn, and sub-round dynamics.
+//!
+//! Models draw from a dedicated RNG stream owned by the caller, so plugging
+//! a different model never perturbs the randomness of churn, workload, or
+//! routing — runs stay reproducible per `(seed, model)` pair.
+
+use crate::random::standard_normal;
+use pdht_types::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Assigns each message hop a virtual-time delay.
+pub trait LatencyModel {
+    /// Delay for one forwarded message (or one parallel wave of messages).
+    fn sample(&self, rng: &mut SmallRng) -> SimTime;
+}
+
+/// No delay: every hop lands instantly, reproducing whole-round dispatch
+/// (and, by construction, the pre-message-level engine's accounting
+/// bit-for-bit). Draws nothing from the RNG.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroLatency;
+
+impl LatencyModel for ZeroLatency {
+    #[inline]
+    fn sample(&self, _rng: &mut SmallRng) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+/// Uniform delay in `[lo, hi]` (microsecond resolution).
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLatency {
+    lo_us: u64,
+    hi_us: u64,
+}
+
+impl UniformLatency {
+    /// A uniform model over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: SimTime, hi: SimTime) -> UniformLatency {
+        assert!(lo <= hi, "uniform latency needs lo <= hi");
+        UniformLatency { lo_us: lo.as_micros(), hi_us: hi.as_micros() }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    #[inline]
+    fn sample(&self, rng: &mut SmallRng) -> SimTime {
+        SimTime::from_micros(rng.random_range(self.lo_us..=self.hi_us))
+    }
+}
+
+/// Log-normal delay — the classic heavy-tailed fit for wide-area RTTs:
+/// `exp(N(mu, sigma²))` seconds, parameterized by its median.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormalLatency {
+    /// `ln(median)` of the underlying normal.
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormalLatency {
+    /// A log-normal model with the given `median` and shape `sigma`
+    /// (`sigma = 0` degenerates to a constant delay of `median`).
+    ///
+    /// # Panics
+    /// Panics if `median` is zero/negative or `sigma` is negative or either
+    /// is non-finite.
+    pub fn new(median: SimTime, sigma: f64) -> LogNormalLatency {
+        let med = median.as_secs_f64();
+        assert!(med > 0.0, "log-normal median must be positive");
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        LogNormalLatency { mu: med.ln(), sigma }
+    }
+}
+
+impl LatencyModel for LogNormalLatency {
+    #[inline]
+    fn sample(&self, rng: &mut SmallRng) -> SimTime {
+        let z = standard_normal(rng);
+        SimTime::from_secs_f64((self.mu + self.sigma * z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_is_zero_and_draws_nothing() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..10 {
+            assert_eq!(ZeroLatency.sample(&mut a), SimTime::ZERO);
+        }
+        // The stream is untouched: both rngs still agree.
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = UniformLatency::new(SimTime::from_micros(10), SimTime::from_micros(50));
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!((10..=50).contains(&d.as_micros()), "delay {d:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_is_constant() {
+        let m = UniformLatency::new(SimTime::from_micros(25), SimTime::from_micros(25));
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r), SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let m = LogNormalLatency::new(SimTime::from_secs_f64(0.05), 0.5);
+        let mut r = rng();
+        let n = 20_000;
+        let below = (0..n).filter(|_| m.sample(&mut r) < SimTime::from_secs_f64(0.05)).count();
+        let frac = below as f64 / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.02, "median split {frac}");
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let m = LogNormalLatency::new(SimTime::from_secs_f64(0.02), 0.0);
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r), SimTime::from_secs_f64(0.02));
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let m = LogNormalLatency::new(SimTime::from_secs_f64(0.03), 0.8);
+        let a: Vec<SimTime> = {
+            let mut r = rng();
+            (0..50).map(|_| m.sample(&mut r)).collect()
+        };
+        let b: Vec<SimTime> = {
+            let mut r = rng();
+            (0..50).map(|_| m.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = UniformLatency::new(SimTime::from_micros(2), SimTime::from_micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn lognormal_rejects_zero_median() {
+        let _ = LogNormalLatency::new(SimTime::ZERO, 0.5);
+    }
+}

@@ -8,14 +8,18 @@
 //!   by insertion order, so runs are reproducible),
 //! * [`Metrics`] — cumulative and per-round message accounting plus named
 //!   gauges (index size, hit rate, …) and hop [`Histogram`]s,
+//! * [`latency`] — pluggable per-hop [`LatencyModel`]s (zero, uniform,
+//!   log-normal) for message-granular engines,
 //! * [`random`] — exponential/Poisson/geometric sampling built on plain
 //!   `rand` (the offline set has no `rand_distr`),
 //! * [`RoundDriver`] — a helper that advances simulations round-by-round
 //!   and snapshots metrics at each boundary.
 
 pub mod event;
+pub mod latency;
 pub mod metrics;
 pub mod random;
 
 pub use event::{EventQueue, Scheduled};
-pub use metrics::{Histogram, Metrics, RoundDriver};
+pub use latency::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
+pub use metrics::{Histogram, HistogramSummary, Metrics, RoundDriver};

@@ -237,6 +237,18 @@ impl Histogram {
         self.max
     }
 
+    /// The p50/p95/p99 summary reports hand out.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+
     /// Approximate quantile `q ∈ [0, 1]`: exact below 64, bucket upper
     /// bound above.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -260,6 +272,23 @@ impl Histogram {
         }
         self.max
     }
+}
+
+/// Quantile summary of a [`Histogram`] (what reports expose).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Median (exact below 64, bucket upper bound above).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
 }
 
 /// Drives a simulation round-by-round: calls the step closure once per

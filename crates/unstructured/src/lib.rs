@@ -19,5 +19,5 @@ pub mod search;
 pub mod topology;
 
 pub use replicate::Replication;
-pub use search::{flood, random_walks, SearchOutcome};
+pub use search::{flood, random_walks, RandomWalk, SearchOutcome, WalkWave};
 pub use topology::Topology;

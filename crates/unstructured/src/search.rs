@@ -95,6 +95,120 @@ where
     SearchOutcome { found, messages, peers_visited }
 }
 
+/// Result of one [`RandomWalk::wave`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkWave {
+    /// A walker reached a holder; the search is over.
+    Found(PeerId),
+    /// Budget exhausted or every walker is stuck; the search failed.
+    Exhausted,
+    /// Walkers are still in flight; run another wave.
+    InProgress,
+}
+
+/// A resumable k-random-walk search: the `walkers` tokens advance one step
+/// each per [`RandomWalk::wave`] call (walkers are parallel, so one wave is
+/// one network-hop of virtual time). Message-granular engines park this
+/// state between waves; [`random_walks`] drives it to completion with no
+/// inter-wave delay.
+#[derive(Clone, Debug)]
+pub struct RandomWalk {
+    positions: Vec<PeerId>,
+    visited: Vec<bool>,
+    messages: u64,
+    peers_visited: usize,
+    max_steps: u64,
+}
+
+impl RandomWalk {
+    /// Starts a walk search from `origin`. Resolves immediately
+    /// (`Err(outcome)`) when the origin is offline, there are no walkers,
+    /// or the origin itself holds the item.
+    ///
+    /// # Errors
+    /// The `Err` variant *is* the immediately resolved search outcome, not
+    /// a failure.
+    pub fn begin<F>(
+        topo: &Topology,
+        origin: PeerId,
+        walkers: usize,
+        max_steps: u64,
+        is_holder: F,
+        live: &Liveness,
+    ) -> std::result::Result<RandomWalk, SearchOutcome>
+    where
+        F: Fn(PeerId) -> bool,
+    {
+        if !live.is_online(origin) || walkers == 0 {
+            return Err(SearchOutcome { found: None, messages: 0, peers_visited: 0 });
+        }
+        let mut visited = vec![false; topo.len()];
+        visited[origin.idx()] = true;
+        if is_holder(origin) {
+            return Err(SearchOutcome { found: Some(origin), messages: 0, peers_visited: 1 });
+        }
+        Ok(RandomWalk {
+            positions: vec![origin; walkers],
+            visited,
+            messages: 0,
+            peers_visited: 1,
+            max_steps,
+        })
+    }
+
+    /// One parallel wave: every walker takes one step through the online
+    /// subgraph, each costing one [`MessageKind::WalkStep`].
+    pub fn wave<F>(
+        &mut self,
+        topo: &Topology,
+        is_holder: F,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> WalkWave
+    where
+        F: Fn(PeerId) -> bool,
+    {
+        if self.messages >= self.max_steps {
+            return WalkWave::Exhausted;
+        }
+        let mut any_alive = false;
+        for pos in &mut self.positions {
+            if self.messages >= self.max_steps {
+                break;
+            }
+            // Step to a random online neighbor (walkers pass through the
+            // online subgraph only — an offline peer cannot forward).
+            let candidates: Vec<PeerId> =
+                topo.neighbors(*pos).iter().copied().filter(|&p| live.is_online(p)).collect();
+            let Some(&next) = candidates.as_slice().choose(rng) else {
+                continue; // walker is stuck; others may proceed
+            };
+            any_alive = true;
+            self.messages += 1;
+            metrics.record(MessageKind::WalkStep);
+            *pos = next;
+            if !self.visited[next.idx()] {
+                self.visited[next.idx()] = true;
+                self.peers_visited += 1;
+            }
+            if is_holder(next) {
+                return WalkWave::Found(next);
+            }
+        }
+        if any_alive {
+            WalkWave::InProgress
+        } else {
+            WalkWave::Exhausted
+        }
+    }
+
+    /// The accumulated outcome, with `found` supplied by the final wave.
+    pub fn outcome(&self, found: Option<PeerId>) -> SearchOutcome {
+        SearchOutcome { found, messages: self.messages, peers_visited: self.peers_visited }
+    }
+}
+
 /// k-random-walk search (\[LvCa02\]): `walkers` tokens walk the online
 /// subgraph, each step costing one [`MessageKind::WalkStep`]; the search
 /// stops as soon as any walker stands on a holder, or when the shared
@@ -113,49 +227,17 @@ pub fn random_walks<F>(
 where
     F: Fn(PeerId) -> bool,
 {
-    if !live.is_online(origin) || walkers == 0 {
-        return SearchOutcome { found: None, messages: 0, peers_visited: 0 };
-    }
-    let mut visited = vec![false; topo.len()];
-    visited[origin.idx()] = true;
-    let mut peers_visited = 1usize;
-    if is_holder(origin) {
-        return SearchOutcome { found: Some(origin), messages: 0, peers_visited };
-    }
-
-    let mut positions: Vec<PeerId> = vec![origin; walkers];
-    let mut messages = 0u64;
-
-    while messages < max_steps {
-        let mut any_alive = false;
-        for pos in &mut positions {
-            if messages >= max_steps {
-                break;
-            }
-            // Step to a random online neighbor (walkers pass through the
-            // online subgraph only — an offline peer cannot forward).
-            let candidates: Vec<PeerId> =
-                topo.neighbors(*pos).iter().copied().filter(|&p| live.is_online(p)).collect();
-            let Some(&next) = candidates.as_slice().choose(rng) else {
-                continue; // walker is stuck; others may proceed
-            };
-            any_alive = true;
-            messages += 1;
-            metrics.record(MessageKind::WalkStep);
-            *pos = next;
-            if !visited[next.idx()] {
-                visited[next.idx()] = true;
-                peers_visited += 1;
-            }
-            if is_holder(next) {
-                return SearchOutcome { found: Some(next), messages, peers_visited };
-            }
-        }
-        if !any_alive {
-            break;
+    let mut walk = match RandomWalk::begin(topo, origin, walkers, max_steps, &is_holder, live) {
+        Ok(walk) => walk,
+        Err(resolved) => return resolved,
+    };
+    loop {
+        match walk.wave(topo, &is_holder, live, rng, metrics) {
+            WalkWave::Found(holder) => return walk.outcome(Some(holder)),
+            WalkWave::Exhausted => return walk.outcome(None),
+            WalkWave::InProgress => {}
         }
     }
-    SearchOutcome { found: None, messages, peers_visited }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! concrete keys like the paper's `title=Weather Iráklion` example —
 //! whether each is worth indexing at the current query load.
 
-use pdht::core::PartialIndex;
+use pdht::core::{PartialIndex, Ttl};
 use pdht::gossip::VersionedValue;
 use pdht::model::{CostModel, IdealPartial, Scenario};
 use pdht::types::{Key, RngStreams};
@@ -75,12 +75,12 @@ fn main() {
     let hot = catalog.key(0);
     let cold = catalog.key(catalog.len() - 1);
     let value = |data: u64| VersionedValue { version: 1, data };
-    store.insert(hot, value(0), 0, ttl);
-    store.insert(cold, value(1), 0, ttl);
+    store.insert(hot, value(0), 0, Ttl::Rounds(ttl));
+    store.insert(cold, value(1), 0, Ttl::Rounds(ttl));
     // The hot key is queried every 20 rounds, the cold key never again.
     for now in 1..=200 {
         if now % 20 == 0 {
-            store.get_and_refresh(hot, now, ttl);
+            store.get_and_refresh(hot, now, Ttl::Rounds(ttl));
         }
         store.purge_expired(now);
     }

@@ -15,7 +15,7 @@
 //! | [`types`] | `crates/types` | ids, keys, message taxonomy, liveness, RNG streams |
 //! | [`zipf`] | `crates/zipf` | Zipf pmf/cdf, per-round probabilities, popularity shift |
 //! | [`model`] | `crates/model` | the analytical cost model and figure sweeps |
-//! | [`sim`] | `crates/sim` | deterministic event queue, round driver, metrics |
+//! | [`sim`] | `crates/sim` | deterministic event queue, latency models, round driver, metrics |
 //! | [`overlay`] | `crates/overlay` | the [`overlay::Overlay`] trait, trie + Chord DHTs, churn |
 //! | [`unstructured`] | `crates/unstructured` | random graphs, flooding, k-random-walks |
 //! | [`gossip`] | `crates/gossip` | replica groups, push/pull rumor spreading |
@@ -27,10 +27,14 @@
 //! `rand`/`proptest`/`criterion`, vendored because the build environment
 //! has no crates.io access).
 //!
-//! The network engine (`core::network`) is event-driven: round phases are
-//! scheduled on [`sim::EventQueue`] and the structured overlay is selected
-//! at runtime via [`core::OverlayKind`] — the same simulation runs over
-//! the paper's trie or a Chord ring (ablation A2 in `DESIGN.md`).
+//! The network engine (`core::network`) is message-granular: round phases
+//! *and* the individual hops of in-flight queries are events on
+//! [`sim::EventQueue`], with per-hop delays drawn from a pluggable
+//! [`sim::LatencyModel`] ([`core::LatencyConfig`]; `Zero` reproduces the
+//! paper's whole-round semantics bit-for-bit, non-zero models surface
+//! p50/p95/p99 query latency). The structured overlay is selected at
+//! runtime via [`core::OverlayKind`] — the same simulation runs over the
+//! paper's trie or a Chord ring (ablation A2 in `DESIGN.md`).
 //!
 //! # Example
 //!

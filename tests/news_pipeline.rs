@@ -2,7 +2,7 @@
 //! Zipf workload → TTL index, spanning `pdht-workload`, `pdht-zipf`,
 //! `pdht-gossip` and `pdht-core`.
 
-use pdht::core::PartialIndex;
+use pdht::core::{PartialIndex, Ttl};
 use pdht::gossip::VersionedValue;
 use pdht::types::{Key, RngStreams};
 use pdht::workload::{KeyCatalog, NewsGenerator, QueryWorkload, UpdateProcess, STOP_WORDS};
@@ -78,14 +78,14 @@ fn ttl_index_tracks_update_versions() {
     let mut index = PartialIndex::new(64);
     let key = Key::hash_str("title=Weather Iráklion&date=2004/03/14");
 
-    index.insert(key, VersionedValue { version: updates.version(0), data: 0 }, 0, 50);
+    index.insert(key, VersionedValue { version: updates.version(0), data: 0 }, 0, Ttl::Rounds(50));
     let mut last_seen = 1u64;
     for now in 1..=100 {
         updates.round_updates(&mut rng);
         if now % 10 == 0 {
             // Re-broadcast fetches the fresh version and reinserts.
             let fresh = VersionedValue { version: updates.version(0), data: 0 };
-            index.insert(key, fresh, now, 50);
+            index.insert(key, fresh, now, Ttl::Rounds(50));
             let got = index.peek(key, now).unwrap();
             assert!(got.version >= last_seen, "versions must not regress");
             last_seen = got.version;
@@ -111,8 +111,13 @@ fn full_pipeline_selects_popular_metadata() {
         for _ in 0..20 {
             let rank = zipf.sample(&mut rng);
             let key = catalog.key(rank - 1);
-            if store.get_and_refresh(key, now, ttl).is_none() {
-                store.insert(key, VersionedValue { version: 1, data: rank as u64 }, now, ttl);
+            if store.get_and_refresh(key, now, Ttl::Rounds(ttl)).is_none() {
+                store.insert(
+                    key,
+                    VersionedValue { version: 1, data: rank as u64 },
+                    now,
+                    Ttl::Rounds(ttl),
+                );
             }
         }
         store.purge_expired(now);
