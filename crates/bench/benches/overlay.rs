@@ -2,7 +2,7 @@
 //! the population sizes the experiments use.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdht_overlay::{ChordOverlay, Overlay, TrieOverlay};
+use pdht_overlay::{ChordOverlay, KademliaOverlay, Overlay, TrieOverlay};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, PeerId};
 use rand::rngs::SmallRng;
@@ -14,6 +14,7 @@ fn bench_lookups(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(1);
         let trie = TrieOverlay::build(n, 50, &mut rng).unwrap();
         let chord = ChordOverlay::build(n, 50, &mut rng).unwrap();
+        let kad = KademliaOverlay::build(n, 50, &mut rng).unwrap();
         let live = Liveness::all_online(n);
         group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, &n| {
             let mut m = Metrics::new();
@@ -29,6 +30,14 @@ fn bench_lookups(c: &mut Criterion) {
                 let from = PeerId::from_idx(rng.random_range(0..n));
                 let key = Key(rng.random::<u64>());
                 black_box(chord.lookup(from, key, &live, &mut rng, &mut m).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kademlia", n), &n, |b, &n| {
+            let mut m = Metrics::new();
+            b.iter(|| {
+                let from = PeerId::from_idx(rng.random_range(0..n));
+                let key = Key(rng.random::<u64>());
+                black_box(kad.lookup(from, key, &live, &mut rng, &mut m).unwrap())
             })
         });
     }

@@ -7,7 +7,7 @@
 //! and then recover as the TTL mechanism re-learns the head — without any
 //! coordination or reconfiguration.
 
-use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv};
+use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, write_histograms_csv};
 use pdht_core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
 use pdht_model::Scenario;
 use pdht_zipf::{PopularityShift, RankMap};
@@ -107,5 +107,13 @@ fn main() {
         &csv_rows,
     )
     .expect("write results CSV");
-    println!("wrote {}", path.display());
+    // The histograms are cumulative over the whole run, so persist them once
+    // from the final report (ROADMAP open item: latency histograms → CSVs).
+    let final_report = net.report(0, total_rounds - 1);
+    let hist_path = write_histograms_csv(
+        "sim_adaptivity_hist",
+        &[(format!("partial/{:?}", net.config().overlay).to_lowercase(), final_report)],
+    )
+    .expect("write histogram CSV");
+    println!("wrote {} and {}", path.display(), hist_path.display());
 }

@@ -12,8 +12,8 @@
 //! misses where Eq. 16 charges every query — but the *ordering* of the
 //! strategies and the adaptive index size must reproduce.
 
-use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, SimArgs};
-use pdht_core::{LatencyConfig, PdhtConfig, PdhtNetwork, Strategy};
+use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, write_histograms_csv, SimArgs};
+use pdht_core::{LatencyConfig, PdhtConfig, PdhtNetwork, SimReport, Strategy};
 use pdht_model::figures::freq_label;
 use pdht_model::{Scenario, SelectionModel, StrategyCosts};
 
@@ -32,7 +32,7 @@ fn run_strategy(
     rounds: u64,
     warmup: u64,
     args: &SimArgs,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, SimReport) {
     let mut cfg = PdhtConfig::new(scenario.clone(), f_qry, strategy);
     cfg.seed = 0x51_2004;
     cfg.overlay = args.overlay;
@@ -51,7 +51,7 @@ fn run_strategy(
             );
         }
     }
-    (rep.msgs_per_round_model_view(), rep.p_indexed, rep.indexed_keys)
+    (rep.msgs_per_round_model_view(), rep.p_indexed, rep.indexed_keys, rep)
 }
 
 fn main() {
@@ -67,6 +67,9 @@ fn main() {
     let freqs: &[f64] =
         if args.smoke { &[1.0 / 30.0] } else { &[1.0 / 30.0, 1.0 / 120.0, 1.0 / 600.0] };
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    // Per-run query-hop / query-latency histograms, persisted alongside the
+    // message counters (ROADMAP open item).
+    let mut hist_reports: Vec<(String, SimReport)> = Vec::new();
 
     for &f_qry in freqs {
         let model = StrategyCosts::evaluate(&scenario, f_qry).expect("model");
@@ -83,8 +86,9 @@ fn main() {
             ("indexAll", Strategy::IndexAll, model.index_all),
             ("noIndex", Strategy::NoIndex, model.no_index),
         ] {
-            let (sim_msgs, p_indexed, indexed) =
+            let (sim_msgs, p_indexed, indexed, rep) =
                 run_strategy(&scenario, f_qry, strategy, rounds, warmup, &args);
+            hist_reports.push((format!("{name}@{}", freq_label(f_qry)), rep));
             results.push(RunResult {
                 strategy: name,
                 model_msgs,
@@ -160,7 +164,13 @@ fn main() {
             &csv_rows,
         )
         .expect("write results CSV");
-        println!("\nsmoke mode: skipping the full Table-1 run; wrote {}", path.display());
+        let hist_path =
+            write_histograms_csv("sim_vs_model_hist", &hist_reports).expect("write histogram CSV");
+        println!(
+            "\nsmoke mode: skipping the full Table-1 run; wrote {} and {}",
+            path.display(),
+            hist_path.display()
+        );
         return;
     }
 
@@ -200,6 +210,7 @@ fn main() {
             sim_p_indexed: rep.p_indexed,
             sim_indexed_keys: rep.indexed_keys,
         });
+        hist_reports.push((format!("{name}@full_scale_1_300"), rep));
     }
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -252,5 +263,7 @@ fn main() {
         &csv_rows,
     )
     .expect("write results CSV");
-    println!("\nwrote {}", path.display());
+    let hist_path =
+        write_histograms_csv("sim_vs_model_hist", &hist_reports).expect("write histogram CSV");
+    println!("\nwrote {} and {}", path.display(), hist_path.display());
 }

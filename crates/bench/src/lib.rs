@@ -5,6 +5,7 @@
 //! (see the experiment index in `DESIGN.md`) by printing the series to
 //! stdout and writing `results/<name>.csv`.
 
+use pdht_sim::HistogramSummary;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -96,7 +97,8 @@ mod tests {
 /// substrate, latency model, and a CI-friendly smoke mode.
 #[derive(Clone, Copy, Debug)]
 pub struct SimArgs {
-    /// `--overlay trie|chord` (default: trie, the paper's substrate).
+    /// `--overlay trie|chord|kademlia` (default: trie, the paper's
+    /// substrate).
     pub overlay: pdht_core::OverlayKind,
     /// `--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA`
     /// (default: zero, the paper's whole-round semantics).
@@ -112,7 +114,7 @@ pub fn parse_sim_args() -> SimArgs {
     let usage = |msg: &str| -> ! {
         eprintln!("error: {msg}");
         eprintln!(
-            "usage: [--overlay trie|chord] \
+            "usage: [--overlay trie|chord|kademlia] \
              [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] [--smoke]"
         );
         std::process::exit(2);
@@ -127,6 +129,7 @@ pub fn parse_sim_args() -> SimArgs {
                 args.overlay = match v.as_str() {
                     "trie" => OverlayKind::Trie,
                     "chord" => OverlayKind::Chord,
+                    "kademlia" => OverlayKind::Kademlia,
                     other => usage(&format!("unknown overlay {other:?}")),
                 };
             }
@@ -168,6 +171,141 @@ pub fn parse_latency(spec: &str) -> Result<pdht_core::LatencyConfig, String> {
         return Ok(LatencyConfig::LogNormal { median_ms, sigma });
     }
     Err(format!("unknown latency model {spec:?}"))
+}
+
+/// The header of every histogram CSV (`write_histograms_csv`): one row per
+/// `(label, metric)` pair carrying the full [`HistogramSummary`].
+pub const HISTOGRAM_CSV_HEADER: [&str; 8] =
+    ["label", "metric", "count", "mean", "p50", "p95", "p99", "max"];
+
+/// Flattens one labelled [`HistogramSummary`] into a CSV row. The mean is
+/// formatted with `Display`, which for `f64` is the shortest representation
+/// that parses back exactly — so rows round-trip losslessly (asserted by
+/// `histogram_rows_round_trip`).
+pub fn histogram_csv_row(label: &str, metric: &str, h: &HistogramSummary) -> Vec<String> {
+    vec![
+        label.to_string(),
+        metric.to_string(),
+        h.count.to_string(),
+        format!("{}", h.mean),
+        h.p50.to_string(),
+        h.p95.to_string(),
+        h.p99.to_string(),
+        h.max.to_string(),
+    ]
+}
+
+/// Parses a row written by [`histogram_csv_row`] back into its label,
+/// metric, and summary.
+///
+/// # Errors
+/// Returns a description of the malformed row.
+pub fn parse_histogram_csv_row(row: &str) -> Result<(String, String, HistogramSummary), String> {
+    let fields: Vec<&str> = row.split(',').collect();
+    if fields.len() != HISTOGRAM_CSV_HEADER.len() {
+        return Err(format!(
+            "expected {} fields, got {} in {row:?}",
+            HISTOGRAM_CSV_HEADER.len(),
+            fields.len()
+        ));
+    }
+    let int = |s: &str| s.parse::<u64>().map_err(|e| format!("bad integer {s:?}: {e}"));
+    Ok((
+        fields[0].to_string(),
+        fields[1].to_string(),
+        HistogramSummary {
+            count: int(fields[2])?,
+            mean: fields[3].parse::<f64>().map_err(|e| format!("bad mean {:?}: {e}", fields[3]))?,
+            p50: int(fields[4])?,
+            p95: int(fields[5])?,
+            p99: int(fields[6])?,
+            max: int(fields[7])?,
+        },
+    ))
+}
+
+/// Writes the per-query hop and latency histograms of labelled
+/// [`pdht_core::SimReport`]s to `results/<name>.csv` (one row per populated
+/// histogram), returning the path. Reports without histograms (e.g. a run
+/// that answered no queries) contribute no rows.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_histograms_csv(
+    name: &str,
+    reports: &[(String, pdht_core::SimReport)],
+) -> std::io::Result<PathBuf> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, report) in reports {
+        if let Some(h) = &report.query_hops {
+            rows.push(histogram_csv_row(label, "query_hops", h));
+        }
+        if let Some(h) = &report.query_latency_us {
+            rows.push(histogram_csv_row(label, "query_latency_us", h));
+        }
+    }
+    write_csv(name, &HISTOGRAM_CSV_HEADER, &rows)
+}
+
+#[cfg(test)]
+mod histogram_csv_tests {
+    use super::*;
+
+    #[test]
+    fn histogram_rows_round_trip() {
+        // A mean with a non-terminating binary expansion must survive the
+        // format → parse cycle bit-for-bit (f64 Display is shortest-exact).
+        let summary = HistogramSummary {
+            count: 12_345,
+            mean: 7.0 / 3.0,
+            p50: 4,
+            p95: 17,
+            p99: 128,
+            max: 100_000,
+        };
+        let row = histogram_csv_row("partial@1/30", "query_latency_us", &summary);
+        let (label, metric, parsed) = parse_histogram_csv_row(&row.join(",")).expect("parses");
+        assert_eq!(label, "partial@1/30");
+        assert_eq!(metric, "query_latency_us");
+        assert_eq!(parsed, summary, "CSV row must round-trip the summary exactly");
+    }
+
+    #[test]
+    fn histogram_csv_file_round_trips_simreport_values() {
+        // End-to-end: run a short simulation, persist its SimReport
+        // histograms, read the file back, and compare against the report.
+        use pdht_core::{LatencyConfig, PdhtConfig, PdhtNetwork, Strategy};
+        let mut cfg =
+            PdhtConfig::new(pdht_model::Scenario::table1_scaled(20), 1.0 / 30.0, Strategy::Partial);
+        cfg.latency = LatencyConfig::Uniform { lo_ms: 5.0, hi_ms: 20.0 };
+        let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        net.run(12);
+        let report = net.report(0, 11);
+        assert!(report.query_hops.is_some() && report.query_latency_us.is_some());
+
+        let path = write_histograms_csv(
+            "unit_test_histograms",
+            &[("partial".to_string(), report.clone())],
+        )
+        .expect("write CSV");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let mut lines = body.lines();
+        assert_eq!(lines.next().unwrap(), HISTOGRAM_CSV_HEADER.join(","));
+        let mut seen = 0;
+        for line in lines {
+            let (label, metric, parsed) = parse_histogram_csv_row(line).expect("parses");
+            assert_eq!(label, "partial");
+            let original = match metric.as_str() {
+                "query_hops" => report.query_hops.expect("hops populated"),
+                "query_latency_us" => report.query_latency_us.expect("latency populated"),
+                other => panic!("unexpected metric {other}"),
+            };
+            assert_eq!(parsed, original, "{metric} must round-trip through the CSV");
+            seen += 1;
+        }
+        assert_eq!(seen, 2, "both histograms must be persisted");
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,15 @@ pub enum OverlayKind {
     Trie,
     /// Chord-style ring with finger tables (\[StMo01\]).
     Chord,
+    /// Kademlia-style XOR-metric DHT with k-bucket routing tables
+    /// (\[MaMa02\]); replica groups are XOR-prefix buckets.
+    Kademlia,
+}
+
+impl OverlayKind {
+    /// Every substrate, in the order experiments sweep them.
+    pub const ALL: [OverlayKind; 3] =
+        [OverlayKind::Trie, OverlayKind::Chord, OverlayKind::Kademlia];
 }
 
 /// Which per-hop latency model drives the message-granular engine.

@@ -25,7 +25,7 @@ use crate::network::routing::QueryCtx;
 use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
-use pdht_overlay::{ChordOverlay, ChurnModel, Overlay, TrieOverlay};
+use pdht_overlay::{ChordOverlay, ChurnModel, KademliaOverlay, Overlay, TrieOverlay};
 use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver};
 use pdht_types::{FastHashMap, Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
 use pdht_unstructured::{Replication, Topology};
@@ -281,6 +281,9 @@ impl PdhtNetwork {
                 }
                 OverlayKind::Chord => {
                     Box::new(ChordOverlay::build(nap, s.repl as usize, &mut rng_build)?)
+                }
+                OverlayKind::Kademlia => {
+                    Box::new(KademliaOverlay::build(nap, s.repl as usize, &mut rng_build)?)
                 }
             };
             let mut groups = Vec::with_capacity(overlay.group_count());
@@ -639,8 +642,8 @@ mod tests {
     }
 
     #[test]
-    fn builds_on_both_overlays() {
-        for kind in [OverlayKind::Trie, OverlayKind::Chord] {
+    fn builds_on_every_overlay() {
+        for kind in OverlayKind::ALL {
             let mut c = cfg(Strategy::Partial, 1.0 / 60.0);
             c.overlay = kind;
             let mut net = PdhtNetwork::new(c).expect("buildable");
@@ -650,17 +653,13 @@ mod tests {
     }
 
     #[test]
-    fn index_all_preloads_every_key() {
-        let net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
-        assert_eq!(net.indexed_keys(), 2_000);
-    }
-
-    #[test]
-    fn index_all_preloads_every_key_on_chord() {
-        let mut c = cfg(Strategy::IndexAll, 1.0 / 60.0);
-        c.overlay = OverlayKind::Chord;
-        let net = PdhtNetwork::new(c).unwrap();
-        assert_eq!(net.indexed_keys(), 2_000);
+    fn index_all_preloads_every_key_on_every_overlay() {
+        for kind in OverlayKind::ALL {
+            let mut c = cfg(Strategy::IndexAll, 1.0 / 60.0);
+            c.overlay = kind;
+            let net = PdhtNetwork::new(c).unwrap();
+            assert_eq!(net.indexed_keys(), 2_000, "{kind:?}");
+        }
     }
 
     #[test]

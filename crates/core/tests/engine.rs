@@ -23,18 +23,19 @@ fn run_report(c: PdhtConfig, rounds: u64) -> (SimReport, usize) {
 /// overlay the configuration names — the overlay seam must not leak into
 /// strategies that do not use it.
 #[test]
-fn trie_and_chord_identical_under_no_index() {
+fn all_overlays_identical_under_no_index() {
     let (trie, trie_keys) = run_report(cfg(Strategy::NoIndex, OverlayKind::Trie), 40);
-    let (chord, chord_keys) = run_report(cfg(Strategy::NoIndex, OverlayKind::Chord), 40);
-
     assert_eq!(trie_keys, 0);
-    assert_eq!(chord_keys, 0);
-    assert_eq!(trie.msgs_per_round, chord.msgs_per_round);
-    assert_eq!(trie.by_kind, chord.by_kind, "per-kind accounting must match exactly");
     assert_eq!(trie.p_indexed, 0.0);
-    assert_eq!(chord.p_indexed, 0.0);
-    assert_eq!(trie.search_failures, chord.search_failures);
-    assert_eq!(trie.skipped_offline, chord.skipped_offline);
+    for kind in [OverlayKind::Chord, OverlayKind::Kademlia] {
+        let (other, other_keys) = run_report(cfg(Strategy::NoIndex, kind), 40);
+        assert_eq!(other_keys, 0);
+        assert_eq!(trie.msgs_per_round, other.msgs_per_round, "{kind:?}");
+        assert_eq!(trie.by_kind, other.by_kind, "{kind:?} per-kind accounting must match exactly");
+        assert_eq!(other.p_indexed, 0.0);
+        assert_eq!(trie.search_failures, other.search_failures);
+        assert_eq!(trie.skipped_offline, other.skipped_offline);
+    }
 }
 
 /// The event-queue-driven `step_round` must be deterministic: two networks
@@ -42,7 +43,7 @@ fn trie_and_chord_identical_under_no_index() {
 /// overlay substrates.
 #[test]
 fn step_round_is_deterministic_across_runs() {
-    for kind in [OverlayKind::Trie, OverlayKind::Chord] {
+    for kind in OverlayKind::ALL {
         let (a, a_keys) = run_report(cfg(Strategy::Partial, kind), 30);
         let (b, b_keys) = run_report(cfg(Strategy::Partial, kind), 30);
         assert_eq!(a.msgs_per_round, b.msgs_per_round, "{kind:?} run must be reproducible");
@@ -56,34 +57,42 @@ fn step_round_is_deterministic_across_runs() {
     }
 }
 
-/// A Chord-backed network runs the selection algorithm end-to-end: the
-/// index fills adaptively, repeat queries hit it, and routing pays hops.
+/// Every substrate-backed network runs the selection algorithm
+/// end-to-end: the index fills adaptively, repeat queries hit it, and
+/// routing pays hops.
 #[test]
-fn chord_backed_selection_algorithm_end_to_end() {
-    let mut net = PdhtNetwork::new(cfg(Strategy::Partial, OverlayKind::Chord)).unwrap();
-    assert_eq!(net.indexed_keys(), 0, "partial index starts empty");
-    net.run(60);
-    assert!(net.indexed_keys() > 0, "queries must populate the index");
-    let report = net.report(20, 59);
-    assert!(report.p_indexed > 0.2, "repeat queries should hit, got {}", report.p_indexed);
-    let route_hops: f64 = report
-        .by_kind
-        .iter()
-        .filter(|(k, _)| *k == pdht_types::MessageKind::RouteHop)
-        .map(|&(_, v)| v)
-        .sum();
-    assert!(route_hops > 0.0, "Chord routing must pay hops");
+fn every_overlay_backed_selection_algorithm_end_to_end() {
+    for kind in OverlayKind::ALL {
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, kind)).unwrap();
+        assert_eq!(net.indexed_keys(), 0, "{kind:?}: partial index starts empty");
+        net.run(60);
+        assert!(net.indexed_keys() > 0, "{kind:?}: queries must populate the index");
+        let report = net.report(20, 59);
+        assert!(
+            report.p_indexed > 0.2,
+            "{kind:?}: repeat queries should hit, got {}",
+            report.p_indexed
+        );
+        let route_hops: f64 = report
+            .by_kind
+            .iter()
+            .filter(|(k, _)| *k == pdht_types::MessageKind::RouteHop)
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(route_hops > 0.0, "{kind:?}: routing must pay hops");
+    }
 }
 
-/// Trie and Chord runs of the same partial-index scenario agree on the
-/// big picture (index fills, queries hit) even though their routing
+/// All three substrates running the same partial-index scenario agree on
+/// the big picture (index fills, queries hit) even though their routing
 /// constants differ.
 #[test]
 fn substrates_agree_qualitatively_under_partial() {
-    let (trie, trie_keys) = run_report(cfg(Strategy::Partial, OverlayKind::Trie), 60);
-    let (chord, chord_keys) = run_report(cfg(Strategy::Partial, OverlayKind::Chord), 60);
-    assert!(trie_keys > 0 && chord_keys > 0);
-    assert!(trie.p_indexed > 0.2 && chord.p_indexed > 0.2);
-    // Both must be doing real work per round.
-    assert!(trie.msgs_per_round > 0.0 && chord.msgs_per_round > 0.0);
+    for kind in OverlayKind::ALL {
+        let (report, keys) = run_report(cfg(Strategy::Partial, kind), 60);
+        assert!(keys > 0, "{kind:?} index must fill");
+        assert!(report.p_indexed > 0.2, "{kind:?} repeat queries should hit");
+        // Each must be doing real work per round.
+        assert!(report.msgs_per_round > 0.0, "{kind:?}");
+    }
 }

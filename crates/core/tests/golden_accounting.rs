@@ -77,3 +77,35 @@ fn zero_latency_reproduces_seed_accounting_chord_no_index() {
         [0, 0, 0, 47280, 0, 0, 0, 0, 0, 0]
     );
 }
+
+// The Kademlia vectors below were captured when the substrate landed (same
+// seed/scenario/rounds as the trie/Chord vectors above), pinning its
+// accounting the same way: any drift in its RNG consumption order, greedy
+// forwarding, or bucket construction breaks these equalities. The lower
+// RouteHop totals relative to trie/Chord are the greedy multi-bit hops;
+// NoIndex builds no overlay at all, so its vector matches the others
+// bit-for-bit.
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_kademlia_partial() {
+    assert_eq!(
+        run_totals(OverlayKind::Kademlia, Strategy::Partial),
+        [1198, 7639, 0, 11475, 0, 0, 97480, 284, 899, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_kademlia_index_all() {
+    assert_eq!(
+        run_totals(OverlayKind::Kademlia, Strategy::IndexAll),
+        [1517, 28238, 0, 0, 0, 0, 0, 0, 0, 0]
+    );
+}
+
+#[test]
+fn zero_latency_reproduces_seed_accounting_kademlia_no_index() {
+    assert_eq!(
+        run_totals(OverlayKind::Kademlia, Strategy::NoIndex),
+        [0, 0, 0, 47280, 0, 0, 0, 0, 0, 0]
+    );
+}

@@ -2,7 +2,8 @@
 //! in-flight queries, timeouts, and the event hook.
 
 use pdht_core::{
-    HookAction, HookPoint, LatencyConfig, PdhtConfig, PdhtNetwork, RoundPhase, SimReport, Strategy,
+    HookAction, HookPoint, LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, RoundPhase,
+    SimReport, Strategy,
 };
 use pdht_model::Scenario;
 use proptest::prelude::*;
@@ -10,6 +11,12 @@ use proptest::prelude::*;
 fn cfg(strategy: Strategy, latency: LatencyConfig) -> PdhtConfig {
     let mut c = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, strategy);
     c.latency = latency;
+    c
+}
+
+fn cfg_on(kind: OverlayKind, strategy: Strategy, latency: LatencyConfig) -> PdhtConfig {
+    let mut c = cfg(strategy, latency);
+    c.overlay = kind;
     c
 }
 
@@ -63,35 +70,41 @@ fn zero_latency_histograms_report_hops_but_no_delay() {
 #[test]
 fn slow_networks_leave_queries_in_flight_across_rounds() {
     // Hop delays comparable to the round length: some queries must still be
-    // unresolved when their round ends, and resolve in later rounds.
-    let model = LatencyConfig::Uniform { lo_ms: 300.0, hi_ms: 900.0 };
-    let mut net = PdhtNetwork::new(cfg(Strategy::Partial, model)).expect("builds");
-    let mut saw_inflight = false;
-    for _ in 0..30 {
-        net.step_round();
-        saw_inflight |= net.queries_in_flight() > 0;
+    // unresolved when their round ends, and resolve in later rounds — on
+    // every overlay substrate.
+    for kind in OverlayKind::ALL {
+        let model = LatencyConfig::Uniform { lo_ms: 300.0, hi_ms: 900.0 };
+        let mut net = PdhtNetwork::new(cfg_on(kind, Strategy::Partial, model)).expect("builds");
+        let mut saw_inflight = false;
+        for _ in 0..30 {
+            net.step_round();
+            saw_inflight |= net.queries_in_flight() > 0;
+        }
+        assert!(saw_inflight, "{kind:?}: sub-second hops at 1s rounds must span rounds");
+        let r = net.report(0, 29);
+        let lat = r.query_latency_us.expect("latency populated");
+        assert!(
+            lat.max >= 1_000_000,
+            "{kind:?}: multi-hop queries at ~600ms/hop must exceed one round, got {} us",
+            lat.max
+        );
+        assert!(r.p_indexed > 0.0, "{kind:?}: pipeline still answers queries");
     }
-    assert!(saw_inflight, "sub-second hops at 1s rounds must span round boundaries");
-    let r = net.report(0, 29);
-    let lat = r.query_latency_us.expect("latency populated");
-    assert!(
-        lat.max >= 1_000_000,
-        "multi-hop queries at ~600ms/hop must exceed one round, got {} us",
-        lat.max
-    );
-    assert!(r.p_indexed > 0.0, "pipeline still answers queries");
 }
 
 #[test]
 fn timeouts_abandon_slow_queries() {
-    let mut c = cfg(Strategy::Partial, LatencyConfig::Uniform { lo_ms: 200.0, hi_ms: 400.0 });
-    c.query_timeout_secs = Some(0.5);
-    let (r, _) = run(c, 30);
-    assert!(r.query_timeouts > 0, "sub-second budget at ~300ms/hop must time out");
+    for kind in OverlayKind::ALL {
+        let mut c =
+            cfg_on(kind, Strategy::Partial, LatencyConfig::Uniform { lo_ms: 200.0, hi_ms: 400.0 });
+        c.query_timeout_secs = Some(0.5);
+        let (r, _) = run(c, 30);
+        assert!(r.query_timeouts > 0, "{kind:?}: sub-second budget at ~300ms/hop must time out");
 
-    // Without a timeout nothing is abandoned.
-    let (r2, _) = run(cfg(Strategy::Partial, LatencyConfig::Zero), 30);
-    assert_eq!(r2.query_timeouts, 0);
+        // Without a timeout nothing is abandoned.
+        let (r2, _) = run(cfg_on(kind, Strategy::Partial, LatencyConfig::Zero), 30);
+        assert_eq!(r2.query_timeouts, 0, "{kind:?}");
+    }
 }
 
 #[test]
@@ -145,12 +158,14 @@ fn hook_observes_message_events_under_latency() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Any latency model preserves seeded determinism, for every strategy.
+    /// Any latency model preserves seeded determinism, for every strategy,
+    /// on every overlay substrate.
     #[test]
     fn any_latency_model_preserves_seeded_determinism(
         seed in any::<u32>(),
         model_idx in 0usize..3,
         strat_idx in 0usize..3,
+        overlay_idx in 0usize..3,
     ) {
         let model = [
             LatencyConfig::Zero,
@@ -158,8 +173,9 @@ proptest! {
             LatencyConfig::LogNormal { median_ms: 25.0, sigma: 0.8 },
         ][model_idx];
         let strategy = [Strategy::Partial, Strategy::IndexAll, Strategy::NoIndex][strat_idx];
+        let overlay = OverlayKind::ALL[overlay_idx];
         let mk = || {
-            let mut c = cfg(strategy, model);
+            let mut c = cfg_on(overlay, strategy, model);
             c.seed = u64::from(seed);
             c
         };
@@ -181,9 +197,10 @@ proptest! {
     fn zero_latency_resolves_everything_in_round(
         seed in any::<u32>(),
         strat_idx in 0usize..3,
+        overlay_idx in 0usize..3,
     ) {
         let strategy = [Strategy::Partial, Strategy::IndexAll, Strategy::NoIndex][strat_idx];
-        let mut c = cfg(strategy, LatencyConfig::Zero);
+        let mut c = cfg_on(OverlayKind::ALL[overlay_idx], strategy, LatencyConfig::Zero);
         c.seed = u64::from(seed);
         let mut net = PdhtNetwork::new(c).expect("builds");
         for _ in 0..10 {

@@ -1,0 +1,20 @@
+//! The [`Overlay`] contract, enforced uniformly: every substrate runs the
+//! exact same conformance suite (`pdht_overlay::conformance`) — one
+//! `conformance_suite!` line per overlay, no per-substrate assertions.
+//!
+//! A new substrate earns its place behind `OverlayKind` by adding one
+//! invocation here.
+
+use pdht_overlay::{conformance_suite, ChordOverlay, KademliaOverlay, TrieOverlay};
+
+conformance_suite!(trie, |n, g, rng| {
+    Box::new(TrieOverlay::build(n, g, rng).expect("trie builds"))
+});
+
+conformance_suite!(chord, |n, g, rng| {
+    Box::new(ChordOverlay::build(n, g, rng).expect("chord builds"))
+});
+
+conformance_suite!(kademlia, |n, g, rng| {
+    Box::new(KademliaOverlay::build(n, g, rng).expect("kademlia builds"))
+});

@@ -16,7 +16,7 @@
 //! | [`zipf`] | `crates/zipf` | Zipf pmf/cdf, per-round probabilities, popularity shift |
 //! | [`model`] | `crates/model` | the analytical cost model and figure sweeps |
 //! | [`sim`] | `crates/sim` | deterministic event queue, latency models, round driver, metrics |
-//! | [`overlay`] | `crates/overlay` | the [`overlay::Overlay`] trait, trie + Chord DHTs, churn |
+//! | [`overlay`] | `crates/overlay` | the [`overlay::Overlay`] trait, trie + Chord + Kademlia DHTs, churn, conformance kit |
 //! | [`unstructured`] | `crates/unstructured` | random graphs, flooding, k-random-walks |
 //! | [`gossip`] | `crates/gossip` | replica groups, push/pull rumor spreading |
 //! | [`workload`] | `crates/workload` | news metadata, key catalogs, query/update streams |
@@ -34,7 +34,13 @@
 //! paper's whole-round semantics bit-for-bit, non-zero models surface
 //! p50/p95/p99 query latency). The structured overlay is selected at
 //! runtime via [`core::OverlayKind`] — the same simulation runs over the
-//! paper's trie or a Chord ring (ablation A2 in `DESIGN.md`).
+//! paper's trie, a Chord ring, or a Kademlia-style XOR DHT with k-bucket
+//! routing and XOR-prefix replica groups (ablation A2 in `DESIGN.md`).
+//! Every substrate — current and future — passes the shared
+//! [`overlay::conformance`] suite, which property-checks the
+//! [`overlay::Overlay`] contract (partition invariants, hop accounting,
+//! `lookup` ≡ stepped `next_hop`, determinism, churn liveness) from a
+//! single test body per invariant.
 //!
 //! # Example
 //!
