@@ -1,0 +1,74 @@
+//! Benchmarks of the per-peer background-event dispatch path: the slab the
+//! in-flight contexts park in, and whole rounds dominated by per-peer
+//! maintenance/TTL events (zero-jitter vs fully jittered schedules).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy};
+use pdht_model::Scenario;
+use pdht_sim::Slab;
+
+fn bench_slab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch/slab");
+    // The query lifecycle: reserve at issue, park on first in-flight hop,
+    // take on arrival, park again, free on resolve.
+    group.bench_function("reserve_park_take_free", |b| {
+        let mut slab: Slab<[u64; 8]> = Slab::with_capacity(64);
+        b.iter(|| {
+            let id = slab.reserve();
+            slab.park(id, [id; 8]);
+            let ctx = slab.take(id).expect("parked");
+            slab.park(id, ctx);
+            slab.take(id);
+            slab.free(id);
+            black_box(id)
+        })
+    });
+    // Stale-event rejection — the generation check every recycled id pays.
+    group.bench_function("stale_miss", |b| {
+        let mut slab: Slab<u64> = Slab::new();
+        let stale = slab.reserve();
+        slab.park(stale, 1);
+        slab.free(stale);
+        let live = slab.reserve();
+        slab.park(live, 2);
+        b.iter(|| black_box(slab.take(black_box(stale))))
+    });
+    group.finish();
+}
+
+/// A round at the unit-test scale whose work is dominated by the per-peer
+/// background events (no queries: `fQry = 0`), isolating event dispatch
+/// from the query pipeline.
+fn background_only_net(schedule: BackgroundSchedule) -> PdhtNetwork {
+    let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 0.0, Strategy::IndexAll);
+    cfg.background = schedule;
+    let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    net.run(5);
+    net
+}
+
+fn bench_background_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch/background_round");
+    group.sample_size(20);
+    group.bench_function("phase_aligned", |b| {
+        let mut net = background_only_net(BackgroundSchedule::default());
+        b.iter(|| {
+            net.step_round();
+            black_box(net.next_round())
+        })
+    });
+    group.bench_function("jittered", |b| {
+        let mut net = background_only_net(BackgroundSchedule {
+            maintenance_jitter_us: 900_000,
+            ttl_jitter_us: 900_000,
+        });
+        b.iter(|| {
+            net.step_round();
+            black_box(net.next_round())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slab, bench_background_round);
+criterion_main!(benches);

@@ -6,10 +6,15 @@ use pdht_core::{PartialIndex, Ttl};
 use pdht_gossip::VersionedValue;
 use pdht_types::Key;
 
+/// The routed key for dense index `i` — the engine's own convention.
+fn key(i: u64) -> Key {
+    Key::hash_bytes(&i.to_le_bytes())
+}
+
 fn filled(capacity: usize, n: usize) -> PartialIndex {
     let mut idx = PartialIndex::new(capacity);
     for i in 0..n as u64 {
-        idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, Ttl::Rounds(1_000));
+        idx.insert(i as u32, key(i), VersionedValue { version: 1, data: i }, 0, Ttl::Rounds(1_000));
     }
     idx
 }
@@ -20,7 +25,7 @@ fn bench_hit(c: &mut Criterion) {
         let mut now = 1u64;
         b.iter(|| {
             now += 1;
-            black_box(idx.get_and_refresh(Key(now % 100), now, Ttl::Rounds(1_000)))
+            black_box(idx.get_and_refresh((now % 100) as u32, now, Ttl::Rounds(1_000)))
         })
     });
 }
@@ -28,7 +33,7 @@ fn bench_hit(c: &mut Criterion) {
 fn bench_miss(c: &mut Criterion) {
     let mut idx = filled(128, 100);
     c.bench_function("index/get_miss", |b| {
-        b.iter(|| black_box(idx.get_and_refresh(Key(9_999_999), 1, Ttl::Rounds(1_000))))
+        b.iter(|| black_box(idx.get_and_refresh(9_999_999, 1, Ttl::Rounds(1_000))))
     });
 }
 
@@ -41,7 +46,8 @@ fn bench_insert_with_eviction(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             black_box(idx.insert(
-                Key(k),
+                k as u32,
+                key(k),
                 VersionedValue { version: 1, data: k },
                 10,
                 Ttl::Rounds(500),
@@ -52,16 +58,27 @@ fn bench_insert_with_eviction(c: &mut Criterion) {
 
 fn bench_purge(c: &mut Criterion) {
     c.bench_function("index/purge_half_of_200", |b| {
+        let mut purged: Vec<u32> = Vec::with_capacity(256);
         b.iter_batched(
             || {
                 let mut idx = PartialIndex::new(256);
                 for i in 0..200u64 {
                     let ttl = if i % 2 == 0 { 10 } else { 1_000 };
-                    idx.insert(Key(i), VersionedValue { version: 1, data: i }, 0, Ttl::Rounds(ttl));
+                    idx.insert(
+                        i as u32,
+                        key(i),
+                        VersionedValue { version: 1, data: i },
+                        0,
+                        Ttl::Rounds(ttl),
+                    );
                 }
                 idx
             },
-            |mut idx| black_box(idx.purge_expired(100)),
+            |mut idx| {
+                purged.clear();
+                idx.purge_expired_into(100, &mut purged);
+                black_box(purged.len())
+            },
             criterion::BatchSize::SmallInput,
         )
     });

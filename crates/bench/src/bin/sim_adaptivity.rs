@@ -7,13 +7,16 @@
 //! and then recover as the TTL mechanism re-learns the head — without any
 //! coordination or reconfiguration.
 
-use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, write_histograms_csv};
+use pdht_bench::{
+    f1, f3, parse_sim_args, print_table, reject_peers_override, write_csv, write_histograms_csv,
+};
 use pdht_core::{PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
 use pdht_model::Scenario;
 use pdht_zipf::{PopularityShift, RankMap};
 
 fn main() {
     let args = parse_sim_args();
+    reject_peers_override(&args, "sim_adaptivity");
     println!(
         "S3 configuration: overlay = {:?}, latency = {:?}{}",
         args.overlay,

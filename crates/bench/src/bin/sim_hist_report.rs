@@ -1,0 +1,130 @@
+//! Histogram report — the plotting companion to the S2/S3/S4 bins: loads
+//! every `results/*_hist.csv` the simulation binaries persisted and prints
+//! per-overlay p50/p95/p99 comparison tables for query hops and query
+//! latency, so the cross-substrate latency story (ReCord's evaluation axis
+//! in `PAPERS.md`) reads off one screen instead of N CSVs.
+//!
+//! Usage: run after any of the simulation bins, e.g.
+//! `cargo run --release -p pdht-bench --bin sim_vs_model -- --smoke` then
+//! `cargo run --release -p pdht-bench --bin sim_hist_report`. Also writes
+//! the combined rows to `results/hist_report.csv`.
+
+use pdht_bench::{parse_histogram_csv_row, print_table, results_dir, write_csv};
+use pdht_sim::HistogramSummary;
+use std::collections::BTreeMap;
+
+/// One labelled series from one histogram CSV.
+struct SeriesRow {
+    /// Source file stem (e.g. `sim_vs_model_hist`).
+    source: String,
+    /// Run label as written by the bin (e.g. `partial@1/30`).
+    label: String,
+    summary: HistogramSummary,
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with("_hist.csv"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    if files.is_empty() {
+        println!(
+            "no results/*_hist.csv found under {} — run the S2/S3/S4 bins first \
+             (e.g. `cargo run --release -p pdht-bench --bin sim_vs_model -- --smoke`)",
+            dir.display()
+        );
+        return;
+    }
+
+    // metric -> rows, keeping file then line order.
+    let mut by_metric: BTreeMap<String, Vec<SeriesRow>> = BTreeMap::new();
+    let mut malformed = 0usize;
+    for path in &files {
+        let source = path.file_stem().and_then(|s| s.to_str()).unwrap_or("unknown").to_string();
+        let Ok(body) = std::fs::read_to_string(path) else {
+            eprintln!("warning: unreadable {}", path.display());
+            continue;
+        };
+        for line in body.lines().skip(1) {
+            match parse_histogram_csv_row(line) {
+                Ok((label, metric, summary)) => by_metric
+                    .entry(metric)
+                    .or_default()
+                    .push(SeriesRow { source: source.clone(), label, summary }),
+                Err(e) => {
+                    eprintln!("warning: skipping row in {}: {e}", path.display());
+                    malformed += 1;
+                }
+            }
+        }
+    }
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for (metric, rows) in &by_metric {
+        let display_us = metric.ends_with("_us");
+        let fmt = |v: u64| {
+            if display_us {
+                format!("{:.1}", v as f64 / 1e3)
+            } else {
+                v.to_string()
+            }
+        };
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.source.clone(),
+                    r.label.clone(),
+                    r.summary.count.to_string(),
+                    fmt(r.summary.p50),
+                    fmt(r.summary.p95),
+                    fmt(r.summary.p99),
+                    fmt(r.summary.max),
+                ]
+            })
+            .collect();
+        let unit = if display_us { " (ms)" } else { " (steps)" };
+        print_table(
+            &format!("{metric}{unit} across runs"),
+            &["source", "run", "count", "p50", "p95", "p99", "max"],
+            &table,
+        );
+        for r in rows {
+            csv_rows.push(vec![
+                metric.clone(),
+                r.source.clone(),
+                r.label.clone(),
+                r.summary.count.to_string(),
+                r.summary.p50.to_string(),
+                r.summary.p95.to_string(),
+                r.summary.p99.to_string(),
+                r.summary.max.to_string(),
+            ]);
+        }
+    }
+
+    let path = write_csv(
+        "hist_report",
+        &["metric", "source", "run", "count", "p50", "p95", "p99", "max"],
+        &csv_rows,
+    )
+    .expect("write combined CSV");
+    println!(
+        "\n{} series from {} file(s){}; wrote {}",
+        csv_rows.len(),
+        files.len(),
+        if malformed > 0 {
+            format!(", {malformed} malformed row(s) skipped")
+        } else {
+            String::new()
+        },
+        path.display()
+    );
+}

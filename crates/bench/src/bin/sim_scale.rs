@@ -1,0 +1,104 @@
+//! Experiment S4 — scale: the event-driven engine at 100k+ peers.
+//!
+//! The background-event refactor turned maintenance, TTL eviction and
+//! update propagation from O(n) phase sweeps into per-peer events on the
+//! virtual-time queue, with jittered schedules spreading the work across
+//! each round and slab/arena state keeping dispatch allocation-free. This
+//! bin is the scale proof: it builds a Table-1-shaped network with the
+//! population overridden (default 100 000 peers — the ROADMAP's ">100k-peer
+//! scenarios" line), runs the selection algorithm with fully jittered
+//! background schedules, and reports wall-clock per round alongside the
+//! usual message accounting. CI runs `--peers 100000 --smoke` under a
+//! wall-clock budget, so scale regressions fail the build.
+
+use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, write_histograms_csv};
+use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht_model::Scenario;
+use std::time::Instant;
+
+fn main() {
+    let args = parse_sim_args();
+    let num_peers = args.peers.unwrap_or(100_000);
+    let rounds: u64 = if args.smoke { 5 } else { 30 };
+    println!(
+        "S4 configuration: {num_peers} peers, overlay = {:?}, latency = {:?}{}",
+        args.overlay,
+        args.latency,
+        if args.smoke { ", smoke mode" } else { "" }
+    );
+
+    // Table-1 shape with the population overridden: the key universe and
+    // replication stay at full scale, so per-peer load is realistic.
+    let scenario = Scenario { num_peers, ..Scenario::table1() };
+    scenario.validate().expect("valid scale scenario");
+
+    // One query per peer per 10 minutes: ~167 queries/round at 100k peers —
+    // a busy but broadcast-survivable load while the index warms up.
+    let mut cfg = PdhtConfig::new(scenario, 1.0 / 600.0, Strategy::Partial);
+    cfg.overlay = args.overlay;
+    cfg.latency = args.latency;
+    cfg.seed = 0x54_2004;
+    // A bounded TTL keeps the index finite within the short run.
+    cfg.ttl_policy = TtlPolicy::Fixed(200);
+    cfg.purge_stride = 8;
+    // The scale point of the refactor: every peer's maintenance tick and
+    // TTL sweep at its own instant, spread over ~90% of the round.
+    cfg.background = BackgroundSchedule { maintenance_jitter_us: 900_000, ttl_jitter_us: 900_000 };
+
+    let t0 = Instant::now();
+    let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let nap = net.num_active_peers();
+    println!(
+        "built in {build_secs:.2}s: {num_peers} peers, {nap} active (structured), \
+         {} background events resident",
+        2 * nap
+    );
+
+    let t1 = Instant::now();
+    net.run(rounds);
+    let run_secs = t1.elapsed().as_secs_f64();
+    let per_round_ms = run_secs * 1e3 / rounds as f64;
+    let report = net.report(0, rounds - 1);
+
+    let rows = vec![vec![
+        num_peers.to_string(),
+        nap.to_string(),
+        rounds.to_string(),
+        f1(report.msgs_per_round),
+        f3(report.p_indexed),
+        f1(report.indexed_keys),
+        format!("{build_secs:.2}"),
+        format!("{per_round_ms:.1}"),
+    ]];
+    print_table(
+        "S4 scale — event-driven engine, jittered background schedules",
+        &["peers", "active", "rounds", "msg/round", "pIndxd", "keys", "build s", "ms/round"],
+        &rows,
+    );
+
+    assert!(report.msgs_per_round > 0.0, "the network must do work at scale");
+    assert!(net.indexed_keys() > 0, "queries must populate the index at scale");
+
+    let csv = write_csv(
+        "sim_scale",
+        &[
+            "peers",
+            "active",
+            "rounds",
+            "msgs_per_round",
+            "p_indexed",
+            "indexed_keys",
+            "build_secs",
+            "ms_per_round",
+        ],
+        &rows,
+    )
+    .expect("write results CSV");
+    let hist = write_histograms_csv(
+        "sim_scale_hist",
+        &[(format!("partial@{num_peers}p/{:?}", net.config().overlay).to_lowercase(), report)],
+    )
+    .expect("write histogram CSV");
+    println!("\nwrote {} and {}", csv.display(), hist.display());
+}

@@ -12,7 +12,10 @@
 //! misses where Eq. 16 charges every query — but the *ordering* of the
 //! strategies and the adaptive index size must reproduce.
 
-use pdht_bench::{f1, f3, parse_sim_args, print_table, write_csv, write_histograms_csv, SimArgs};
+use pdht_bench::{
+    f1, f3, parse_sim_args, print_table, reject_peers_override, write_csv, write_histograms_csv,
+    SimArgs,
+};
 use pdht_core::{LatencyConfig, PdhtConfig, PdhtNetwork, SimReport, Strategy};
 use pdht_model::figures::freq_label;
 use pdht_model::{Scenario, SelectionModel, StrategyCosts};
@@ -56,6 +59,7 @@ fn run_strategy(
 
 fn main() {
     let args = parse_sim_args();
+    reject_peers_override(&args, "sim_vs_model");
     println!(
         "S2 configuration: overlay = {:?}, latency = {:?}{}",
         args.overlay,

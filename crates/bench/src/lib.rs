@@ -93,8 +93,9 @@ mod tests {
     }
 }
 
-/// Command-line flags shared by the simulation bins (S2/S3): overlay
-/// substrate, latency model, and a CI-friendly smoke mode.
+/// Command-line flags shared by the simulation bins (S2/S3/S4): overlay
+/// substrate, latency model, population override, and a CI-friendly smoke
+/// mode.
 #[derive(Clone, Copy, Debug)]
 pub struct SimArgs {
     /// `--overlay trie|chord|kademlia` (default: trie, the paper's
@@ -103,6 +104,9 @@ pub struct SimArgs {
     /// `--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA`
     /// (default: zero, the paper's whole-round semantics).
     pub latency: pdht_core::LatencyConfig,
+    /// `--peers N`: override the scenario's total population (the S4 scale
+    /// knob; `None` keeps each bin's default).
+    pub peers: Option<u32>,
     /// `--smoke`: shrink rounds/scale so CI can exercise the bin quickly.
     pub smoke: bool,
 }
@@ -115,12 +119,17 @@ pub fn parse_sim_args() -> SimArgs {
         eprintln!("error: {msg}");
         eprintln!(
             "usage: [--overlay trie|chord|kademlia] \
-             [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] [--smoke]"
+             [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] \
+             [--peers N] [--smoke]"
         );
         std::process::exit(2);
     };
-    let mut args =
-        SimArgs { overlay: OverlayKind::Trie, latency: LatencyConfig::Zero, smoke: false };
+    let mut args = SimArgs {
+        overlay: OverlayKind::Trie,
+        latency: LatencyConfig::Zero,
+        peers: None,
+        smoke: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -137,11 +146,31 @@ pub fn parse_sim_args() -> SimArgs {
                 let v = it.next().unwrap_or_else(|| usage("--latency needs a value"));
                 args.latency = parse_latency(&v).unwrap_or_else(|e| usage(&e));
             }
+            "--peers" => {
+                let v = it.next().unwrap_or_else(|| usage("--peers needs a value"));
+                match v.parse::<u32>() {
+                    Ok(n) if n >= 2 => args.peers = Some(n),
+                    _ => usage(&format!("--peers needs an integer >= 2, got {v:?}")),
+                }
+            }
             "--smoke" => args.smoke = true,
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
     args
+}
+
+/// Exits with an error if `--peers` was passed to a bin whose scenario is
+/// fixed (only the S4 scale bin honors the override) — silently ignoring
+/// the flag would mislabel the results.
+pub fn reject_peers_override(args: &SimArgs, bin: &str) {
+    if let Some(n) = args.peers {
+        eprintln!(
+            "error: {bin} runs a fixed scenario and does not support --peers {n} \
+             (the population override is the S4 knob — use the sim_scale bin)"
+        );
+        std::process::exit(2);
+    }
 }
 
 /// Parses a latency-model spec (`zero`, `uniform:LO_MS,HI_MS`,

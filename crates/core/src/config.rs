@@ -116,6 +116,51 @@ impl LatencyConfig {
     }
 }
 
+/// Scheduling of the per-peer background events (routing-table maintenance
+/// ticks and TTL eviction sweeps).
+///
+/// Each active peer's maintenance fires once per round and its TTL sweep
+/// once per `purge_stride` rounds, as individual events on the engine's
+/// virtual-time queue. By default every peer fires at its phase's sub-round
+/// instant, which reproduces the old phase-sweep accounting bit-for-bit.
+/// Non-zero jitter bounds spread the peers deterministically across the
+/// round (each peer keeps a fixed offset hashed from its id), which is how
+/// large scenarios avoid the per-round work spike — at the cost of a
+/// different (still seed-deterministic) interleaving with queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct BackgroundSchedule {
+    /// Upper bound (µs) on each peer's fixed maintenance offset within its
+    /// round. `0` (default) fires every peer at the maintenance phase
+    /// boundary.
+    pub maintenance_jitter_us: u64,
+    /// Upper bound (µs) on each peer's fixed TTL-sweep offset within its
+    /// round. `0` (default) fires every peer at the purge phase boundary.
+    pub ttl_jitter_us: u64,
+}
+
+/// Largest allowed jitter bound: offsets must stay strictly inside the
+/// one-second round (phase offsets occupy the first few µs).
+pub const MAX_BACKGROUND_JITTER_US: u64 = 990_000;
+
+impl BackgroundSchedule {
+    fn validate(&self) -> Result<()> {
+        for (param, v) in [
+            ("background.maintenance_jitter_us", self.maintenance_jitter_us),
+            ("background.ttl_jitter_us", self.ttl_jitter_us),
+        ] {
+            if v > MAX_BACKGROUND_JITTER_US {
+                return Err(PdhtError::InvalidConfig {
+                    param,
+                    reason: format!(
+                        "jitter must keep events inside the round (<= {MAX_BACKGROUND_JITTER_US} us), got {v}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Full harness configuration.
 #[derive(Clone, Debug)]
 pub struct PdhtConfig {
@@ -151,6 +196,10 @@ pub struct PdhtConfig {
     /// Peers purge expired entries every `purge_stride` rounds (staggered);
     /// trades gauge freshness for per-round work.
     pub purge_stride: u64,
+    /// Scheduling of the per-peer background events (maintenance ticks and
+    /// TTL sweeps). The default reproduces phase-sweep accounting
+    /// bit-for-bit.
+    pub background: BackgroundSchedule,
     /// Mean degree of the unstructured overlay graph.
     pub mean_degree: usize,
     /// Adjustment window (rounds) of the adaptive TTL controller.
@@ -177,6 +226,7 @@ impl PdhtConfig {
             walkers: 16,
             walk_budget_factor: 6,
             purge_stride: 16,
+            background: BackgroundSchedule::default(),
             mean_degree: 5,
             adaptive_window: 50,
             seed: DEFAULT_SEED,
@@ -228,6 +278,7 @@ impl PdhtConfig {
                 reason: "must be >= 1".into(),
             });
         }
+        self.background.validate()?;
         if self.mean_degree < 2 {
             return Err(PdhtError::InvalidConfig {
                 param: "mean_degree",
@@ -295,6 +346,14 @@ mod tests {
         let mut c = base();
         c.purge_stride = 0;
         assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.background.maintenance_jitter_us = MAX_BACKGROUND_JITTER_US + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.background.ttl_jitter_us = MAX_BACKGROUND_JITTER_US;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

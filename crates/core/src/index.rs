@@ -8,6 +8,14 @@
 //! Capacity is bounded (`stor` in Table 1): when full, the entry expiring
 //! soonest is evicted first — it is the entry the TTL policy already deems
 //! least worth keeping.
+//!
+//! Entries are keyed by the **dense key index** (`0..num_keys`, the
+//! position in the engine's key universe), not the routed [`Key`] hash:
+//! every engine call site already knows the index, integer keys hash
+//! cheaper, and the index doubles as the offset into the engine's flattened
+//! replica-count arena (see `network::peer`). The routed [`Key`] rides
+//! along in each entry for the deterministic eviction tie-break (kept on
+//! the hash, so victim selection is independent of the keying scheme).
 
 use crate::ttl::Ttl;
 use pdht_gossip::VersionedValue;
@@ -16,6 +24,8 @@ use pdht_types::{fasthash, FastHashMap, Key};
 /// One stored entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IndexEntry {
+    /// The routed key (eviction tie-break and diagnostics).
+    pub key: Key,
     /// The stored value.
     pub value: VersionedValue,
     /// Round at which the entry expires (exclusive: an entry with
@@ -25,19 +35,20 @@ pub struct IndexEntry {
 
 /// Outcome of an [`PartialIndex::insert`]: whether the key was new to this
 /// store, and any entry evicted to make room. The harness uses both to keep
-/// its global indexed-key refcount exact.
+/// its global indexed-key refcounts exact.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InsertResult {
     /// `true` if the key was not present before.
     pub was_new: bool,
-    /// A pre-existing key evicted due to the capacity bound.
-    pub evicted: Option<Key>,
+    /// The dense index of a pre-existing key evicted due to the capacity
+    /// bound.
+    pub evicted: Option<u32>,
 }
 
-/// A bounded TTL key-value store.
+/// A bounded TTL key-value store over dense key indices.
 #[derive(Clone, Debug)]
 pub struct PartialIndex {
-    entries: FastHashMap<Key, IndexEntry>,
+    entries: FastHashMap<u32, IndexEntry>,
     capacity: usize,
 }
 
@@ -48,7 +59,7 @@ impl PartialIndex {
     }
 
     /// Number of live entries (expired-but-unpurged entries included; call
-    /// [`PartialIndex::purge_expired`] at round boundaries).
+    /// [`PartialIndex::purge_expired_into`] at round boundaries).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -63,11 +74,11 @@ impl PartialIndex {
         self.capacity
     }
 
-    /// Looks up `key` at round `now`. On a hit the entry's expiry is reset
-    /// to `now + ttl` (the query-refresh rule that makes the index
+    /// Looks up key index `idx` at round `now`. On a hit the entry's expiry
+    /// is reset to `now + ttl` (the query-refresh rule that makes the index
     /// query-adaptive). Expired entries are treated as absent.
-    pub fn get_and_refresh(&mut self, key: Key, now: u64, ttl: Ttl) -> Option<VersionedValue> {
-        match self.entries.get_mut(&key) {
+    pub fn get_and_refresh(&mut self, idx: u32, now: u64, ttl: Ttl) -> Option<VersionedValue> {
+        match self.entries.get_mut(&idx) {
             Some(e) if e.expires_at > now => {
                 e.expires_at = ttl.expires_at(now);
                 Some(e.value)
@@ -77,15 +88,23 @@ impl PartialIndex {
     }
 
     /// Peeks without refreshing (diagnostics).
-    pub fn peek(&self, key: Key, now: u64) -> Option<VersionedValue> {
-        self.entries.get(&key).filter(|e| e.expires_at > now).map(|e| e.value)
+    pub fn peek(&self, idx: u32, now: u64) -> Option<VersionedValue> {
+        self.entries.get(&idx).filter(|e| e.expires_at > now).map(|e| e.value)
     }
 
-    /// Inserts `key` with expiry `now + ttl`, overwriting only with newer
-    /// versions. If at capacity, evicts the soonest-expiring entry.
-    pub fn insert(&mut self, key: Key, value: VersionedValue, now: u64, ttl: Ttl) -> InsertResult {
+    /// Inserts key index `idx` (routed key `key`) with expiry `now + ttl`,
+    /// overwriting only with newer versions. If at capacity, evicts the
+    /// soonest-expiring entry (ties broken on the routed key's hash).
+    pub fn insert(
+        &mut self,
+        idx: u32,
+        key: Key,
+        value: VersionedValue,
+        now: u64,
+        ttl: Ttl,
+    ) -> InsertResult {
         let expires_at = ttl.expires_at(now);
-        if let Some(existing) = self.entries.get_mut(&key) {
+        if let Some(existing) = self.entries.get_mut(&idx) {
             if existing.value.version <= value.version {
                 existing.value = value;
             }
@@ -94,44 +113,45 @@ impl PartialIndex {
         }
         let mut evicted = None;
         if self.entries.len() >= self.capacity {
-            // Evict the entry closest to expiry (ties: smallest key, for
-            // determinism).
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(k, e)| (e.expires_at, k.0))
+            // Evict the entry closest to expiry (ties: smallest routed-key
+            // hash, for determinism).
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, e)| (e.expires_at, e.key.0))
             {
                 self.entries.remove(&victim);
                 evicted = Some(victim);
             }
         }
         if self.capacity > 0 {
-            self.entries.insert(key, IndexEntry { value, expires_at });
+            self.entries.insert(idx, IndexEntry { key, value, expires_at });
             InsertResult { was_new: true, evicted }
         } else {
             InsertResult { was_new: false, evicted }
         }
     }
 
-    /// Removes `key` outright. Returns whether it was present.
-    pub fn remove(&mut self, key: Key) -> bool {
-        self.entries.remove(&key).is_some()
+    /// Removes key index `idx` outright. Returns whether it was present.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        self.entries.remove(&idx).is_some()
     }
 
-    /// Drops all entries with `expires_at <= now`; returns them (the
-    /// harness keeps a global refcount of indexed keys).
-    pub fn purge_expired(&mut self, now: u64) -> Vec<Key> {
-        let mut gone = Vec::new();
-        self.entries.retain(|&k, e| {
+    /// Drops all entries with `expires_at <= now`, appending their key
+    /// indices to `out` (callers reuse the buffer so the per-event sweep is
+    /// allocation-free; the harness keeps a global refcount of indexed
+    /// keys).
+    pub fn purge_expired_into(&mut self, now: u64, out: &mut Vec<u32>) {
+        self.entries.retain(|&idx, e| {
             let keep = e.expires_at > now;
             if !keep {
-                gone.push(k);
+                out.push(idx);
             }
             keep
         });
-        gone
     }
 
     /// Iterates live entries (diagnostics/pull-synchronization).
-    pub fn iter(&self) -> impl Iterator<Item = (Key, IndexEntry)> + '_ {
-        self.entries.iter().map(|(&k, &e)| (k, e))
+    pub fn iter(&self) -> impl Iterator<Item = (u32, IndexEntry)> + '_ {
+        self.entries.iter().map(|(&idx, &e)| (idx, e))
     }
 }
 
@@ -143,32 +163,44 @@ mod tests {
         VersionedValue { version, data: version * 10 }
     }
 
+    /// The routed key for dense index `idx` — the engine's own convention
+    /// (`keys[i] = hash(i)`), so tie-breaks exercise the real scheme.
+    fn k(idx: u32) -> Key {
+        Key::hash_bytes(&u64::from(idx).to_le_bytes())
+    }
+
+    fn purged(idx: &mut PartialIndex, now: u64) -> Vec<u32> {
+        let mut gone = Vec::new();
+        idx.purge_expired_into(now, &mut gone);
+        gone
+    }
+
     #[test]
     fn insert_then_get_within_ttl() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
-        assert_eq!(idx.get_and_refresh(Key(1), 4, Ttl::Rounds(5)), Some(v(1)));
-        assert_eq!(idx.peek(Key(2), 0), None);
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5));
+        assert_eq!(idx.get_and_refresh(1, 4, Ttl::Rounds(5)), Some(v(1)));
+        assert_eq!(idx.peek(2, 0), None);
     }
 
     #[test]
     fn entries_expire_after_ttl() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5));
         // Expiry at round 5 is exclusive.
-        assert_eq!(idx.peek(Key(1), 4), Some(v(1)));
-        assert_eq!(idx.peek(Key(1), 5), None);
-        assert_eq!(idx.get_and_refresh(Key(1), 5, Ttl::Rounds(5)), None);
+        assert_eq!(idx.peek(1, 4), Some(v(1)));
+        assert_eq!(idx.peek(1, 5), None);
+        assert_eq!(idx.get_and_refresh(1, 5, Ttl::Rounds(5)), None);
     }
 
     #[test]
     fn queries_refresh_expiry() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5));
         // Touch at round 4: new expiry 9.
-        assert!(idx.get_and_refresh(Key(1), 4, Ttl::Rounds(5)).is_some());
-        assert_eq!(idx.peek(Key(1), 8), Some(v(1)));
-        assert_eq!(idx.peek(Key(1), 9), None);
+        assert!(idx.get_and_refresh(1, 4, Ttl::Rounds(5)).is_some());
+        assert_eq!(idx.peek(1, 8), Some(v(1)));
+        assert_eq!(idx.peek(1, 9), None);
     }
 
     #[test]
@@ -176,45 +208,56 @@ mod tests {
         // The selection mechanism in miniature: two keys, one queried every
         // round, one never; after ttl rounds only the queried key remains.
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(3));
-        idx.insert(Key(2), v(1), 0, Ttl::Rounds(3));
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(3));
+        idx.insert(2, k(2), v(1), 0, Ttl::Rounds(3));
         for now in 1..10 {
-            idx.get_and_refresh(Key(1), now, Ttl::Rounds(3));
-            idx.purge_expired(now);
+            idx.get_and_refresh(1, now, Ttl::Rounds(3));
+            let _ = purged(&mut idx, now);
         }
-        assert!(idx.peek(Key(1), 9).is_some());
-        assert!(idx.peek(Key(2), 9).is_none());
+        assert!(idx.peek(1, 9).is_some());
+        assert!(idx.peek(2, 9).is_none());
     }
 
     #[test]
     fn purge_returns_expired_keys() {
         let mut idx = PartialIndex::new(10);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(2));
-        idx.insert(Key(2), v(1), 0, Ttl::Rounds(4));
-        let mut gone = idx.purge_expired(2);
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(2));
+        idx.insert(2, k(2), v(1), 0, Ttl::Rounds(4));
+        let mut gone = purged(&mut idx, 2);
         gone.sort_unstable();
-        assert_eq!(gone, vec![Key(1)]);
+        assert_eq!(gone, vec![1]);
         assert_eq!(idx.len(), 1);
     }
 
     #[test]
     fn capacity_evicts_soonest_expiring() {
         let mut idx = PartialIndex::new(2);
-        assert!(idx.insert(Key(1), v(1), 0, Ttl::Rounds(10)).was_new);
-        assert!(idx.insert(Key(2), v(1), 0, Ttl::Rounds(3)).was_new); // soonest to expire
-        let res = idx.insert(Key(3), v(1), 0, Ttl::Rounds(7));
+        assert!(idx.insert(1, k(1), v(1), 0, Ttl::Rounds(10)).was_new);
+        assert!(idx.insert(2, k(2), v(1), 0, Ttl::Rounds(3)).was_new); // soonest to expire
+        let res = idx.insert(3, k(3), v(1), 0, Ttl::Rounds(7));
         assert!(res.was_new);
-        assert_eq!(res.evicted, Some(Key(2)));
+        assert_eq!(res.evicted, Some(2));
         assert_eq!(idx.len(), 2);
-        assert!(idx.peek(Key(1), 0).is_some());
-        assert!(idx.peek(Key(3), 0).is_some());
+        assert!(idx.peek(1, 0).is_some());
+        assert!(idx.peek(3, 0).is_some());
+    }
+
+    #[test]
+    fn eviction_ties_break_on_routed_key_hash() {
+        let mut idx = PartialIndex::new(2);
+        // Same expiry: the smaller routed-key hash goes first, regardless of
+        // the dense indices.
+        idx.insert(7, Key(500), v(1), 0, Ttl::Rounds(5));
+        idx.insert(3, Key(100), v(1), 0, Ttl::Rounds(5));
+        let res = idx.insert(9, Key(900), v(1), 0, Ttl::Rounds(5));
+        assert_eq!(res.evicted, Some(3), "victim is the smallest key hash, not index");
     }
 
     #[test]
     fn reinsert_reports_not_new() {
         let mut idx = PartialIndex::new(4);
-        assert!(idx.insert(Key(1), v(1), 0, Ttl::Rounds(5)).was_new);
-        let res = idx.insert(Key(1), v(2), 1, Ttl::Rounds(5));
+        assert!(idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5)).was_new);
+        let res = idx.insert(1, k(1), v(2), 1, Ttl::Rounds(5));
         assert!(!res.was_new);
         assert_eq!(res.evicted, None);
     }
@@ -222,50 +265,50 @@ mod tests {
     #[test]
     fn reinsert_extends_but_never_downgrades_version() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(3), 0, Ttl::Rounds(5));
+        idx.insert(1, k(1), v(3), 0, Ttl::Rounds(5));
         // Stale version: value kept, expiry extended.
-        idx.insert(Key(1), v(2), 2, Ttl::Rounds(5));
-        assert_eq!(idx.peek(Key(1), 6).unwrap().version, 3);
+        idx.insert(1, k(1), v(2), 2, Ttl::Rounds(5));
+        assert_eq!(idx.peek(1, 6).unwrap().version, 3);
         // Newer version replaces.
-        idx.insert(Key(1), v(4), 3, Ttl::Rounds(5));
-        assert_eq!(idx.peek(Key(1), 4).unwrap().version, 4);
+        idx.insert(1, k(1), v(4), 3, Ttl::Rounds(5));
+        assert_eq!(idx.peek(1, 4).unwrap().version, 4);
         assert_eq!(idx.len(), 1);
     }
 
     #[test]
     fn reinsert_never_shortens_expiry() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(10));
-        idx.insert(Key(1), v(1), 1, Ttl::Rounds(2)); // would expire at 3 < 10
-        assert!(idx.peek(Key(1), 9).is_some(), "expiry must keep the max");
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(10));
+        idx.insert(1, k(1), v(1), 1, Ttl::Rounds(2)); // would expire at 3 < 10
+        assert!(idx.peek(1, 9).is_some(), "expiry must keep the max");
     }
 
     #[test]
     fn zero_capacity_index_stores_nothing() {
         let mut idx = PartialIndex::new(0);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5));
         assert!(idx.is_empty());
-        assert_eq!(idx.peek(Key(1), 0), None);
+        assert_eq!(idx.peek(1, 0), None);
     }
 
     #[test]
     fn remove_and_iter() {
         let mut idx = PartialIndex::new(4);
-        idx.insert(Key(1), v(1), 0, Ttl::Rounds(5));
-        idx.insert(Key(2), v(2), 0, Ttl::Rounds(5));
+        idx.insert(1, k(1), v(1), 0, Ttl::Rounds(5));
+        idx.insert(2, k(2), v(2), 0, Ttl::Rounds(5));
         assert_eq!(idx.iter().count(), 2);
-        assert!(idx.remove(Key(1)));
-        assert!(!idx.remove(Key(1)));
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
         assert_eq!(idx.iter().count(), 1);
     }
 
     #[test]
     fn saturating_ttl_does_not_overflow() {
         let mut idx = PartialIndex::new(2);
-        idx.insert(Key(1), v(1), u64::MAX - 1, Ttl::Rounds(u64::MAX));
-        assert!(idx.peek(Key(1), u64::MAX - 1).is_some());
+        idx.insert(1, k(1), v(1), u64::MAX - 1, Ttl::Rounds(u64::MAX));
+        assert!(idx.peek(1, u64::MAX - 1).is_some());
         // Infinite TTL entries survive any clock.
-        idx.insert(Key(2), v(1), 0, Ttl::Infinite);
-        assert!(idx.peek(Key(2), u64::MAX - 1).is_some());
+        idx.insert(2, k(2), v(1), 0, Ttl::Infinite);
+        assert!(idx.peek(2, u64::MAX - 1).is_some());
     }
 }

@@ -39,9 +39,13 @@ pub mod network;
 pub mod ttl;
 
 pub use admission::{AdmissionFilter, AdmissionPolicy};
-pub use config::{LatencyConfig, OverlayKind, PdhtConfig, Strategy, DEFAULT_SEED};
+pub use config::{
+    BackgroundSchedule, LatencyConfig, OverlayKind, PdhtConfig, Strategy, DEFAULT_SEED,
+    MAX_BACKGROUND_JITTER_US,
+};
 pub use index::{IndexEntry, InsertResult, PartialIndex};
 pub use network::{
     EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
+    UpdateId,
 };
 pub use ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};

@@ -20,20 +20,25 @@
 
 use crate::admission::AdmissionFilter;
 use crate::config::{OverlayKind, PdhtConfig, Strategy};
+use crate::network::maintenance::UpdateCtx;
 use crate::network::peer::PeerStores;
 use crate::network::routing::QueryCtx;
 use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
 use pdht_overlay::{ChordOverlay, ChurnModel, KademliaOverlay, Overlay, TrieOverlay};
-use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver};
-use pdht_types::{FastHashMap, Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
+use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver, Slab};
+use pdht_types::{Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
 use pdht_unstructured::{Replication, Topology};
 use pdht_workload::{QueryWorkload, UpdateProcess};
 use rand::rngs::SmallRng;
 
-/// Identifier of an in-flight query (unique within one network's lifetime).
+/// Identifier of an in-flight query: a generational slab key, so events
+/// referencing resolved queries miss instead of aliasing a recycled slot.
 pub type QueryId = u64;
+
+/// Identifier of an in-flight update propagation (same slab-key scheme).
+pub type UpdateId = u64;
 
 /// An event on the engine's virtual-time queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +58,29 @@ pub enum NetEvent {
     QueryTimeout {
         /// The query to abandon.
         query: QueryId,
+    },
+    /// A peer's routing-table maintenance tick comes due: one
+    /// [`pdht_overlay::Overlay::maintenance_step`], then the event
+    /// reschedules itself one round later (each active peer carries its own
+    /// perpetual tick at a fixed, optionally jittered, sub-round offset).
+    PeerMaintenance {
+        /// The peer whose routing table is probed.
+        peer: PeerId,
+    },
+    /// A peer's TTL eviction sweep comes due (Partial only): purge its
+    /// expired entries, then reschedule `purge_stride` rounds later.
+    TtlSweep {
+        /// The peer whose store is swept.
+        peer: PeerId,
+    },
+    /// A message wave of an in-flight update propagation lands: advance
+    /// that update's state machine by one step (route hop or gossip wave).
+    GossipPush {
+        /// The propagation whose wave arrived.
+        update: UpdateId,
+        /// Step counter when the wave was sent (diagnostics; arrivals for
+        /// finished propagations are ignored).
+        step: u32,
     },
 }
 
@@ -123,6 +151,33 @@ const PHASES: [RoundPhase; 6] = [
     RoundPhase::Bookkeeping,
 ];
 
+/// µs of virtual time between consecutive phase instants within a round.
+/// The gap leaves room for the per-peer background events *after* their
+/// phase marker: a [`HookPoint::BeforePhase`] observation must fire before
+/// any of that phase's per-peer work dispatches (same-instant ties would
+/// put the rescheduled background events first, since their queue sequence
+/// numbers predate the round's phase events).
+const PHASE_SPACING_US: u64 = 10;
+
+/// Base offset (µs past the round start) of every
+/// [`NetEvent::PeerMaintenance`] event: one tick after the
+/// [`RoundPhase::OverlayMaintenance`] marker.
+const MAINTENANCE_OFFSET_US: u64 = PHASE_SPACING_US + 1;
+
+/// Base offset of every [`NetEvent::TtlSweep`] event: one tick after the
+/// [`RoundPhase::PurgeExpired`] marker.
+const TTL_SWEEP_OFFSET_US: u64 = 2 * PHASE_SPACING_US + 1;
+
+/// A peer's fixed scheduling offset in `[0, bound]` µs — a SplitMix64 hash
+/// of `(seed, salt)` ([`pdht_types::mix64`]), so jittered schedules stay
+/// deterministic per seed without consuming any component RNG stream.
+fn peer_jitter_us(seed: u64, salt: u64, bound_us: u64) -> u64 {
+    if bound_us == 0 {
+        return 0;
+    }
+    pdht_types::mix64(seed, salt) % (bound_us + 1)
+}
+
 /// The assembled network.
 pub struct PdhtNetwork {
     pub(crate) cfg: PdhtConfig,
@@ -155,12 +210,16 @@ pub struct PdhtNetwork {
     pub(crate) probe_rate: f64,
     pub(crate) metrics: Metrics,
     pub(crate) driver: RoundDriver,
-    /// Virtual-time queue sequencing phases and in-flight query messages.
+    /// Virtual-time queue sequencing phases, per-peer background events,
+    /// and in-flight query/update messages.
     pub(crate) events: EventQueue<NetEvent>,
-    /// In-flight queries, keyed by [`QueryId`]. Empty whenever every hop
+    /// In-flight queries, keyed by [`QueryId`] (generational slab — parking
+    /// and resuming a context is allocation-free). Empty whenever every hop
     /// delay is zero (steps run inline).
-    pub(crate) inflight: FastHashMap<QueryId, QueryCtx>,
-    pub(crate) next_query_id: QueryId,
+    pub(crate) inflight: Slab<QueryCtx>,
+    /// In-flight update propagations, keyed by [`UpdateId`]. Empty under
+    /// zero latency for the same reason.
+    pub(crate) updates_inflight: Slab<UpdateCtx>,
     /// Per-hop delay model built from [`PdhtConfig::latency`].
     pub(crate) latency: Box<dyn LatencyModel>,
     /// Experiment hook observing phase/message boundaries.
@@ -356,7 +415,7 @@ impl PdhtNetwork {
                     let value = VersionedValue { version: 1, data: i as u64 };
                     let group = o.group_of_key(key);
                     for &member in o.group_members(group) {
-                        let res = peers.insert(member, key, value, 0, Ttl::Infinite);
+                        let res = peers.insert(member, i as u32, key, value, 0, Ttl::Infinite);
                         debug_assert!(res.evicted.is_none(), "preload must fit");
                     }
                 }
@@ -365,7 +424,7 @@ impl PdhtNetwork {
 
         let cfg_admission = cfg.admission;
         let latency = cfg.latency.build();
-        Ok(PdhtNetwork {
+        let mut net = PdhtNetwork {
             rng_churn: streams.stream("churn-run"),
             rng_workload: streams.stream("workload"),
             rng_overlay: streams.stream("overlay"),
@@ -393,8 +452,8 @@ impl PdhtNetwork {
             metrics: Metrics::new(),
             driver: RoundDriver::new(),
             events: EventQueue::new(),
-            inflight: pdht_types::fasthash::map_with_capacity(64),
-            next_query_id: 0,
+            inflight: Slab::with_capacity(64),
+            updates_inflight: Slab::with_capacity(16),
             hook: None,
             hits: 0,
             misses: 0,
@@ -403,7 +462,55 @@ impl PdhtNetwork {
             search_failures: 0,
             skipped_offline: 0,
             query_timeouts: 0,
-        })
+        };
+        net.schedule_background();
+        Ok(net)
+    }
+
+    /// Seeds the perpetual per-peer background events: one
+    /// [`NetEvent::PeerMaintenance`] per active peer per round, and (Partial
+    /// only) one [`NetEvent::TtlSweep`] per active peer per `purge_stride`
+    /// rounds, staggered so cohort `p % stride` sweeps in round
+    /// `r ≡ p (mod stride)` — the same stagger the phase sweep used. Each
+    /// event reschedules itself, so the queue carries a steady `O(nap)`
+    /// background population instead of the engine sweeping all peers
+    /// inside a phase handler.
+    ///
+    /// Offsets: with zero jitter (the default), every maintenance event
+    /// fires at its round's `OverlayMaintenance` instant and every sweep at
+    /// the `PurgeExpired` instant, in ascending peer order — which makes
+    /// the event-driven path consume the component RNG streams in exactly
+    /// the order the phase sweeps did, keeping `LatencyConfig::Zero`
+    /// accounting bit-for-bit identical. Non-zero jitter gives each peer a
+    /// fixed hashed offset inside its round.
+    fn schedule_background(&mut self) {
+        let jitter = self.cfg.background;
+        if self.overlay.is_some() {
+            for p in 0..self.nap {
+                let offset = MAINTENANCE_OFFSET_US
+                    + peer_jitter_us(
+                        self.cfg.seed,
+                        0xA11C_E000 + p as u64,
+                        jitter.maintenance_jitter_us,
+                    );
+                self.events.schedule_at(
+                    Round(0).start() + SimTime::from_micros(offset),
+                    NetEvent::PeerMaintenance { peer: PeerId::from_idx(p) },
+                );
+            }
+        }
+        if self.cfg.strategy == Strategy::Partial {
+            let stride = self.cfg.purge_stride;
+            for p in 0..self.nap {
+                let first = Round(p as u64 % stride);
+                let offset = TTL_SWEEP_OFFSET_US
+                    + peer_jitter_us(self.cfg.seed, 0x77E0_0000 + p as u64, jitter.ttl_jitter_us);
+                self.events.schedule_at(
+                    first.start() + SimTime::from_micros(offset),
+                    NetEvent::TtlSweep { peer: PeerId::from_idx(p) },
+                );
+            }
+        }
     }
 
     /// The configuration.
@@ -459,6 +566,12 @@ impl PdhtNetwork {
         self.inflight.len()
     }
 
+    /// Update propagations currently in flight (always 0 when every hop
+    /// delay is zero).
+    pub fn updates_in_flight(&self) -> usize {
+        self.updates_inflight.len()
+    }
+
     /// Runs `n` rounds.
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
@@ -477,7 +590,7 @@ impl PdhtNetwork {
         // (time, insertion) order fixes the sequence deterministically.
         for (i, phase) in PHASES.into_iter().enumerate() {
             self.events.schedule_at(
-                round.start() + SimTime::from_micros(i as u64),
+                round.start() + SimTime::from_micros(i as u64 * PHASE_SPACING_US),
                 NetEvent::Phase(phase),
             );
         }
@@ -501,13 +614,19 @@ impl PdhtNetwork {
     fn dispatch(&mut self, event: NetEvent, round: u64) {
         if self.hook.is_some() {
             // Stale message events (arrivals/timeouts of already-resolved
-            // queries) are no-ops and stay invisible to the hook.
+            // queries) are no-ops and stay invisible to the hook, as are
+            // the per-peer background ticks (phase boundaries remain the
+            // hook's calibration seam — one observation per phase per
+            // round, not one per peer).
             let point = match event {
                 NetEvent::Phase(phase) => Some(HookPoint::BeforePhase { round, phase }),
                 NetEvent::MessageArrival { query, .. } | NetEvent::QueryTimeout { query } => self
                     .inflight
-                    .contains_key(&query)
+                    .contains(query)
                     .then_some(HookPoint::BeforeMessage { round, query }),
+                NetEvent::PeerMaintenance { .. }
+                | NetEvent::TtlSweep { .. }
+                | NetEvent::GossipPush { .. } => None,
             };
             if let Some(point) = point {
                 self.run_hook(point);
@@ -515,13 +634,18 @@ impl PdhtNetwork {
         }
         match event {
             NetEvent::Phase(RoundPhase::Churn) => self.phase_churn(round),
-            NetEvent::Phase(RoundPhase::OverlayMaintenance) => self.phase_overlay_maintenance(),
-            NetEvent::Phase(RoundPhase::PurgeExpired) => self.phase_purge_expired(round),
+            // Maintenance and purge run as per-peer events now; their
+            // phases remain as report/calibration boundaries the hook can
+            // target.
+            NetEvent::Phase(RoundPhase::OverlayMaintenance | RoundPhase::PurgeExpired) => {}
             NetEvent::Phase(RoundPhase::ContentUpdates) => self.phase_content_updates(round),
             NetEvent::Phase(RoundPhase::Queries) => self.phase_queries(round),
             NetEvent::Phase(RoundPhase::Bookkeeping) => self.phase_bookkeeping(round),
             NetEvent::MessageArrival { query, .. } => self.on_message_arrival(query, round),
             NetEvent::QueryTimeout { query } => self.on_query_timeout(query),
+            NetEvent::PeerMaintenance { peer } => self.on_peer_maintenance(peer),
+            NetEvent::TtlSweep { peer } => self.on_ttl_sweep(peer, round),
+            NetEvent::GossipPush { update, .. } => self.on_gossip_push(update, round),
         }
     }
 
@@ -768,7 +892,9 @@ mod tests {
     fn boundary_events_belong_to_the_next_round() {
         // An event parked exactly on the round boundary (the seam external
         // schedulers are promised) must not fire during the earlier round.
-        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        // NoIndex schedules no background events, so the queue population
+        // is exactly the probe event.
+        let mut net = PdhtNetwork::new(cfg(Strategy::NoIndex, 1.0 / 60.0)).unwrap();
         net.events.schedule_at(Round(1).start(), NetEvent::Phase(RoundPhase::Churn));
         net.step_round();
         assert_eq!(net.events.len(), 1, "boundary event must survive round 0");
@@ -778,11 +904,32 @@ mod tests {
 
     #[test]
     fn phases_drain_within_their_round() {
-        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        let mut net = PdhtNetwork::new(cfg(Strategy::NoIndex, 1.0 / 60.0)).unwrap();
         assert!(net.events.is_empty());
         net.step_round();
         assert!(net.events.is_empty(), "all phase events must fire in-round");
         assert_eq!(net.events.now(), Round(0).end());
         assert_eq!(net.next_round(), 1);
+    }
+
+    #[test]
+    fn background_events_keep_a_steady_per_peer_population() {
+        // Every active peer carries one perpetual maintenance event, plus
+        // (Partial) one TTL-sweep event; each round consumes and reschedules
+        // them, so the pending population is invariant across rounds.
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        let expected = 2 * net.num_active_peers();
+        assert_eq!(net.events.len(), expected, "maintenance + TTL sweep per active peer");
+        for _ in 0..3 {
+            net.step_round();
+            assert_eq!(net.events.len(), expected, "background events must reschedule");
+        }
+
+        let net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        assert_eq!(
+            net.events.len(),
+            net.num_active_peers(),
+            "IndexAll never expires entries: maintenance only"
+        );
     }
 }

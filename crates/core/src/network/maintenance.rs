@@ -1,15 +1,64 @@
-//! Background phases: churn, routing-table maintenance, TTL eviction, and
-//! update propagation.
+//! Background work: churn, per-peer routing-table maintenance ticks,
+//! per-peer TTL eviction sweeps, and message-granular update propagation.
 //!
-//! Each handler corresponds to one [`super::RoundPhase`] scheduled by the
-//! engine; none of them is called from anywhere else.
+//! Since the background-event refactor only churn remains a whole-phase
+//! handler (its session transitions are one global process). Maintenance
+//! and TTL eviction fire as *per-peer* events — [`NetEvent::PeerMaintenance`]
+//! every round and [`NetEvent::TtlSweep`] every `purge_stride` rounds, each
+//! rescheduling itself — and update propagation runs as an in-flight state
+//! machine over [`UpdateCtx`]s, one [`NetEvent::GossipPush`] per route hop
+//! or gossip wave, exactly like the query pipeline in [`super::routing`].
+//! Under [`crate::LatencyConfig::Zero`] with the default
+//! [`crate::config::BackgroundSchedule`], every step runs inline in the
+//! order the old phase sweeps used, so the accounting stays bit-for-bit
+//! identical; jittered schedules and non-zero latency spread the work
+//! across each round.
 
-use super::engine::PdhtNetwork;
+use super::engine::{NetEvent, PdhtNetwork, UpdateId};
+use super::routing::StepFate;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
-use pdht_gossip::VersionedValue;
+use pdht_gossip::{RumorWave, VersionedValue};
+use pdht_overlay::{HopOutcome, LookupState};
 use pdht_sim::Metrics;
-use pdht_types::{MessageKind, PeerId};
+use pdht_types::{MessageKind, PeerId, SimTime};
+
+/// The pipeline position of an in-flight update propagation: routing the
+/// current key of the replaced article towards its responsible peer, or
+/// gossiping the new version through that key's replica group.
+enum UpdateStage {
+    /// Structured routing towards the key's responsible peer (hops count as
+    /// [`MessageKind::GossipPush`] — the `cSIndx` part of Eq. 9's `cUpd`).
+    Route {
+        /// Resumable lookup state (one forward per step).
+        lookup: LookupState,
+    },
+    /// Rumor-spreading the new version through the replica group (the
+    /// `repl·dup2` part).
+    Gossip {
+        /// Resumable rumor state (one gossip round per step).
+        wave: RumorWave,
+    },
+}
+
+/// An in-flight update propagation (IndexAll, Eq. 9): everything the state
+/// machine needs between [`NetEvent::GossipPush`] events. One context
+/// covers every key of the replaced article, processed in order.
+pub(crate) struct UpdateCtx {
+    id: UpdateId,
+    /// The replaced article.
+    article: u32,
+    /// The version being propagated.
+    new_version: u64,
+    /// The DHT peer all key routes start from (picked once per article, as
+    /// in the phase-sweep pipeline).
+    entry: PeerId,
+    /// Position within the article's key list.
+    pos: usize,
+    /// Forwarding steps so far (route hops / gossip waves).
+    steps: u32,
+    stage: UpdateStage,
+}
 
 impl PdhtNetwork {
     /// Churn phase: session transitions; rejoining active peers pull missed
@@ -27,35 +76,33 @@ impl PdhtNetwork {
         }
     }
 
-    /// Maintenance phase: probe routing tables at the calibrated rate.
-    pub(crate) fn phase_overlay_maintenance(&mut self) {
+    /// One peer's maintenance tick: probe its routing entries at the
+    /// calibrated rate, then reschedule the tick one round later (the event
+    /// is perpetual, so each peer keeps its fixed sub-round offset).
+    pub(crate) fn on_peer_maintenance(&mut self, peer: PeerId) {
         if let Some(o) = &mut self.overlay {
-            o.maintenance_round(
+            o.maintenance_step(
+                peer,
                 self.probe_rate,
                 self.churn.liveness(),
                 &mut self.rng_overlay,
                 &mut self.metrics,
             );
         }
+        self.events.schedule_in(SimTime::from_secs(1), NetEvent::PeerMaintenance { peer });
     }
 
-    /// Purge phase: staggered eviction of expired entries (Partial only —
-    /// IndexAll entries never expire).
-    pub(crate) fn phase_purge_expired(&mut self, round: u64) {
-        if self.cfg.strategy != Strategy::Partial {
-            return;
-        }
-        let stride = self.cfg.purge_stride;
-        let phase = round % stride;
-        for p in 0..self.nap {
-            if p as u64 % stride == phase {
-                self.peers.purge_expired(PeerId::from_idx(p), round);
-            }
-        }
+    /// One peer's TTL eviction sweep (Partial only — IndexAll entries never
+    /// expire): purge its expired entries, then reschedule `purge_stride`
+    /// rounds later, preserving the staggered cohorts.
+    pub(crate) fn on_ttl_sweep(&mut self, peer: PeerId, round: u64) {
+        self.peers.purge_expired(peer, round);
+        self.events
+            .schedule_in(SimTime::from_secs(self.cfg.purge_stride), NetEvent::TtlSweep { peer });
     }
 
-    /// Update phase: content replacement, plus (IndexAll) proactive
-    /// propagation of the new versions into the index.
+    /// Update phase: content replacement, plus (IndexAll) kicking off one
+    /// update-propagation state machine per replaced article.
     pub(crate) fn phase_content_updates(&mut self, round: u64) {
         let replacements = self.updates.round_updates(&mut self.rng_updates);
         for rep in &replacements {
@@ -63,7 +110,7 @@ impl PdhtNetwork {
         }
         if self.cfg.strategy == Strategy::IndexAll {
             for rep in replacements {
-                self.propagate_update(rep.article, rep.new_version, round);
+                self.start_update(rep.article, rep.new_version, round);
             }
         }
     }
@@ -77,47 +124,167 @@ impl PdhtNetwork {
             o.group_members(group).iter().copied().find(|&m| m != peer && live.is_online(m));
         let Some(donor) = donor else { return };
         self.metrics.record_n(MessageKind::GossipPull, 2);
-        for (key, value) in self.peers.snapshot(donor) {
-            self.peers.insert(peer, key, value, round, Ttl::Infinite);
+        for (ki, key, value) in self.peers.snapshot(donor) {
+            self.peers.insert(peer, ki, key, value, round, Ttl::Infinite);
         }
     }
 
-    /// IndexAll update path (Eq. 9): route to a responsible peer, then
-    /// gossip the new version through the replica group.
-    fn propagate_update(&mut self, article: u32, new_version: u64, round: u64) {
-        let Some(o) = &self.overlay else { return };
-        let live = self.churn.liveness();
-        let Some(entry) = o.entry_peer(live, &mut self.rng_overlay) else { return };
-        let key_indices = self.keys_by_article[article as usize].clone();
-        for ki in key_indices {
-            let key = self.keys[ki as usize];
-            let value = VersionedValue { version: new_version, data: u64::from(ki) };
-            // Route (cSIndx part of cUpd) — hops are update traffic.
-            let mut scratch = Metrics::new();
-            let arrival =
-                o.lookup(entry, key, self.churn.liveness(), &mut self.rng_overlay, &mut scratch);
-            let hops = scratch.totals()[MessageKind::RouteHop];
-            self.metrics.record_n(MessageKind::GossipPush, hops);
-            let Ok(outcome) = arrival else { continue };
-            // Gossip within the replica group (repl·dup2 part).
-            let group = &self.groups[o.group_of_key(key)];
-            let peers = &mut self.peers;
-            group.push_rumor(
-                outcome.peer,
-                |member_local| {
-                    let member = group.members()[member_local];
-                    // "Fresh" means this delivery changed the member's
-                    // state — the rumor-death condition. (Reporting "member
-                    // is current" instead would keep spreaders alive
-                    // forever once everyone converged.)
-                    let prior = peers.peek(member, key, round).map(|v| v.version);
-                    peers.insert(member, key, value, round, Ttl::Infinite);
-                    prior.is_none_or(|pv| pv < new_version)
-                },
-                self.churn.liveness(),
-                &mut self.rng_overlay,
-                &mut self.metrics,
-            );
+    /// Advances the update propagation whose wave just landed. Arrivals for
+    /// propagations no longer in flight are ignored.
+    pub(crate) fn on_gossip_push(&mut self, id: UpdateId, round: u64) {
+        if let Some(ctx) = self.updates_inflight.take(id) {
+            self.drive_update(ctx, round);
         }
+    }
+
+    /// Issues one update propagation (IndexAll, Eq. 9): picks the entry
+    /// peer, starts routing the article's first key, and drives the state
+    /// machine until it completes or a wave goes in flight.
+    fn start_update(&mut self, article: u32, new_version: u64, round: u64) {
+        let entry = {
+            let Some(o) = self.overlay.as_deref() else { return };
+            let live = self.churn.liveness();
+            o.entry_peer(live, &mut self.rng_overlay)
+        };
+        let Some(entry) = entry else { return };
+        let ki = self.keys_by_article[article as usize][0];
+        let key = self.keys[ki as usize];
+        let o = self.overlay.as_deref().expect("checked above");
+        let id = self.updates_inflight.reserve();
+        let ctx = UpdateCtx {
+            id,
+            article,
+            new_version,
+            entry,
+            pos: 0,
+            steps: 0,
+            stage: UpdateStage::Route { lookup: o.begin_lookup(entry, key) },
+        };
+        self.drive_update(ctx, round);
+    }
+
+    /// Steps `ctx` until it resolves or a wave with a non-zero delay goes
+    /// in flight (zero delays advance inline — under
+    /// [`crate::LatencyConfig::Zero`] a whole propagation completes at its
+    /// issue instant, consuming the RNG streams in exactly the order the
+    /// phase-sweep pipeline did).
+    fn drive_update(&mut self, mut ctx: UpdateCtx, round: u64) {
+        loop {
+            match self.step_update(&mut ctx, round) {
+                StepFate::Done => {
+                    self.updates_inflight.free(ctx.id);
+                    return;
+                }
+                StepFate::Next => {
+                    ctx.steps += 1;
+                    let delay = self.latency.sample(&mut self.rng_latency);
+                    if delay == SimTime::ZERO {
+                        continue;
+                    }
+                    let event = NetEvent::GossipPush { update: ctx.id, step: ctx.steps };
+                    self.events.schedule_in(delay, event);
+                    let id = ctx.id;
+                    self.updates_inflight.park(id, ctx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One step of the propagation state machine, at the current virtual
+    /// instant inside round `round`.
+    fn step_update(&mut self, ctx: &mut UpdateCtx, round: u64) -> StepFate {
+        let ki = self.keys_by_article[ctx.article as usize][ctx.pos];
+        let key = self.keys[ki as usize];
+        let new_version = ctx.new_version;
+        match ctx.stage {
+            UpdateStage::Route { lookup } => {
+                let mut lookup = lookup;
+                // Route hops are update traffic (the cSIndx part of cUpd).
+                let mut scratch = Metrics::new();
+                let outcome = {
+                    let o = self.overlay.as_deref().expect("update implies overlay");
+                    let live = self.churn.liveness();
+                    o.next_hop(key, &mut lookup, live, &mut self.rng_overlay, &mut scratch)
+                };
+                self.metrics
+                    .record_n(MessageKind::GossipPush, scratch.totals()[MessageKind::RouteHop]);
+                match outcome {
+                    Ok(HopOutcome::Forwarded(_)) => {
+                        ctx.stage = UpdateStage::Route { lookup };
+                        StepFate::Next
+                    }
+                    Ok(HopOutcome::Arrived(at)) => {
+                        let value = VersionedValue { version: new_version, data: u64::from(ki) };
+                        let wave = {
+                            let o = self.overlay.as_deref().expect("update implies overlay");
+                            let group = &self.groups[o.group_of_key(key)];
+                            let peers = &mut self.peers;
+                            group.push_begin(
+                                at,
+                                |member_local| {
+                                    let member = group.members()[member_local];
+                                    // "Fresh" means this delivery changed
+                                    // the member's state — the rumor-death
+                                    // condition. (Reporting "member is
+                                    // current" instead would keep spreaders
+                                    // alive forever once everyone
+                                    // converged.)
+                                    let prior = peers.peek(member, ki, round).map(|v| v.version);
+                                    peers.insert(member, ki, key, value, round, Ttl::Infinite);
+                                    prior.is_none_or(|pv| pv < new_version)
+                                },
+                                self.churn.liveness(),
+                            )
+                        };
+                        ctx.stage = UpdateStage::Gossip { wave };
+                        StepFate::Next
+                    }
+                    // Route dead-ended: this key stays unpropagated this
+                    // time (same as the phase-sweep pipeline); move on.
+                    Err(_) => self.next_update_key(ctx),
+                }
+            }
+
+            UpdateStage::Gossip { ref mut wave } => {
+                let value = VersionedValue { version: new_version, data: u64::from(ki) };
+                let done = {
+                    let o = self.overlay.as_deref().expect("update implies overlay");
+                    let group = &self.groups[o.group_of_key(key)];
+                    let peers = &mut self.peers;
+                    group.push_wave(
+                        wave,
+                        |member_local| {
+                            let member = group.members()[member_local];
+                            let prior = peers.peek(member, ki, round).map(|v| v.version);
+                            peers.insert(member, ki, key, value, round, Ttl::Infinite);
+                            prior.is_none_or(|pv| pv < new_version)
+                        },
+                        self.churn.liveness(),
+                        &mut self.rng_overlay,
+                        &mut self.metrics,
+                    )
+                };
+                if done {
+                    self.next_update_key(ctx)
+                } else {
+                    StepFate::Next
+                }
+            }
+        }
+    }
+
+    /// Moves `ctx` to its article's next key (routing from the same entry
+    /// peer), or finishes the propagation when every key is done.
+    fn next_update_key(&mut self, ctx: &mut UpdateCtx) -> StepFate {
+        ctx.pos += 1;
+        let keys = &self.keys_by_article[ctx.article as usize];
+        if ctx.pos >= keys.len() {
+            return StepFate::Done;
+        }
+        let key = self.keys[keys[ctx.pos] as usize];
+        let o = self.overlay.as_deref().expect("update implies overlay");
+        ctx.stage = UpdateStage::Route { lookup: o.begin_lookup(ctx.entry, key) };
+        StepFate::Next
     }
 }

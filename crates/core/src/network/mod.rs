@@ -58,4 +58,5 @@ pub(crate) mod routing;
 
 pub use engine::{
     EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
+    UpdateId,
 };

@@ -7,49 +7,67 @@
 //! means no call site can update a store and forget the accounting (the
 //! monolithic engine threaded two `&mut` maps through every closure to
 //! achieve the same).
+//!
+//! The accounting is a **flattened arena**: one `u32` refcount per dense
+//! key index in a plain `Vec`, plus a distinct-key counter. Insert, purge
+//! and eviction bookkeeping are integer bumps — no hashing, no allocation —
+//! which keeps the per-event TTL sweeps and query-path store updates
+//! allocation-free at 100k-peer scale.
 
 use crate::index::{InsertResult, PartialIndex};
 use crate::ttl::Ttl;
 use pdht_gossip::VersionedValue;
-use pdht_types::{fasthash, FastHashMap, Key, PeerId};
+use pdht_types::{Key, PeerId};
 
 /// The per-peer TTL stores of all active peers, plus distinct-key
 /// accounting across them.
 pub(crate) struct PeerStores {
     /// One [`PartialIndex`] per active peer, indexed by `PeerId`.
     stores: Vec<PartialIndex>,
-    /// Replica copies per key currently resident in any store.
-    indexed_copies: FastHashMap<Key, u32>,
+    /// Replica copies currently resident in any store, per dense key index.
+    copies: Vec<u32>,
+    /// Keys with at least one resident copy.
+    distinct: usize,
+    /// Reusable scratch for per-peer purge sweeps.
+    purge_buf: Vec<u32>,
 }
 
 impl PeerStores {
-    /// `nap` empty stores of `capacity` entries each.
-    pub(crate) fn new(nap: usize, capacity: usize, expected_keys: usize) -> PeerStores {
+    /// `nap` empty stores of `capacity` entries each, over a key universe
+    /// of `num_keys` dense indices.
+    pub(crate) fn new(nap: usize, capacity: usize, num_keys: usize) -> PeerStores {
         PeerStores {
             stores: (0..nap).map(|_| PartialIndex::new(capacity)).collect(),
-            indexed_copies: fasthash::map_with_capacity(expected_keys.min(65_536)),
+            copies: vec![0; num_keys],
+            distinct: 0,
+            purge_buf: Vec::new(),
         }
     }
 
     /// Distinct keys resident in at least one store.
     pub(crate) fn distinct_keys(&self) -> usize {
-        self.indexed_copies.len()
+        self.distinct
     }
 
-    /// Inserts at `peer`, maintaining the distinct-key accounting for both
-    /// the insert and any eviction it caused. Returns the raw result for
-    /// callers that assert fit.
+    /// Inserts key index `idx` (routed key `key`) at `peer`, maintaining
+    /// the distinct-key accounting for both the insert and any eviction it
+    /// caused. Returns the raw result for callers that assert fit.
     pub(crate) fn insert(
         &mut self,
         peer: PeerId,
+        idx: u32,
         key: Key,
         value: VersionedValue,
         now: u64,
         ttl: Ttl,
     ) -> InsertResult {
-        let res = self.stores[peer.idx()].insert(key, value, now, ttl);
+        let res = self.stores[peer.idx()].insert(idx, key, value, now, ttl);
         if res.was_new {
-            *self.indexed_copies.entry(key).or_insert(0) += 1;
+            let c = &mut self.copies[idx as usize];
+            if *c == 0 {
+                self.distinct += 1;
+            }
+            *c += 1;
         }
         if let Some(victim) = res.evicted {
             self.drop_copy(victim);
@@ -62,36 +80,40 @@ impl PeerStores {
     pub(crate) fn get_and_refresh(
         &mut self,
         peer: PeerId,
-        key: Key,
+        idx: u32,
         now: u64,
         ttl: Ttl,
     ) -> Option<VersionedValue> {
-        self.stores[peer.idx()].get_and_refresh(key, now, ttl)
+        self.stores[peer.idx()].get_and_refresh(idx, now, ttl)
     }
 
     /// Non-refreshing visibility check at `peer`.
-    pub(crate) fn peek(&self, peer: PeerId, key: Key, now: u64) -> Option<VersionedValue> {
-        self.stores[peer.idx()].peek(key, now)
+    pub(crate) fn peek(&self, peer: PeerId, idx: u32, now: u64) -> Option<VersionedValue> {
+        self.stores[peer.idx()].peek(idx, now)
     }
 
     /// Evicts every expired entry at `peer`, updating the accounting.
     pub(crate) fn purge_expired(&mut self, peer: PeerId, now: u64) {
-        for key in self.stores[peer.idx()].purge_expired(now) {
-            self.drop_copy(key);
+        let mut buf = std::mem::take(&mut self.purge_buf);
+        buf.clear();
+        self.stores[peer.idx()].purge_expired_into(now, &mut buf);
+        for &idx in &buf {
+            self.drop_copy(idx);
         }
+        self.purge_buf = buf;
     }
 
     /// Snapshot of `peer`'s live entries (rejoin donors hand this over).
-    pub(crate) fn snapshot(&self, peer: PeerId) -> Vec<(Key, VersionedValue)> {
-        self.stores[peer.idx()].iter().map(|(k, e)| (k, e.value)).collect()
+    pub(crate) fn snapshot(&self, peer: PeerId) -> Vec<(u32, Key, VersionedValue)> {
+        self.stores[peer.idx()].iter().map(|(idx, e)| (idx, e.key, e.value)).collect()
     }
 
-    fn drop_copy(&mut self, key: Key) {
-        if let Some(c) = self.indexed_copies.get_mut(&key) {
-            *c -= 1;
-            if *c == 0 {
-                self.indexed_copies.remove(&key);
-            }
+    fn drop_copy(&mut self, idx: u32) {
+        let c = &mut self.copies[idx as usize];
+        debug_assert!(*c > 0, "refcount underflow for key index {idx}");
+        *c -= 1;
+        if *c == 0 {
+            self.distinct -= 1;
         }
     }
 }
@@ -102,22 +124,25 @@ mod tests {
 
     const V: VersionedValue = VersionedValue { version: 1, data: 7 };
 
+    fn k(idx: u32) -> Key {
+        Key::hash_bytes(&u64::from(idx).to_le_bytes())
+    }
+
     #[test]
     fn distinct_keys_track_copies_not_replicas() {
-        let mut p = PeerStores::new(3, 8, 16);
-        let k = Key(42);
-        p.insert(PeerId(0), k, V, 0, Ttl::Rounds(10));
-        p.insert(PeerId(1), k, V, 0, Ttl::Rounds(10));
+        let mut p = PeerStores::new(3, 8, 64);
+        p.insert(PeerId(0), 42, k(42), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(1), 42, k(42), V, 0, Ttl::Rounds(10));
         assert_eq!(p.distinct_keys(), 1, "two replicas, one key");
-        p.insert(PeerId(2), Key(43), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(2), 43, k(43), V, 0, Ttl::Rounds(10));
         assert_eq!(p.distinct_keys(), 2);
     }
 
     #[test]
     fn purge_releases_accounting() {
         let mut p = PeerStores::new(2, 8, 16);
-        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(5));
-        p.insert(PeerId(1), Key(1), V, 0, Ttl::Rounds(5));
+        p.insert(PeerId(0), 1, k(1), V, 0, Ttl::Rounds(5));
+        p.insert(PeerId(1), 1, k(1), V, 0, Ttl::Rounds(5));
         p.purge_expired(PeerId(0), 100);
         assert_eq!(p.distinct_keys(), 1, "one replica still holds the key");
         p.purge_expired(PeerId(1), 100);
@@ -127,22 +152,32 @@ mod tests {
     #[test]
     fn eviction_by_capacity_is_accounted() {
         let mut p = PeerStores::new(1, 1, 4);
-        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(10));
-        let res = p.insert(PeerId(0), Key(2), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(0), 1, k(1), V, 0, Ttl::Rounds(10));
+        let res = p.insert(PeerId(0), 2, k(2), V, 0, Ttl::Rounds(10));
         assert!(res.evicted.is_some(), "capacity 1 must evict");
         assert_eq!(p.distinct_keys(), 1);
-        assert!(p.peek(PeerId(0), Key(2), 0).is_some());
-        assert!(p.peek(PeerId(0), Key(1), 0).is_none());
+        assert!(p.peek(PeerId(0), 2, 0).is_some());
+        assert!(p.peek(PeerId(0), 1, 0).is_none());
     }
 
     #[test]
     fn snapshot_returns_live_entries() {
         let mut p = PeerStores::new(1, 8, 4);
-        p.insert(PeerId(0), Key(1), V, 0, Ttl::Rounds(10));
-        p.insert(PeerId(0), Key(2), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(0), 1, k(1), V, 0, Ttl::Rounds(10));
+        p.insert(PeerId(0), 2, k(2), V, 0, Ttl::Rounds(10));
         let mut snap = p.snapshot(PeerId(0));
-        snap.sort_by_key(|&(k, _)| k.0);
+        snap.sort_by_key(|&(idx, _, _)| idx);
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap[0].0, Key(1));
+        assert_eq!((snap[0].0, snap[0].1), (1, k(1)));
+    }
+
+    #[test]
+    fn repeated_purges_reuse_the_scratch_buffer() {
+        let mut p = PeerStores::new(1, 8, 8);
+        for round in 0..4u64 {
+            p.insert(PeerId(0), 1, k(1), V, round, Ttl::Rounds(1));
+            p.purge_expired(PeerId(0), round + 1);
+            assert_eq!(p.distinct_keys(), 0);
+        }
     }
 }

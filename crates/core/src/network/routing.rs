@@ -112,8 +112,9 @@ pub(crate) struct QueryCtx {
     stage: QueryStage,
 }
 
-/// What one state-machine step did.
-enum StepFate {
+/// What one state-machine step did (shared with the update-propagation
+/// machine in [`super::maintenance`]).
+pub(crate) enum StepFate {
     /// The query resolved; its context can be dropped.
     Done,
     /// A message (or wave) is now in flight; the next step runs when it
@@ -134,7 +135,7 @@ impl PdhtNetwork {
     /// Advances the query whose message just landed. Arrivals for queries
     /// no longer in flight (answered or timed out) are ignored.
     pub(crate) fn on_message_arrival(&mut self, id: QueryId, round: u64) {
-        if let Some(ctx) = self.inflight.remove(&id) {
+        if let Some(ctx) = self.inflight.take(id) {
             self.drive_query(ctx, round);
         }
     }
@@ -145,7 +146,7 @@ impl PdhtNetwork {
     /// its abandonment instant — dropping it would bias the percentiles
     /// toward the survivors.
     pub(crate) fn on_query_timeout(&mut self, id: QueryId) {
-        if let Some(ctx) = self.inflight.remove(&id) {
+        if let Some(ctx) = self.inflight.free(id) {
             self.query_timeouts += 1;
             self.record_outcome(false, ctx.article, None);
             self.observe_query_done(ctx.steps, ctx.issued_at);
@@ -194,7 +195,7 @@ impl PdhtNetwork {
             _ => (q.origin, 0),
         };
         let ctx = QueryCtx {
-            id: self.next_query_id,
+            id: self.inflight.reserve(),
             origin: q.origin,
             key,
             key_index: q.key_index,
@@ -207,7 +208,6 @@ impl PdhtNetwork {
             timeout_armed: false,
             stage,
         };
-        self.next_query_id += 1;
         self.drive_query(ctx, round);
     }
 
@@ -218,6 +218,7 @@ impl PdhtNetwork {
         loop {
             match self.step_query(&mut ctx, round) {
                 StepFate::Done => {
+                    self.inflight.free(ctx.id);
                     self.observe_query_done(ctx.steps, ctx.issued_at);
                     return;
                 }
@@ -240,7 +241,8 @@ impl PdhtNetwork {
                     }
                     let event = NetEvent::MessageArrival { query: ctx.id, hop: ctx.steps };
                     self.events.schedule_in(delay, event);
-                    self.inflight.insert(ctx.id, ctx);
+                    let id = ctx.id;
+                    self.inflight.park(id, ctx);
                     return;
                 }
             }
@@ -280,9 +282,12 @@ impl PdhtNetwork {
                     }
                     Ok(HopOutcome::Arrived(responsible)) => {
                         // Local index check (refreshes TTL on hit).
-                        if let Some(v) =
-                            self.peers.get_and_refresh(responsible, ctx.key, round, ctx.ttl)
-                        {
+                        if let Some(v) = self.peers.get_and_refresh(
+                            responsible,
+                            ctx.key_index as u32,
+                            round,
+                            ctx.ttl,
+                        ) {
                             self.record_outcome(true, ctx.article, Some(v));
                             return StepFate::Done;
                         }
@@ -291,11 +296,11 @@ impl PdhtNetwork {
                         // (its replicas can drift during churn).
                         let group = &self.groups[ctx.group];
                         let peers = &self.peers;
-                        let key = ctx.key;
+                        let ki = ctx.key_index as u32;
                         let flood = group.flood_begin(
                             responsible,
                             |member_local| {
-                                peers.peek(group.members()[member_local], key, round).is_some()
+                                peers.peek(group.members()[member_local], ki, round).is_some()
                             },
                             self.churn.liveness(),
                         );
@@ -313,11 +318,11 @@ impl PdhtNetwork {
                 let done = {
                     let group = &self.groups[ctx.group];
                     let peers = &self.peers;
-                    let key = ctx.key;
+                    let ki = ctx.key_index as u32;
                     group.flood_wave(
                         flood,
                         |member_local| {
-                            peers.peek(group.members()[member_local], key, round).is_some()
+                            peers.peek(group.members()[member_local], ki, round).is_some()
                         },
                         self.churn.liveness(),
                         &mut self.metrics,
@@ -330,7 +335,8 @@ impl PdhtNetwork {
                     // The answer can expire while the flood sweeps the group
                     // (possible only with non-zero latency); that is just a
                     // miss.
-                    if let Some(v) = self.peers.get_and_refresh(answering, ctx.key, round, ctx.ttl)
+                    if let Some(v) =
+                        self.peers.get_and_refresh(answering, ctx.key_index as u32, round, ctx.ttl)
                     {
                         self.record_outcome(true, ctx.article, Some(v));
                         return StepFate::Done;
@@ -381,6 +387,7 @@ impl PdhtNetwork {
                         let flood = {
                             let group = &self.groups[ctx.group];
                             let peers = &mut self.peers;
+                            let ki = ctx.key_index as u32;
                             let key = ctx.key;
                             let ttl = ctx.ttl;
                             group.flood_begin(
@@ -388,6 +395,7 @@ impl PdhtNetwork {
                                 |member_local| {
                                     peers.insert(
                                         group.members()[member_local],
+                                        ki,
                                         key,
                                         value,
                                         round,
@@ -414,12 +422,13 @@ impl PdhtNetwork {
                 let done = {
                     let group = &self.groups[ctx.group];
                     let peers = &mut self.peers;
+                    let ki = ctx.key_index as u32;
                     let key = ctx.key;
                     let ttl = ctx.ttl;
                     group.flood_wave(
                         flood,
                         |member_local| {
-                            peers.insert(group.members()[member_local], key, value, round, ttl);
+                            peers.insert(group.members()[member_local], ki, key, value, round, ttl);
                             false
                         },
                         self.churn.liveness(),

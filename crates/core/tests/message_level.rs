@@ -131,6 +131,34 @@ fn hook_injects_blackout_between_churn_and_queries() {
 }
 
 #[test]
+fn hook_fires_before_the_phase_its_background_events_follow() {
+    // BeforePhase{OverlayMaintenance} must observe the instant *before*
+    // that round's per-peer maintenance ticks dispatch: a total blackout
+    // injected there silences that round's probes entirely.
+    let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, LatencyConfig::Zero)).expect("builds");
+    net.set_event_hook(Box::new(|point| match point {
+        HookPoint::BeforePhase { round: 5, phase: RoundPhase::OverlayMaintenance } => {
+            vec![HookAction::Blackout { fraction: 1.0 }]
+        }
+        _ => Vec::new(),
+    }));
+    net.run(6);
+    let probes = |r: &pdht_core::SimReport| -> f64 {
+        r.by_kind
+            .iter()
+            .filter(|(k, _)| *k == pdht_types::MessageKind::Probe)
+            .map(|&(_, v)| v)
+            .sum()
+    };
+    assert!(probes(&net.report(4, 4)) > 0.0, "maintenance must probe before the blackout");
+    assert_eq!(
+        probes(&net.report(5, 5)),
+        0.0,
+        "a blackout at BeforePhase(OverlayMaintenance) must silence that round's probes"
+    );
+}
+
+#[test]
 fn hook_observes_message_events_under_latency() {
     use std::cell::RefCell;
     use std::rc::Rc;

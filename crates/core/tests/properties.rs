@@ -48,19 +48,25 @@ proptest! {
         for op in ops {
             match op {
                 Op::Insert { key, version, ttl } => {
-                    let k = Key(u64::from(key));
-                    let before = idx.peek(k, now).map(|v| v.version);
-                    idx.insert(k, VersionedValue { version, data: u64::from(key) }, now, Ttl::Rounds(ttl));
+                    let ki = u32::from(key);
+                    let before = idx.peek(ki, now).map(|v| v.version);
+                    idx.insert(
+                        ki,
+                        Key(u64::from(key)),
+                        VersionedValue { version, data: u64::from(key) },
+                        now,
+                        Ttl::Rounds(ttl),
+                    );
                     let ceiling = max_inserted.entry(key).or_insert(0);
                     *ceiling = (*ceiling).max(version);
                     // Overwrite of a live entry keeps the newer version.
                     if let Some(old) = before {
-                        let stored = idx.peek(k, now).expect("just inserted").version;
+                        let stored = idx.peek(ki, now).expect("just inserted").version;
                         prop_assert_eq!(stored, old.max(version));
                     }
                 }
                 Op::Get { key } => {
-                    if let Some(v) = idx.get_and_refresh(Key(u64::from(key)), now, Ttl::Rounds(ttl_default)) {
+                    if let Some(v) = idx.get_and_refresh(u32::from(key), now, Ttl::Rounds(ttl_default)) {
                         let ceiling = max_inserted.get(&key).copied().unwrap_or(0);
                         prop_assert!(
                             v.version <= ceiling,
@@ -70,7 +76,8 @@ proptest! {
                     }
                 }
                 Op::Purge => {
-                    idx.purge_expired(now);
+                    let mut gone = Vec::new();
+                    idx.purge_expired_into(now, &mut gone);
                 }
                 Op::Advance { by } => {
                     now += by;
@@ -79,12 +86,12 @@ proptest! {
             prop_assert!(idx.len() <= capacity, "capacity breached: {} > {capacity}", idx.len());
             // peek never returns an expired entry.
             for k in 0..=255u8 {
-                if let Some(_v) = idx.peek(Key(u64::from(k)), now) {
+                if let Some(_v) = idx.peek(u32::from(k), now) {
                     // peek filtering is the assertion itself: reaching here
                     // means expires_at > now by contract; cross-check via
                     // get (which must also succeed).
                     prop_assert!(
-                        idx.get_and_refresh(Key(u64::from(k)), now, Ttl::Rounds(ttl_default)).is_some()
+                        idx.get_and_refresh(u32::from(k), now, Ttl::Rounds(ttl_default)).is_some()
                     );
                     break; // one cross-check per step keeps the test fast
                 }
@@ -100,21 +107,27 @@ proptest! {
     ) {
         let mut idx = PartialIndex::new(1024);
         for &(key, ttl) in &entries {
-            idx.insert(Key(u64::from(key)), VersionedValue { version: 1, data: 0 }, 0, Ttl::Rounds(ttl));
+            idx.insert(
+                u32::from(key),
+                Key(u64::from(key)),
+                VersionedValue { version: 1, data: 0 },
+                0,
+                Ttl::Rounds(ttl),
+            );
         }
-        let visible_before: Vec<u8> = (0..=255u8)
-            .filter(|&k| idx.peek(Key(u64::from(k)), purge_at).is_some())
-            .collect();
-        let mut purged = idx.purge_expired(purge_at);
+        let visible_before: Vec<u8> =
+            (0..=255u8).filter(|&k| idx.peek(u32::from(k), purge_at).is_some()).collect();
+        let mut purged = Vec::new();
+        idx.purge_expired_into(purge_at, &mut purged);
         purged.sort_unstable();
         purged.dedup();
         // Everything still visible must not be in the purged set…
         for k in &visible_before {
-            prop_assert!(!purged.contains(&Key(u64::from(*k))));
+            prop_assert!(!purged.contains(&u32::from(*k)));
         }
         // …and after the purge, visibility is unchanged.
         for k in 0..=255u8 {
-            let visible = idx.peek(Key(u64::from(k)), purge_at).is_some();
+            let visible = idx.peek(u32::from(k), purge_at).is_some();
             prop_assert_eq!(visible, visible_before.contains(&k));
         }
     }

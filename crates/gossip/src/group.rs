@@ -57,6 +57,32 @@ impl FloodWave {
     }
 }
 
+/// Resumable state of a rumor push, advanced one gossip round (= one
+/// parallel message wave) per [`ReplicaGroup::push_wave`] call.
+/// Message-granular engines park this between waves;
+/// [`ReplicaGroup::push_rumor`] just drives it in a loop.
+#[derive(Clone, Debug)]
+pub struct RumorWave {
+    /// Members already infected (local indices).
+    infected: Vec<bool>,
+    /// Live spreaders with their consecutive-fruitless-push counters.
+    active: Vec<(usize, u32)>,
+    /// Members reached so far (origin included).
+    reached: usize,
+}
+
+impl RumorWave {
+    /// Members reached so far (origin included).
+    pub fn reached(&self) -> usize {
+        self.reached
+    }
+
+    /// `true` once the rumor has died out.
+    pub fn is_dead(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
 impl ReplicaGroup {
     /// Builds the group and its subnetwork.
     ///
@@ -228,10 +254,93 @@ impl ReplicaGroup {
         wave.messages
     }
 
+    /// Starts a resumable rumor push from `origin`: delivers to the origin
+    /// immediately (no message) and returns the wave state to advance with
+    /// [`ReplicaGroup::push_wave`]. Non-member or offline origins yield an
+    /// already-dead wave.
+    pub fn push_begin<F>(&self, origin: PeerId, mut deliver: F, live: &Liveness) -> RumorWave
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let Some(start) = self.local_index(origin) else {
+            return RumorWave { infected: Vec::new(), active: Vec::new(), reached: 0 };
+        };
+        if !live.is_online(origin) {
+            return RumorWave { infected: Vec::new(), active: Vec::new(), reached: 0 };
+        }
+        deliver(start);
+        let mut infected = vec![false; self.members.len()];
+        infected[start] = true;
+        RumorWave { infected, active: vec![(start, 0)], reached: 1 }
+    }
+
+    /// One gossip round of an in-progress rumor push: every active spreader
+    /// pushes to `PUSH_FANOUT` random subnet neighbors in parallel (each
+    /// push one [`MessageKind::GossipPush`]), with feedback death after
+    /// [`DEATH_THRESHOLD`] fruitless rounds. Returns `true` when the rumor
+    /// has died out. Message-granular engines park the wave between rounds.
+    pub fn push_wave<F>(
+        &self,
+        wave: &mut RumorWave,
+        mut deliver: F,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    ) -> bool
+    where
+        F: FnMut(usize) -> bool,
+    {
+        if wave.active.is_empty() {
+            return true;
+        }
+        let n = self.members.len();
+        let active = std::mem::take(&mut wave.active);
+        let mut next_active: Vec<(usize, u32)> = Vec::with_capacity(active.len());
+        for (spreader, mut fruitless) in active {
+            let neighbors: Vec<usize> = self
+                .subnet
+                .neighbors(PeerId::from_idx(spreader))
+                .iter()
+                .map(|p| p.idx())
+                .filter(|&i| i < n)
+                .collect();
+            if neighbors.is_empty() {
+                continue;
+            }
+            let mut was_fresh = false;
+            for _ in 0..PUSH_FANOUT {
+                let &target = neighbors.as_slice().choose(rng).expect("non-empty");
+                metrics.record(MessageKind::GossipPush);
+                if !live.is_online(self.members[target]) {
+                    continue;
+                }
+                if deliver(target) {
+                    was_fresh = true;
+                }
+                if !wave.infected[target] {
+                    wave.infected[target] = true;
+                    wave.reached += 1;
+                    next_active.push((target, 0));
+                }
+            }
+            if was_fresh {
+                fruitless = 0;
+            } else {
+                fruitless += 1;
+            }
+            if fruitless < DEATH_THRESHOLD {
+                next_active.push((spreader, fruitless));
+            }
+        }
+        wave.active = next_active;
+        wave.active.is_empty()
+    }
+
     /// Generic rumor spreading: like [`ReplicaGroup::push_update`] but the
     /// state transition is a caller-supplied closure
     /// (`deliver(local_idx) -> fresh?`), so any store type can ride the
-    /// gossip. Returns members reached.
+    /// gossip. This is [`ReplicaGroup::push_begin`] driven to completion
+    /// with no inter-round delay. Returns members reached.
     pub fn push_rumor<F>(
         &self,
         origin: PeerId,
@@ -243,59 +352,9 @@ impl ReplicaGroup {
     where
         F: FnMut(usize) -> bool,
     {
-        let Some(start) = self.local_index(origin) else {
-            return 0;
-        };
-        if !live.is_online(origin) {
-            return 0;
-        }
-        deliver(start);
-        let n = self.members.len();
-        let mut infected = vec![false; n];
-        infected[start] = true;
-        let mut reached = 1usize;
-        let mut active: Vec<(usize, u32)> = vec![(start, 0)];
-        while !active.is_empty() {
-            let mut next_active: Vec<(usize, u32)> = Vec::with_capacity(active.len());
-            for (spreader, mut fruitless) in active {
-                let neighbors: Vec<usize> = self
-                    .subnet
-                    .neighbors(PeerId::from_idx(spreader))
-                    .iter()
-                    .map(|p| p.idx())
-                    .filter(|&i| i < n)
-                    .collect();
-                if neighbors.is_empty() {
-                    continue;
-                }
-                let mut was_fresh = false;
-                for _ in 0..PUSH_FANOUT {
-                    let &target = neighbors.as_slice().choose(rng).expect("non-empty");
-                    metrics.record(MessageKind::GossipPush);
-                    if !live.is_online(self.members[target]) {
-                        continue;
-                    }
-                    if deliver(target) {
-                        was_fresh = true;
-                    }
-                    if !infected[target] {
-                        infected[target] = true;
-                        reached += 1;
-                        next_active.push((target, 0));
-                    }
-                }
-                if was_fresh {
-                    fruitless = 0;
-                } else {
-                    fruitless += 1;
-                }
-                if fruitless < DEATH_THRESHOLD {
-                    next_active.push((spreader, fruitless));
-                }
-            }
-            active = next_active;
-        }
-        reached
+        let mut wave = self.push_begin(origin, &mut deliver, live);
+        while !self.push_wave(&mut wave, &mut deliver, live, rng, metrics) {}
+        wave.reached
     }
 
     /// Gossips an update through the group: push rounds with fanout

@@ -18,5 +18,5 @@
 pub mod group;
 pub mod store;
 
-pub use group::{FloodWave, ReplicaGroup};
+pub use group::{FloodWave, ReplicaGroup, RumorWave};
 pub use store::{VersionedStore, VersionedValue};

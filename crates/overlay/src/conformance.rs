@@ -291,6 +291,74 @@ pub fn check_liveness_under_churn(factory: Factory) {
     assert!(ok_after > 35, "repair must not degrade routing, ok={ok_after}/50");
 }
 
+/// `maintenance_round` is exactly `maintenance_step` swept in peer order:
+/// with identically seeded rngs, two same-seed builds — one running the
+/// whole-round sweep, one stepping peers individually — must charge the same
+/// probe messages and leave identically-behaving routing tables. This is the
+/// contract that lets event-driven engines schedule one `PeerMaintenance`
+/// event per peer and still reproduce the sweep's accounting bit-for-bit.
+pub fn check_maintenance_step_matches_round(factory: Factory) {
+    for (n, g, seed) in SHAPES {
+        let mut swept = build(factory, n, g, seed);
+        let mut stepped = build(factory, n, g, seed);
+        let mut live = Liveness::all_online(n);
+        let mut churn_rng = SmallRng::seed_from_u64(seed ^ 0xF0F0);
+        for i in 1..n {
+            if churn_rng.random::<f64>() < 0.25 {
+                live.set(PeerId::from_idx(i), false);
+            }
+        }
+        // Peer 0 stays online so the lookup-source sampling below always
+        // has a candidate (a fully-offline shape would spin forever).
+        assert!(live.is_online(PeerId(0)));
+        let maint_seed = seed ^ 0xF1;
+        let mut m_swept = Metrics::new();
+        let mut m_stepped = Metrics::new();
+        let mut rng_swept = SmallRng::seed_from_u64(maint_seed);
+        let mut rng_stepped = SmallRng::seed_from_u64(maint_seed);
+        for _ in 0..5 {
+            swept.maintenance_round(0.3, &live, &mut rng_swept, &mut m_swept);
+            for p in 0..n {
+                stepped.maintenance_step(
+                    PeerId::from_idx(p),
+                    0.3,
+                    &live,
+                    &mut rng_stepped,
+                    &mut m_stepped,
+                );
+            }
+        }
+        assert_eq!(
+            m_swept.totals()[MessageKind::Probe],
+            m_stepped.totals()[MessageKind::Probe],
+            "stepping must charge exactly the sweep's probes (n={n}, g={g})"
+        );
+        // The repaired tables must behave identically: same lookup traces
+        // from identical rng states.
+        let mut r1 = SmallRng::seed_from_u64(seed ^ 0xF2);
+        let mut r2 = SmallRng::seed_from_u64(seed ^ 0xF2);
+        for key in keys_for(seed ^ 2, 25) {
+            let from = loop {
+                let c = PeerId::from_idx(r1.random_range(0..n));
+                let c2 = PeerId::from_idx(r2.random_range(0..n));
+                assert_eq!(c, c2);
+                if live.is_online(c) {
+                    break c;
+                }
+            };
+            let a = swept.lookup(from, key, &live, &mut r1, &mut m_swept);
+            let b = stepped.lookup(from, key, &live, &mut r2, &mut m_stepped);
+            match (a, b) {
+                (Ok(oa), Ok(ob)) => {
+                    assert_eq!((oa.peer, oa.hops), (ob.peer, ob.hops), "repaired tables diverged");
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("repaired tables diverged: {a:?} vs {b:?} (n={n}, g={g})"),
+            }
+        }
+    }
+}
+
 /// Runs every conformance check (the one-call entry point; the
 /// [`conformance_suite!`](crate::conformance_suite) macro exposes them as
 /// individual named tests instead).
@@ -302,6 +370,7 @@ pub fn check_all(factory: Factory) {
     check_hop_accounting_is_monotone(factory);
     check_determinism_under_fixed_seeds(factory);
     check_liveness_under_churn(factory);
+    check_maintenance_step_matches_round(factory);
 }
 
 /// Expands to a module of `#[test]`s — one per conformance invariant — for
@@ -348,6 +417,11 @@ macro_rules! conformance_suite {
             #[test]
             fn liveness_under_churn() {
                 $crate::conformance::check_liveness_under_churn(FACTORY);
+            }
+
+            #[test]
+            fn maintenance_step_matches_round() {
+                $crate::conformance::check_maintenance_step_matches_round(FACTORY);
             }
         }
     };

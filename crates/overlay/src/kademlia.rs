@@ -290,8 +290,9 @@ impl Overlay for KademliaOverlay {
         })
     }
 
-    fn maintenance_round(
+    fn maintenance_step(
         &mut self,
+        peer: PeerId,
         env: f64,
         live: &Liveness,
         rng: &mut SmallRng,
@@ -301,51 +302,48 @@ impl Overlay for KademliaOverlay {
         // stale are refreshed from the bucket's id range (free, per the
         // paper's piggybacking assumption). Rejoined peers re-enter tables
         // through the same refresh sampling.
-        let n = self.nodes.len();
-        for p in 0..n {
-            let peer = PeerId::from_idx(p);
-            if !live.is_online(peer) {
-                continue;
+        if !live.is_online(peer) {
+            return;
+        }
+        let p = peer.idx();
+        for j in 0..self.nodes[p].kbuckets.len() {
+            let mut stale: Vec<PeerId> = Vec::new();
+            for &c in &self.nodes[p].kbuckets[j] {
+                if rng.random::<f64>() < env {
+                    metrics.record(MessageKind::Probe);
+                    if !live.is_online(c) {
+                        stale.push(c);
+                    }
+                }
             }
-            for j in 0..self.nodes[p].kbuckets.len() {
-                let mut stale: Vec<PeerId> = Vec::new();
-                for &c in &self.nodes[p].kbuckets[j] {
-                    if rng.random::<f64>() < env {
-                        metrics.record(MessageKind::Probe);
-                        if !live.is_online(c) {
-                            stale.push(c);
-                        }
+            for s in stale {
+                if let Some(pos) = self.nodes[p].kbuckets[j].iter().position(|&c| c == s) {
+                    self.refresh_entry(peer, j, pos, live, rng);
+                }
+            }
+            // A bucket drained to empty (every contact evicted while
+            // its whole id range was offline) has no entries left to
+            // probe, so the per-entry refresh above can never revive
+            // it; resample it directly once the range has an online
+            // peer again, or routing from this peer would dead-end on
+            // that prefix forever. Never triggers without churn: build
+            // leaves every non-empty-range bucket populated.
+            if self.nodes[p].kbuckets[j].is_empty() {
+                let x = self.nodes[p].id;
+                let mut revived = None;
+                let range = self.bucket_range(x, j as u32);
+                for _ in 0..8 {
+                    if range.is_empty() {
+                        break;
+                    }
+                    let (_, cand) = range[rng.random_range(0..range.len())];
+                    if live.is_online(cand) {
+                        revived = Some(cand);
+                        break;
                     }
                 }
-                for s in stale {
-                    if let Some(pos) = self.nodes[p].kbuckets[j].iter().position(|&c| c == s) {
-                        self.refresh_entry(peer, j, pos, live, rng);
-                    }
-                }
-                // A bucket drained to empty (every contact evicted while
-                // its whole id range was offline) has no entries left to
-                // probe, so the per-entry refresh above can never revive
-                // it; resample it directly once the range has an online
-                // peer again, or routing from this peer would dead-end on
-                // that prefix forever. Never triggers without churn: build
-                // leaves every non-empty-range bucket populated.
-                if self.nodes[p].kbuckets[j].is_empty() {
-                    let x = self.nodes[p].id;
-                    let mut revived = None;
-                    let range = self.bucket_range(x, j as u32);
-                    for _ in 0..8 {
-                        if range.is_empty() {
-                            break;
-                        }
-                        let (_, cand) = range[rng.random_range(0..range.len())];
-                        if live.is_online(cand) {
-                            revived = Some(cand);
-                            break;
-                        }
-                    }
-                    if let Some(fresh) = revived {
-                        self.nodes[p].kbuckets[j].push(fresh);
-                    }
+                if let Some(fresh) = revived {
+                    self.nodes[p].kbuckets[j].push(fresh);
                 }
             }
         }

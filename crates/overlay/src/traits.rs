@@ -138,17 +138,39 @@ pub trait Overlay {
         }
     }
 
-    /// One second of routing-table maintenance: probes each routing entry
-    /// with probability `env`, counting probes; entries found stale are
-    /// repaired in place (no extra messages, per the paper's piggybacking
-    /// assumption).
+    /// One second of routing-table maintenance for a single peer: probes
+    /// each of `peer`'s routing entries with probability `env`, counting
+    /// probes; entries found stale are repaired in place (no extra
+    /// messages, per the paper's piggybacking assumption). Offline peers
+    /// are a no-op.
+    ///
+    /// This is the resumable unit event-driven engines schedule per peer
+    /// (one `PeerMaintenance` event each), decomposing the global sweep:
+    /// stepping peers `0..num_active` with one rng must equal one
+    /// [`Overlay::maintenance_round`] call with the same rng state (the
+    /// conformance kit enforces this).
+    fn maintenance_step(
+        &mut self,
+        peer: PeerId,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+    );
+
+    /// One second of routing-table maintenance for every peer: the
+    /// per-peer [`Overlay::maintenance_step`] swept in peer order.
     fn maintenance_round(
         &mut self,
         env: f64,
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
-    );
+    ) {
+        for p in 0..self.num_active() {
+            self.maintenance_step(PeerId::from_idx(p), env, live, rng, metrics);
+        }
+    }
 
     /// Total routing-table entries of `peer` (the `O(log n)` quantity the
     /// maintenance cost scales with).

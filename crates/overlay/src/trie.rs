@@ -275,34 +275,32 @@ impl Overlay for TrieOverlay {
         })
     }
 
-    fn maintenance_round(
+    fn maintenance_step(
         &mut self,
+        peer: PeerId,
         env: f64,
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
     ) {
-        let n = self.paths.len();
-        for p in 0..n {
-            let peer = PeerId::from_idx(p);
-            if !live.is_online(peer) {
-                continue;
-            }
-            for level in 0..self.depth {
-                // Collect stale entries found by probing; repair after the
-                // immutable walk.
-                let mut stale: Vec<PeerId> = Vec::new();
-                for &r in &self.refs[p][level as usize] {
-                    if rng.random::<f64>() < env {
-                        metrics.record(MessageKind::Probe);
-                        if !live.is_online(r) {
-                            stale.push(r);
-                        }
+        if !live.is_online(peer) {
+            return;
+        }
+        let p = peer.idx();
+        for level in 0..self.depth {
+            // Collect stale entries found by probing; repair after the
+            // immutable walk.
+            let mut stale: Vec<PeerId> = Vec::new();
+            for &r in &self.refs[p][level as usize] {
+                if rng.random::<f64>() < env {
+                    metrics.record(MessageKind::Probe);
+                    if !live.is_online(r) {
+                        stale.push(r);
                     }
                 }
-                for s in stale {
-                    self.repair_ref(peer, level, s, rng);
-                }
+            }
+            for s in stale {
+                self.repair_ref(peer, level, s, rng);
             }
         }
     }

@@ -13,13 +13,17 @@
 //! * [`random`] — exponential/Poisson/geometric sampling built on plain
 //!   `rand` (the offline set has no `rand_distr`),
 //! * [`RoundDriver`] — a helper that advances simulations round-by-round
-//!   and snapshots metrics at each boundary.
+//!   and snapshots metrics at each boundary,
+//! * [`Slab`] — a generational slab for in-flight per-query/per-update
+//!   contexts, so event dispatch parks and resumes state allocation-free.
 
 pub mod event;
 pub mod latency;
 pub mod metrics;
 pub mod random;
+pub mod slab;
 
 pub use event::{EventQueue, Scheduled};
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
 pub use metrics::{Histogram, HistogramSummary, Metrics, RoundDriver};
+pub use slab::{Slab, SlabKey};

@@ -28,7 +28,7 @@ pub use key::{Key, Prefix, KEY_BITS};
 pub use liveness::Liveness;
 pub use msg::{MessageKind, MsgCounts};
 pub use peer::{PeerId, PeerStatus};
-pub use rng::RngStreams;
+pub use rng::{mix64, RngStreams};
 pub use time::{Round, SimTime};
 
 /// Workspace-wide result alias.

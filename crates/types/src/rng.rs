@@ -21,6 +21,16 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One SplitMix64-mixed value from `(seed, salt)` — for deriving fixed,
+/// deterministic per-entity values (e.g. a peer's scheduling offset)
+/// without consuming any component stream. Same mixing as the stream
+/// derivation above, so there is exactly one splitmix definition to keep
+/// bit-stable.
+pub fn mix64(seed: u64, salt: u64) -> u64 {
+    let mut state = seed ^ salt.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    splitmix64(&mut state)
+}
+
 /// Factory for named, independent random streams.
 #[derive(Clone, Debug)]
 pub struct RngStreams {

@@ -72,28 +72,30 @@ fn main() {
 
     let ttl = 50;
     let mut store = PartialIndex::new(100);
-    let hot = catalog.key(0);
-    let cold = catalog.key(catalog.len() - 1);
+    let (hot_idx, hot) = (0u32, catalog.key(0));
+    let (cold_idx, cold) = ((catalog.len() - 1) as u32, catalog.key(catalog.len() - 1));
     let value = |data: u64| VersionedValue { version: 1, data };
-    store.insert(hot, value(0), 0, Ttl::Rounds(ttl));
-    store.insert(cold, value(1), 0, Ttl::Rounds(ttl));
+    store.insert(hot_idx, hot, value(0), 0, Ttl::Rounds(ttl));
+    store.insert(cold_idx, cold, value(1), 0, Ttl::Rounds(ttl));
     // The hot key is queried every 20 rounds, the cold key never again.
+    let mut purged = Vec::new();
     for now in 1..=200 {
         if now % 20 == 0 {
-            store.get_and_refresh(hot, now, Ttl::Rounds(ttl));
+            store.get_and_refresh(hot_idx, now, Ttl::Rounds(ttl));
         }
-        store.purge_expired(now);
+        purged.clear();
+        store.purge_expired_into(now, &mut purged);
     }
     println!("\nafter 200 rounds with keyTtl = {ttl}:");
     println!(
         "  '{}' (queried)    in index: {}",
         catalog.key_string(0),
-        store.peek(hot, 200).is_some()
+        store.peek(hot_idx, 200).is_some()
     );
     println!(
         "  '{}' (never queried) in index: {}",
         catalog.key_string(catalog.len() - 1),
-        store.peek(cold, 200).is_some()
+        store.peek(cold_idx, 200).is_some()
     );
     println!("\nThe TTL mechanism kept exactly the key worth keeping.");
 }

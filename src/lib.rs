@@ -27,20 +27,28 @@
 //! `rand`/`proptest`/`criterion`, vendored because the build environment
 //! has no crates.io access).
 //!
-//! The network engine (`core::network`) is message-granular: round phases
-//! *and* the individual hops of in-flight queries are events on
-//! [`sim::EventQueue`], with per-hop delays drawn from a pluggable
-//! [`sim::LatencyModel`] ([`core::LatencyConfig`]; `Zero` reproduces the
-//! paper's whole-round semantics bit-for-bit, non-zero models surface
-//! p50/p95/p99 query latency). The structured overlay is selected at
+//! The network engine (`core::network`) is message-granular *all the way
+//! down*: round phases, the individual hops of in-flight queries, and the
+//! per-peer background work — each peer's routing-table maintenance tick,
+//! TTL eviction sweep, and the waves of in-flight update propagations —
+//! are events on [`sim::EventQueue`], with per-hop delays drawn from a
+//! pluggable [`sim::LatencyModel`] ([`core::LatencyConfig`]; `Zero` plus
+//! the default [`core::BackgroundSchedule`] reproduces the paper's
+//! whole-round semantics bit-for-bit, non-zero models surface p50/p95/p99
+//! query latency, jittered schedules spread background work across each
+//! round for 100k+-peer scenarios — experiment S4). In-flight contexts
+//! park in a generational [`sim::Slab`] and the per-peer stores key by
+//! dense index over a flat refcount arena, so event dispatch is
+//! allocation-free. The structured overlay is selected at
 //! runtime via [`core::OverlayKind`] — the same simulation runs over the
 //! paper's trie, a Chord ring, or a Kademlia-style XOR DHT with k-bucket
 //! routing and XOR-prefix replica groups (ablation A2 in `DESIGN.md`).
 //! Every substrate — current and future — passes the shared
 //! [`overlay::conformance`] suite, which property-checks the
 //! [`overlay::Overlay`] contract (partition invariants, hop accounting,
-//! `lookup` ≡ stepped `next_hop`, determinism, churn liveness) from a
-//! single test body per invariant.
+//! `lookup` ≡ stepped `next_hop`, `maintenance_round` ≡ per-peer
+//! `maintenance_step`, determinism, churn liveness) from a single test
+//! body per invariant.
 //!
 //! # Example
 //!

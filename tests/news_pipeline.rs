@@ -77,22 +77,29 @@ fn ttl_index_tracks_update_versions() {
     let mut updates = UpdateProcess::new(10, 3.0).unwrap(); // fast updates
     let mut index = PartialIndex::new(64);
     let key = Key::hash_str("title=Weather Iráklion&date=2004/03/14");
+    let ki = 0u32; // dense index of this key in the (single-key) universe
 
-    index.insert(key, VersionedValue { version: updates.version(0), data: 0 }, 0, Ttl::Rounds(50));
+    index.insert(
+        ki,
+        key,
+        VersionedValue { version: updates.version(0), data: 0 },
+        0,
+        Ttl::Rounds(50),
+    );
     let mut last_seen = 1u64;
     for now in 1..=100 {
         updates.round_updates(&mut rng);
         if now % 10 == 0 {
             // Re-broadcast fetches the fresh version and reinserts.
             let fresh = VersionedValue { version: updates.version(0), data: 0 };
-            index.insert(key, fresh, now, Ttl::Rounds(50));
-            let got = index.peek(key, now).unwrap();
+            index.insert(ki, key, fresh, now, Ttl::Rounds(50));
+            let got = index.peek(ki, now).unwrap();
             assert!(got.version >= last_seen, "versions must not regress");
             last_seen = got.version;
         }
     }
     assert!(last_seen > 1, "article 0 must have updated with 3 s lifetime");
-    assert_eq!(index.peek(key, 100).unwrap().version, updates.version(0));
+    assert_eq!(index.peek(ki, 100).unwrap().version, updates.version(0));
 }
 
 #[test]
@@ -107,12 +114,15 @@ fn full_pipeline_selects_popular_metadata() {
     let ttl = 40u64;
     let mut store = PartialIndex::new(catalog.len());
 
+    let mut purged = Vec::new();
     for now in 0..400u64 {
         for _ in 0..20 {
             let rank = zipf.sample(&mut rng);
+            let ki = (rank - 1) as u32;
             let key = catalog.key(rank - 1);
-            if store.get_and_refresh(key, now, Ttl::Rounds(ttl)).is_none() {
+            if store.get_and_refresh(ki, now, Ttl::Rounds(ttl)).is_none() {
                 store.insert(
+                    ki,
                     key,
                     VersionedValue { version: 1, data: rank as u64 },
                     now,
@@ -120,12 +130,13 @@ fn full_pipeline_selects_popular_metadata() {
                 );
             }
         }
-        store.purge_expired(now);
+        purged.clear();
+        store.purge_expired_into(now, &mut purged);
     }
 
     // Resident keys should be dominated by the head of the ranking.
     let resident: Vec<usize> =
-        (0..catalog.len()).filter(|&i| store.peek(catalog.key(i), 399).is_some()).collect();
+        (0..catalog.len()).filter(|&i| store.peek(i as u32, 399).is_some()).collect();
     assert!(!resident.is_empty());
     let head_resident = resident.iter().filter(|&&i| i < catalog.len() / 5).count();
     let frac = head_resident as f64 / resident.len() as f64;
