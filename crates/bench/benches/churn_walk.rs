@@ -1,0 +1,84 @@
+//! Benchmarks of the two remaining per-round O(population) costs the
+//! O(active-work) refactor removed: churn session stepping (now a calendar
+//! of round buckets — cost tracks transitions, not peers) and random-walk
+//! waves (now borrowing the engine-owned generation-stamped visited set —
+//! no per-query O(population) allocation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_overlay::{ChurnConfig, ChurnModel};
+use pdht_sim::{Metrics, VisitSet};
+use pdht_types::{Liveness, PeerId};
+use pdht_unstructured::{RandomWalk, Topology, WalkWave};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One simulated second of churn. `static_pop` never toggles (the empty
+/// bucket must cost ~nothing regardless of population); "heavy" uses
+/// 100-second mean sessions, ~n/100 transitions per round.
+fn bench_churn_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn/step_second");
+    group.sample_size(50);
+    for n in [10_000usize, 100_000] {
+        group.bench_function(format!("static_{n}"), |b| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut churn = ChurnModel::new(n, ChurnConfig::none(), &mut rng);
+            b.iter(|| black_box(churn.step_second(&mut rng).len()))
+        });
+        group.bench_function(format!("gnutella_{n}"), |b| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut churn = ChurnModel::new(n, ChurnConfig::gnutella_like(), &mut rng);
+            b.iter(|| black_box(churn.step_second(&mut rng).len()))
+        });
+        group.bench_function(format!("heavy_{n}"), |b| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let cfg = ChurnConfig { mean_online_secs: 100.0, mean_offline_secs: 100.0 };
+            let mut churn = ChurnModel::new(n, cfg, &mut rng);
+            b.iter(|| black_box(churn.step_second(&mut rng).len()))
+        });
+    }
+    group.finish();
+}
+
+/// Walker waves on a 100k-peer topology: begin + a bounded number of waves
+/// per iteration, visited state borrowed from one shared [`VisitSet`] —
+/// the steady-state cost a query pays in the engine.
+fn bench_walk_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk/wave_100k");
+    group.sample_size(30);
+    let n = 100_000usize;
+    let mut rng = SmallRng::seed_from_u64(0x3a1c);
+    let topo = Topology::random(n, 5, &mut rng).expect("topology builds");
+    let live = Liveness::all_online(n);
+    let mut scratch = VisitSet::new(n);
+    let mut metrics = Metrics::new();
+    for walkers in [16usize, 64] {
+        group.bench_function(format!("begin_plus_8_waves_{walkers}w"), |b| {
+            let mut origin = 0usize;
+            b.iter(|| {
+                origin = (origin + 7919) % n;
+                let mut walk = RandomWalk::begin(
+                    &topo,
+                    PeerId::from_idx(origin),
+                    walkers,
+                    u64::MAX / 2,
+                    |_| false,
+                    &live,
+                    &mut scratch,
+                )
+                .expect("walk starts");
+                let mut waves = 0u32;
+                for _ in 0..8 {
+                    match walk.wave(&topo, |_| false, &live, &mut rng, &mut metrics, &mut scratch) {
+                        WalkWave::InProgress => waves += 1,
+                        WalkWave::Found(_) | WalkWave::Exhausted => break,
+                    }
+                }
+                black_box(waves)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_step, bench_walk_wave);
+criterion_main!(benches);

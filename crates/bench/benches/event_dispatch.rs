@@ -1,11 +1,53 @@
 //! Benchmarks of the per-peer background-event dispatch path: the slab the
-//! in-flight contexts park in, and whole rounds dominated by per-peer
-//! maintenance/TTL events (zero-jitter vs fully jittered schedules).
+//! in-flight contexts park in, the timing-wheel scheduler against the
+//! `BinaryHeap` reference backend under a steady in-flight population, and
+//! whole rounds dominated by per-peer maintenance/TTL events (zero-jitter
+//! vs fully jittered schedules).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_bench::sched_delay as delay;
 use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy};
 use pdht_model::Scenario;
-use pdht_sim::Slab;
+use pdht_sim::{EventQueue, HeapEventQueue, Slab};
+
+/// The scheduler hold model: a steady resident population of `inflight`
+/// events, each pop immediately replaced by a reschedule — the shape the
+/// engine's perpetual background events and in-flight messages produce.
+/// This is where the wheel's O(1) beats the heap's O(log n) over the whole
+/// population (the ≥2x acceptance gate of the O(active-work) refactor;
+/// `sim_scale` re-measures it into `BENCH_sim_scale.json`).
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch/scheduler");
+    for inflight in [10_000u64, 100_000] {
+        group.bench_function(format!("wheel_hold_{inflight}"), |b| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..inflight {
+                q.schedule_in(delay(i), i);
+            }
+            let mut i = inflight;
+            b.iter(|| {
+                let ev = q.pop().expect("resident population");
+                q.schedule_in(delay(i), ev.event);
+                i += 1;
+                black_box(ev.time)
+            })
+        });
+        group.bench_function(format!("heap_hold_{inflight}"), |b| {
+            let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+            for i in 0..inflight {
+                q.schedule_in(delay(i), i);
+            }
+            let mut i = inflight;
+            b.iter(|| {
+                let ev = q.pop().expect("resident population");
+                q.schedule_in(delay(i), ev.event);
+                i += 1;
+                black_box(ev.time)
+            })
+        });
+    }
+    group.finish();
+}
 
 fn bench_slab(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch/slab");
@@ -70,5 +112,5 @@ fn bench_background_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slab, bench_background_round);
+criterion_group!(benches, bench_slab, bench_scheduler, bench_background_round);
 criterion_main!(benches);

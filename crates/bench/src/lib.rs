@@ -33,6 +33,27 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::
     Ok(path)
 }
 
+/// Pseudorandom hop delay for the scheduler hold-model benchmarks: a
+/// deterministic mix of near-future (same-round) and multi-second delays,
+/// exercising every timing-wheel level the simulator touches. Shared by
+/// `bench event_dispatch` and the `sim_scale` bin so the criterion numbers
+/// and the CI-recorded `wheel_speedup` measure the *same* schedule.
+pub fn sched_delay(i: u64) -> pdht_types::SimTime {
+    pdht_types::SimTime::from_micros(pdht_types::mix64(0xd15ba7c4, i) % 2_000_000 + 1)
+}
+
+/// Writes a pre-rendered JSON document into `results/<name>.json`,
+/// returning its path (benchmark artifacts like `BENCH_sim_scale.json`;
+/// the offline environment has no serde, so callers format the body).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_json(name: &str, body: &str) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Prints a fixed-width table: header row, separator, data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

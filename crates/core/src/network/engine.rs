@@ -27,7 +27,7 @@ use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
 use pdht_overlay::{ChordOverlay, ChurnModel, KademliaOverlay, Overlay, TrieOverlay};
-use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver, Slab};
+use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver, Slab, VisitSet};
 use pdht_types::{Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
 use pdht_unstructured::{Replication, Topology};
 use pdht_workload::{QueryWorkload, UpdateProcess};
@@ -222,8 +222,16 @@ pub struct PdhtNetwork {
     pub(crate) updates_inflight: Slab<UpdateCtx>,
     /// Per-hop delay model built from [`PdhtConfig::latency`].
     pub(crate) latency: Box<dyn LatencyModel>,
+    /// Generation-stamped visited scratch shared by every random walk, so
+    /// starting a broadcast search is O(walkers) instead of allocating an
+    /// O(num_peers) map per query.
+    pub(crate) walk_scratch: VisitSet,
     /// Experiment hook observing phase/message boundaries.
     pub(crate) hook: Option<EventHook>,
+    /// Events popped off the queue over the whole run (the O(active-work)
+    /// regression gauge: per-round deltas must track transitions/queries/
+    /// background events, not the total population).
+    pub(crate) events_dispatched: u64,
     // Component RNG streams.
     pub(crate) rng_churn: SmallRng,
     pub(crate) rng_workload: SmallRng,
@@ -454,7 +462,9 @@ impl PdhtNetwork {
             events: EventQueue::new(),
             inflight: Slab::with_capacity(64),
             updates_inflight: Slab::with_capacity(16),
+            walk_scratch: VisitSet::new(num_peers),
             hook: None,
+            events_dispatched: 0,
             hits: 0,
             misses: 0,
             stale_hits: 0,
@@ -572,6 +582,14 @@ impl PdhtNetwork {
         self.updates_inflight.len()
     }
 
+    /// Total events dispatched off the virtual-time queue so far. Scale
+    /// experiments assert the per-round delta scales with *active work*
+    /// (background events, churn transitions, in-flight messages), not
+    /// with the total population.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
     /// Runs `n` rounds.
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
@@ -600,6 +618,7 @@ impl PdhtNetwork {
         // the next round and must not fire here with this round's number.
         let in_round = round.end() - SimTime::from_micros(1);
         while let Some(scheduled) = self.events.pop_until(in_round) {
+            self.events_dispatched += 1;
             // Message events carry their own round (they may have been
             // scheduled rounds ago); within this loop it equals `round`.
             self.dispatch(scheduled.event, scheduled.time.round().0);
@@ -931,5 +950,34 @@ mod tests {
             net.num_active_peers(),
             "IndexAll never expires entries: maintenance only"
         );
+    }
+
+    #[test]
+    fn dispatch_count_tracks_active_work_not_population() {
+        // IndexAll, zero latency, no churn: the only queue events are the 6
+        // phase markers plus one maintenance tick per *active* peer — an
+        // exact per-round dispatch count. A stray O(population) event
+        // source (the regression the O(active-work) refactor guards
+        // against) would break this equality immediately.
+        let mut net = PdhtNetwork::new(cfg(Strategy::IndexAll, 1.0 / 60.0)).unwrap();
+        let nap = net.num_active_peers() as u64;
+        let rounds = 5;
+        net.run(rounds);
+        assert_eq!(net.events_dispatched(), rounds * (6 + nap));
+
+        // Partial adds one TTL sweep per active peer every purge_stride
+        // rounds (staggered cohorts): still O(active work), bounded well
+        // under the total population.
+        let mut net = PdhtNetwork::new(cfg(Strategy::Partial, 1.0 / 60.0)).unwrap();
+        let nap = net.num_active_peers() as u64;
+        let stride = net.config().purge_stride;
+        net.run(stride);
+        let per_round = net.events_dispatched() as f64 / stride as f64;
+        let expected = 6.0 + nap as f64 * (1.0 + 1.0 / stride as f64);
+        assert!(
+            (per_round - expected).abs() / expected < 0.05,
+            "per-round dispatch {per_round:.1} should be ≈ {expected:.1}"
+        );
+        assert!(per_round < net.config().scenario.num_peers as f64);
     }
 }

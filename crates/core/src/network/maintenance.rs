@@ -2,8 +2,10 @@
 //! per-peer TTL eviction sweeps, and message-granular update propagation.
 //!
 //! Since the background-event refactor only churn remains a whole-phase
-//! handler (its session transitions are one global process). Maintenance
-//! and TTL eviction fire as *per-peer* events — [`NetEvent::PeerMaintenance`]
+//! handler (its session transitions are one global process — internally
+//! event-driven too: [`pdht_overlay::ChurnModel`] buckets pending toggles
+//! by round, so the phase costs O(transitions), not O(population)).
+//! Maintenance and TTL eviction fire as *per-peer* events — [`NetEvent::PeerMaintenance`]
 //! every round and [`NetEvent::TtlSweep`] every `purge_stride` rounds, each
 //! rescheduling itself — and update propagation runs as an in-flight state
 //! machine over [`UpdateCtx`]s, one [`NetEvent::GossipPush`] per route hop

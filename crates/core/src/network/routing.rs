@@ -357,6 +357,7 @@ impl PdhtNetwork {
                         live,
                         &mut self.rng_search,
                         &mut self.metrics,
+                        &mut self.walk_scratch,
                     )
                 };
                 match wave {
@@ -520,7 +521,8 @@ impl PdhtNetwork {
     }
 
     /// Begins a k-random-walk broadcast for a holder of `article` from
-    /// `origin`; `Err` is the immediately resolved outcome.
+    /// `origin` (visited state lives in the engine-owned scratch set);
+    /// `Err` is the immediately resolved outcome.
     fn begin_walk(&mut self, origin: PeerId, article: u32) -> Result<RandomWalk, SearchOutcome> {
         let budget =
             u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
@@ -533,6 +535,7 @@ impl PdhtNetwork {
             budget,
             |p| content.is_holder(article as usize, p),
             live,
+            &mut self.walk_scratch,
         )
     }
 

@@ -13,6 +13,7 @@
 use pdht_sim::random::exponential;
 use pdht_types::{Liveness, PeerId};
 use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
 
 /// Churn configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,13 +52,31 @@ impl ChurnConfig {
 }
 
 /// Per-peer alternating on/off renewal process over a dense population.
+///
+/// Session toggles are *event-driven*: every peer is filed in a calendar
+/// bucket keyed by the round its next toggle falls in, and
+/// [`ChurnModel::step_second`] processes only the current round's bucket —
+/// O(transitions) per round instead of scanning every peer's `next_toggle`.
+/// Within a round, filed peers are processed in ascending index order and
+/// each drains all its toggles in the window before the next peer, which
+/// is exactly the draw order of the old full scan (draws only happen on
+/// toggles), so seeded runs stay bit-for-bit identical.
 pub struct ChurnModel {
     cfg: ChurnConfig,
     liveness: Liveness,
     /// Absolute second at which each peer next toggles (`f64::INFINITY` for
     /// static configurations).
     next_toggle: Vec<f64>,
+    /// Round → peers filed to toggle in that round. Entries are
+    /// lazy-deleted: re-filing a peer (e.g. [`ChurnModel::force_blackout`])
+    /// just updates `bucket_of`, and stale calendar entries are skipped
+    /// when their round is processed.
+    calendar: BTreeMap<u64, Vec<u32>>,
+    /// The calendar round each peer is currently (validly) filed under.
+    bucket_of: Vec<u64>,
     now_secs: f64,
+    /// The round [`ChurnModel::step_second`] will process next.
+    round: u64,
 }
 
 impl ChurnModel {
@@ -78,7 +97,31 @@ impl ChurnModel {
                 *toggle = exponential(rng, 1.0 / mean);
             }
         }
-        ChurnModel { cfg, liveness, next_toggle, now_secs: 0.0 }
+        let mut model = ChurnModel {
+            cfg,
+            liveness,
+            next_toggle,
+            calendar: BTreeMap::new(),
+            bucket_of: vec![u64::MAX; n],
+            now_secs: 0.0,
+            round: 0,
+        };
+        if !model.cfg.is_static() {
+            // Static populations never toggle: no calendar to maintain.
+            for i in 0..n {
+                model.file(i);
+            }
+        }
+        model
+    }
+
+    /// Files peer `i` in the calendar bucket of the round its next toggle
+    /// falls in, superseding any previous (now stale) filing.
+    fn file(&mut self, i: usize) {
+        // `as` saturates, so enormous draws file in a never-reached round.
+        let bucket = self.next_toggle[i].floor() as u64;
+        self.bucket_of[i] = bucket;
+        self.calendar.entry(bucket).or_default().push(i as u32);
     }
 
     /// Current liveness view.
@@ -94,27 +137,49 @@ impl ChurnModel {
     /// Advances the process by one second, toggling any peers whose session
     /// ends in that window. Returns the transitions as `(peer, now_online)`
     /// pairs — rejoining peers trigger anti-entropy pulls in the harness.
+    ///
+    /// Only the current round's calendar bucket is visited (sorted to
+    /// ascending peer index, the old full scan's order), so the cost is
+    /// O(transitions log transitions), not O(population).
     pub fn step_second(&mut self, rng: &mut SmallRng) -> Vec<(PeerId, bool)> {
         if self.cfg.is_static() {
             self.now_secs += 1.0;
+            self.round += 1;
             return Vec::new();
         }
         let end = self.now_secs + 1.0;
         let mut transitions = Vec::new();
-        for i in 0..self.next_toggle.len() {
-            // A peer may toggle multiple times within a second if sessions
-            // are very short; loop until its next toggle leaves the window.
-            while self.next_toggle[i] < end {
-                let id = PeerId::from_idx(i);
-                let was_online = self.liveness.is_online(id);
-                self.liveness.set(id, !was_online);
-                transitions.push((id, !was_online));
-                let mean =
-                    if was_online { self.cfg.mean_offline_secs } else { self.cfg.mean_online_secs };
-                self.next_toggle[i] += exponential(rng, 1.0 / mean);
+        if let Some(mut due) = self.calendar.remove(&self.round) {
+            // Filing order is arbitrary (and re-filed peers can appear
+            // twice); the RNG draw order must match the old ascending
+            // full scan exactly.
+            due.sort_unstable();
+            due.dedup();
+            for &p in &due {
+                let i = p as usize;
+                if self.bucket_of[i] != self.round {
+                    continue; // stale entry: the peer was re-filed
+                }
+                // A peer may toggle multiple times within a second if
+                // sessions are very short; loop until its next toggle
+                // leaves the window.
+                while self.next_toggle[i] < end {
+                    let id = PeerId::from_idx(i);
+                    let was_online = self.liveness.is_online(id);
+                    self.liveness.set(id, !was_online);
+                    transitions.push((id, !was_online));
+                    let mean = if was_online {
+                        self.cfg.mean_offline_secs
+                    } else {
+                        self.cfg.mean_online_secs
+                    };
+                    self.next_toggle[i] += exponential(rng, 1.0 / mean);
+                }
+                self.file(i);
             }
         }
         self.now_secs = end;
+        self.round += 1;
         transitions
     }
 
@@ -125,8 +190,10 @@ impl ChurnModel {
 
     /// Failure injection: instantly knocks a uniform `fraction` of peers
     /// offline. Their return is rescheduled from the offline-period
-    /// distribution, so recovery follows the configured churn dynamics.
-    /// No-op fractions ≤ 0; for static configs the peers stay down forever.
+    /// distribution (and re-filed in the calendar — the superseded entry
+    /// is lazy-deleted), so recovery follows the configured churn
+    /// dynamics. No-op fractions ≤ 0; for static configs the peers stay
+    /// down forever.
     pub fn force_blackout(&mut self, fraction: f64, rng: &mut SmallRng) {
         let fraction = fraction.clamp(0.0, 1.0);
         for i in 0..self.next_toggle.len() {
@@ -136,6 +203,7 @@ impl ChurnModel {
                 if !self.cfg.is_static() {
                     self.next_toggle[i] =
                         self.now_secs + exponential(rng, 1.0 / self.cfg.mean_offline_secs);
+                    self.file(i);
                 }
             }
         }
@@ -223,5 +291,108 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// The old full-scan `step_second`, kept verbatim as the reference: the
+    /// calendar must reproduce its transition sequence (and hence its RNG
+    /// draw order) exactly — this is what keeps the churn golden vectors
+    /// bit-for-bit valid.
+    struct FullScanChurn {
+        cfg: ChurnConfig,
+        liveness: Liveness,
+        next_toggle: Vec<f64>,
+        now_secs: f64,
+    }
+
+    impl FullScanChurn {
+        fn new(n: usize, cfg: ChurnConfig, rng: &mut SmallRng) -> FullScanChurn {
+            let mut liveness = Liveness::all_online(n);
+            let mut next_toggle = vec![f64::INFINITY; n];
+            let p_online = cfg.availability();
+            for (i, toggle) in next_toggle.iter_mut().enumerate() {
+                let online = rand::Rng::random::<f64>(rng) < p_online;
+                liveness.set(PeerId::from_idx(i), online);
+                let mean = if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
+                *toggle = exponential(rng, 1.0 / mean);
+            }
+            FullScanChurn { cfg, liveness, next_toggle, now_secs: 0.0 }
+        }
+
+        fn step_second(&mut self, rng: &mut SmallRng) -> Vec<(PeerId, bool)> {
+            let end = self.now_secs + 1.0;
+            let mut transitions = Vec::new();
+            for i in 0..self.next_toggle.len() {
+                while self.next_toggle[i] < end {
+                    let id = PeerId::from_idx(i);
+                    let was_online = self.liveness.is_online(id);
+                    self.liveness.set(id, !was_online);
+                    transitions.push((id, !was_online));
+                    let mean = if was_online {
+                        self.cfg.mean_offline_secs
+                    } else {
+                        self.cfg.mean_online_secs
+                    };
+                    self.next_toggle[i] += exponential(rng, 1.0 / mean);
+                }
+            }
+            self.now_secs = end;
+            transitions
+        }
+
+        fn force_blackout(&mut self, fraction: f64, rng: &mut SmallRng) {
+            for i in 0..self.next_toggle.len() {
+                if rand::Rng::random::<f64>(rng) < fraction {
+                    let id = PeerId::from_idx(i);
+                    self.liveness.set(id, false);
+                    self.next_toggle[i] =
+                        self.now_secs + exponential(rng, 1.0 / self.cfg.mean_offline_secs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_matches_full_scan_transition_sequence() {
+        // Short sessions force multi-toggle windows; a blackout mid-run
+        // forces re-filing of already-filed peers.
+        for (on, off) in [(0.4, 0.6), (50.0, 50.0), (3600.0, 2400.0)] {
+            let cfg = ChurnConfig { mean_online_secs: on, mean_offline_secs: off };
+            let mut r_cal = SmallRng::seed_from_u64(0xc0ffee);
+            let mut r_ref = SmallRng::seed_from_u64(0xc0ffee);
+            let mut cal = ChurnModel::new(800, cfg, &mut r_cal);
+            let mut refm = FullScanChurn::new(800, cfg, &mut r_ref);
+            for round in 0..120 {
+                if round == 40 {
+                    cal.force_blackout(0.3, &mut r_cal);
+                    refm.force_blackout(0.3, &mut r_ref);
+                }
+                assert_eq!(
+                    cal.step_second(&mut r_cal),
+                    refm.step_second(&mut r_ref),
+                    "transition sequences diverged in round {round} (on={on}, off={off})"
+                );
+            }
+            for i in 0..800 {
+                assert_eq!(cal.liveness().is_online(PeerId(i)), refm.liveness.is_online(PeerId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn blackout_reschedules_through_the_calendar() {
+        let mut r = rng();
+        let cfg = ChurnConfig { mean_online_secs: 60.0, mean_offline_secs: 10.0 };
+        let mut c = ChurnModel::new(1_000, cfg, &mut r);
+        c.force_blackout(1.0, &mut r);
+        assert_eq!(c.liveness().online_count(), 0);
+        // Mean offline period is 10 s: after 60 s nearly everyone is back.
+        for _ in 0..60 {
+            c.step_second(&mut r);
+        }
+        assert!(
+            c.liveness().availability() > 0.7,
+            "peers must recover through the calendar, availability {}",
+            c.liveness().availability()
+        );
     }
 }

@@ -1,9 +1,17 @@
 //! Virtual-time event queue.
 //!
-//! A `BinaryHeap` keyed by `(SimTime, sequence)`; the sequence number makes
-//! the pop order *total* — two events scheduled for the same instant pop in
-//! scheduling order — which keeps simulations bit-for-bit reproducible.
+//! [`EventQueue`] is keyed by `(SimTime, sequence)`; the sequence number
+//! makes the pop order *total* — two events scheduled for the same instant
+//! pop in scheduling order — which keeps simulations bit-for-bit
+//! reproducible. Since the O(active-work) refactor the backend is the
+//! hierarchical timing wheel in [`crate::wheel`] (amortized O(1) per
+//! schedule/pop instead of the binary heap's O(log n) over every resident
+//! event); [`HeapEventQueue`] keeps the original `BinaryHeap` backend as
+//! the reference implementation the conformance proptest and the
+//! `event_dispatch` wheel-vs-heap benchmark compare against. Both produce
+//! the exact same pop order for any schedule.
 
+use crate::wheel::TimingWheel;
 use pdht_types::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -17,37 +25,12 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-// Manual ordering: min-heap by (time, seq). BinaryHeap is a max-heap, so
-// invert the comparison.
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-/// A deterministic future-event list.
+/// A deterministic future-event list (timing-wheel backend).
 ///
 /// The queue also tracks `now`: popping advances the clock to the event's
 /// due time; scheduling in the past is a logic error caught by an assertion.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: TimingWheel<E>,
     seq: u64,
     now: SimTime,
 }
@@ -61,7 +44,125 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue { wheel: TimingWheel::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current virtual time (the due time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        self.wheel.schedule(at.as_micros(), self.seq, event);
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Due time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time().map(SimTime::from_micros)
+    }
+
+    /// Pops the next event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.wheel.pop().map(|e| {
+            debug_assert!(e.time >= self.now.as_micros());
+            self.now = SimTime::from_micros(e.time);
+            Scheduled { time: self.now, event: e.event }
+        })
+    }
+
+    /// Pops the next event only if it is due at or before `deadline`.
+    /// Does **not** advance the clock past `deadline` when nothing is due.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<Scheduled<E>> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `at` without processing anything (used at
+    /// round boundaries).
+    ///
+    /// # Panics
+    /// Panics if events earlier than `at` are still pending, or if `at` is
+    /// in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(t) = self.peek_time() {
+            assert!(t >= at, "events pending before {at:?}");
+        }
+        self.now = at;
+        self.wheel.advance_cur(at.as_micros());
+    }
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Manual ordering: min-heap by (time, seq). BinaryHeap is a max-heap, so
+// invert the comparison.
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The original `BinaryHeap`-backed queue: same API and pop order as
+/// [`EventQueue`], O(log n) per operation over every resident event.
+///
+/// Kept as the reference backend — the kernel proptests pin the wheel's
+/// pop order against it, and `bench event_dispatch` measures the speedup.
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        HeapEventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
     }
 
     /// Current virtual time (the due time of the last popped event).
@@ -86,7 +187,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
-        self.heap.push(Entry { time: at, seq: self.seq, event });
+        self.heap.push(HeapEntry { time: at, seq: self.seq, event });
         self.seq += 1;
     }
 
@@ -118,8 +219,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Advances the clock to `at` without processing anything (used at
-    /// round boundaries).
+    /// Advances the clock to `at` without processing anything.
     ///
     /// # Panics
     /// Panics if events earlier than `at` are still pending, or if `at` is
@@ -214,5 +314,47 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_at_the_advanced_clock_fires() {
+        // The engine's round loop: advance to the boundary, then schedule
+        // the next round's phases at exactly that instant.
+        let mut q = EventQueue::new();
+        q.advance_to(SimTime::from_secs(1));
+        q.schedule_at(SimTime::from_secs(1), "phase");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop().unwrap().event, "phase");
+    }
+
+    #[test]
+    fn boundary_event_survives_advance_to_its_instant() {
+        // An event parked exactly on a round boundary must still pop after
+        // the clock is advanced onto it (the seam `step_round` relies on).
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), "boundary");
+        assert!(q.pop_until(SimTime::from_secs(1) - SimTime::from_micros(1)).is_none());
+        q.advance_to(SimTime::from_secs(1));
+        let got = q.pop_until(SimTime::from_secs(2)).unwrap();
+        assert_eq!((got.time, got.event), (SimTime::from_secs(1), "boundary"));
+    }
+
+    #[test]
+    fn heap_backend_matches_wheel_on_a_mixed_schedule() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let times =
+            [3u64, 0, 0, 65, 64, 4095, 4096, 1_000_000, 3, (1 << 37) + 5, (1 << 37) + 5, 12];
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule_at(SimTime::from_micros(t), i);
+            heap.schedule_at(SimTime::from_micros(t), i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

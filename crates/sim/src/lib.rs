@@ -5,7 +5,9 @@
 //! subsystem shares:
 //!
 //! * [`EventQueue`] — a stable priority queue over virtual time (ties break
-//!   by insertion order, so runs are reproducible),
+//!   by insertion order, so runs are reproducible), backed by a
+//!   hierarchical timing wheel (amortized O(1) per operation;
+//!   [`HeapEventQueue`] keeps the `BinaryHeap` reference backend),
 //! * [`Metrics`] — cumulative and per-round message accounting plus named
 //!   gauges (index size, hit rate, …) and hop [`Histogram`]s,
 //! * [`latency`] — pluggable per-hop [`LatencyModel`]s (zero, uniform,
@@ -15,15 +17,20 @@
 //! * [`RoundDriver`] — a helper that advances simulations round-by-round
 //!   and snapshots metrics at each boundary,
 //! * [`Slab`] — a generational slab for in-flight per-query/per-update
-//!   contexts, so event dispatch parks and resumes state allocation-free.
+//!   contexts, so event dispatch parks and resumes state allocation-free,
+//! * [`VisitSet`] — a generation-stamped membership set, so per-query
+//!   visited maps borrow one engine-owned buffer instead of allocating.
 
 pub mod event;
 pub mod latency;
 pub mod metrics;
 pub mod random;
+pub mod scratch;
 pub mod slab;
+pub(crate) mod wheel;
 
-pub use event::{EventQueue, Scheduled};
+pub use event::{EventQueue, HeapEventQueue, Scheduled};
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
 pub use metrics::{Histogram, HistogramSummary, Metrics, RoundDriver};
+pub use scratch::VisitSet;
 pub use slab::{Slab, SlabKey};

@@ -1,10 +1,111 @@
 //! Property tests for the simulation kernel.
 
-use pdht_sim::{EventQueue, Histogram};
+use pdht_sim::{EventQueue, HeapEventQueue, Histogram};
 use pdht_types::SimTime;
 use proptest::prelude::*;
 
+/// Times that stress every region of the timing wheel: slot boundaries at
+/// every level (powers of 64 ± 1), same-instant ties, and far-future
+/// values beyond the 2^36-µs wheel horizon (the overflow heap).
+fn wheel_stress_time() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Dense near-future times (level-0/1 slots, heavy tie pressure).
+        0u64..200,
+        // Around each level's cascading boundary (64^1 … 64^5).
+        62u64..130,
+        4_094u64..4_162,
+        262_142u64..262_210,
+        16_777_214u64..16_777_282,
+        ((1u64 << 30) - 2)..((1u64 << 30) + 66),
+        // Mid-range wheel times.
+        0u64..5_000_000,
+        // Beyond the wheel horizon: overflow-heap territory.
+        ((1u64 << 36) - 10)..((1u64 << 36) + 100_000),
+        (1u64 << 40)..((1u64 << 40) + 1_000),
+    ]
+}
+
 proptest! {
+    /// The timing-wheel queue pops in an order identical to the reference
+    /// `BinaryHeap` backend for arbitrary schedules — including
+    /// same-instant ties, cascading boundaries, and far-future overflow
+    /// times — under interleaved scheduling and popping.
+    #[test]
+    fn wheel_matches_heap_backend(
+        phases in prop::collection::vec(
+            (prop::collection::vec(wheel_stress_time(), 0..40), 0u8..40),
+            1..8,
+        )
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let mut id = 0u32;
+        for (delays, pops) in phases {
+            // Schedule a batch relative to the current clock (the queues
+            // reject absolute times in the past).
+            for d in delays {
+                let at = wheel.now() + SimTime::from_micros(d);
+                wheel.schedule_at(at, id);
+                heap.schedule_at(at, id);
+                id += 1;
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            // Pop a batch; every popped (time, payload) pair must match.
+            for _ in 0..pops {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(&a, &b, "wheel and heap disagree");
+                if a.is_none() {
+                    break;
+                }
+                prop_assert_eq!(wheel.now(), heap.now());
+            }
+        }
+        // Drain the rest: full total-order equivalence.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&a, &b, "wheel and heap disagree in the tail");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `advance_to` onto (or past) parked events agrees between backends:
+    /// events due exactly at the advanced-to instant must still pop, in
+    /// the same order.
+    #[test]
+    fn wheel_matches_heap_across_advance_to(
+        times in prop::collection::vec(wheel_stress_time(), 1..60),
+        advance in prop::collection::vec(0u64..(1u64 << 37), 1..6),
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule_at(SimTime::from_micros(t), i as u32);
+            heap.schedule_at(SimTime::from_micros(t), i as u32);
+        }
+        for target in advance {
+            // Clamp the advance to the earliest pending event: advancing
+            // onto it is legal (and the interesting edge), past it is not.
+            let at = SimTime::from_micros(target)
+                .min(wheel.peek_time().unwrap_or(SimTime::from_micros(u64::MAX)))
+                .max(wheel.now());
+            wheel.advance_to(at);
+            heap.advance_to(at);
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Whatever the schedule, events pop in non-decreasing time order, and
     /// same-time events pop in insertion order.
     #[test]

@@ -7,10 +7,10 @@
 //! paper assumes (\[LvCa02\]).
 
 use crate::topology::Topology;
-use pdht_sim::Metrics;
+use pdht_sim::{Metrics, VisitSet};
 use pdht_types::{Liveness, MessageKind, PeerId};
 use rand::rngs::SmallRng;
-use rand::seq::IndexedRandom;
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// Result of an unstructured search.
@@ -111,19 +111,29 @@ pub enum WalkWave {
 /// one network-hop of virtual time). Message-granular engines park this
 /// state between waves; [`random_walks`] drives it to completion with no
 /// inter-wave delay.
+///
+/// The walk does not own a visited map: the caller threads a shared,
+/// engine-owned [`VisitSet`] through [`RandomWalk::begin`] and
+/// [`RandomWalk::wave`], and the walk keeps only the generation token of
+/// its logical set — starting a query is O(walkers), not O(population).
+/// Membership only feeds the distinct-peers-visited statistic (never
+/// trajectories, RNG draws, or message counts), so a concurrent walk
+/// stamping over an older generation cannot perturb the accounting.
 #[derive(Clone, Debug)]
 pub struct RandomWalk {
     positions: Vec<PeerId>,
-    visited: Vec<bool>,
+    /// Generation token of this walk's logical set in the shared scratch.
+    visited_gen: u32,
     messages: u64,
     peers_visited: usize,
     max_steps: u64,
 }
 
 impl RandomWalk {
-    /// Starts a walk search from `origin`. Resolves immediately
-    /// (`Err(outcome)`) when the origin is offline, there are no walkers,
-    /// or the origin itself holds the item.
+    /// Starts a walk search from `origin`, opening a fresh generation in
+    /// `scratch` (which must span the topology's peer population).
+    /// Resolves immediately (`Err(outcome)`) when the origin is offline,
+    /// there are no walkers, or the origin itself holds the item.
     ///
     /// # Errors
     /// The `Err` variant *is* the immediately resolved search outcome, not
@@ -135,21 +145,23 @@ impl RandomWalk {
         max_steps: u64,
         is_holder: F,
         live: &Liveness,
+        scratch: &mut VisitSet,
     ) -> std::result::Result<RandomWalk, SearchOutcome>
     where
         F: Fn(PeerId) -> bool,
     {
+        debug_assert!(scratch.len() >= topo.len(), "scratch must span the population");
         if !live.is_online(origin) || walkers == 0 {
             return Err(SearchOutcome { found: None, messages: 0, peers_visited: 0 });
         }
-        let mut visited = vec![false; topo.len()];
-        visited[origin.idx()] = true;
+        let visited_gen = scratch.begin();
+        scratch.insert(visited_gen, origin.idx());
         if is_holder(origin) {
             return Err(SearchOutcome { found: Some(origin), messages: 0, peers_visited: 1 });
         }
         Ok(RandomWalk {
             positions: vec![origin; walkers],
-            visited,
+            visited_gen,
             messages: 0,
             peers_visited: 1,
             max_steps,
@@ -165,6 +177,7 @@ impl RandomWalk {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
+        scratch: &mut VisitSet,
     ) -> WalkWave
     where
         F: Fn(PeerId) -> bool,
@@ -179,17 +192,26 @@ impl RandomWalk {
             }
             // Step to a random online neighbor (walkers pass through the
             // online subgraph only — an offline peer cannot forward).
-            let candidates: Vec<PeerId> =
-                topo.neighbors(*pos).iter().copied().filter(|&p| live.is_online(p)).collect();
-            let Some(&next) = candidates.as_slice().choose(rng) else {
+            // Count-then-pick: one pass counts the online neighbors, one
+            // uniform draw over that count picks the step — the same
+            // single `random_range(0..count)` the old collect-then-choose
+            // consumed, with no candidates Vec.
+            let neighbors = topo.neighbors(*pos);
+            let online = neighbors.iter().filter(|&&p| live.is_online(p)).count();
+            if online == 0 {
                 continue; // walker is stuck; others may proceed
-            };
+            }
+            let pick = rng.random_range(0..online);
+            let next = *neighbors
+                .iter()
+                .filter(|&&p| live.is_online(p))
+                .nth(pick)
+                .expect("pick < online count");
             any_alive = true;
             self.messages += 1;
             metrics.record(MessageKind::WalkStep);
             *pos = next;
-            if !self.visited[next.idx()] {
-                self.visited[next.idx()] = true;
+            if scratch.insert(self.visited_gen, next.idx()) {
                 self.peers_visited += 1;
             }
             if is_holder(next) {
@@ -213,6 +235,10 @@ impl RandomWalk {
 /// subgraph, each step costing one [`MessageKind::WalkStep`]; the search
 /// stops as soon as any walker stands on a holder, or when the shared
 /// `max_steps` budget is exhausted.
+///
+/// Convenience driver over [`RandomWalk`] with a locally allocated
+/// [`VisitSet`]; engines that issue many searches should own one scratch
+/// set and drive [`RandomWalk`] directly.
 #[allow(clippy::too_many_arguments)]
 pub fn random_walks<F>(
     topo: &Topology,
@@ -227,12 +253,14 @@ pub fn random_walks<F>(
 where
     F: Fn(PeerId) -> bool,
 {
-    let mut walk = match RandomWalk::begin(topo, origin, walkers, max_steps, &is_holder, live) {
-        Ok(walk) => walk,
-        Err(resolved) => return resolved,
-    };
+    let mut scratch = VisitSet::new(topo.len());
+    let mut walk =
+        match RandomWalk::begin(topo, origin, walkers, max_steps, &is_holder, live, &mut scratch) {
+            Ok(walk) => walk,
+            Err(resolved) => return resolved,
+        };
     loop {
-        match walk.wave(topo, &is_holder, live, rng, metrics) {
+        match walk.wave(topo, &is_holder, live, rng, metrics, &mut scratch) {
             WalkWave::Found(holder) => return walk.outcome(Some(holder)),
             WalkWave::Exhausted => return walk.outcome(None),
             WalkWave::InProgress => {}

@@ -16,13 +16,28 @@ use rand::Rng;
 pub struct Topology {
     adj: Vec<Vec<PeerId>>,
     edges: usize,
+    /// The edge count construction aimed for (== `edges` unless the
+    /// retry budget ran out; see [`Topology::edge_shortfall`]).
+    target_edges: usize,
 }
+
+/// Multiple of the *expected* rejection-sampling cost granted per
+/// still-missing edge in [`Topology::random`]. A uniform pair hits a free
+/// edge with probability `2·free/n²`, so the expected draws per edge is
+/// `n²/(2·free)`; granting 32× that makes the per-edge give-up probability
+/// ~e⁻³² — the budget is re-granted on every success, so the loop cannot
+/// give up because an easy early phase spent a fixed global guard (the bug
+/// that silently undershot dense targets).
+const EDGE_RETRY_FACTOR: usize = 32;
 
 impl Topology {
     /// A connected random graph with mean degree ≈ `mean_degree`.
     ///
     /// A random cycle backbone guarantees connectivity; the remaining edge
-    /// budget is spent on uniformly random pairs (deduplicated).
+    /// budget is spent on uniformly random pairs (deduplicated). Targets
+    /// denser than the complete graph are clamped to it; the achieved
+    /// density is surfaced by [`Topology::mean_degree`] and
+    /// [`Topology::edge_shortfall`].
     ///
     /// # Errors
     /// Fails if `n < 2` or `mean_degree < 2`.
@@ -39,7 +54,7 @@ impl Topology {
                 reason: "mean degree must be at least 2 for connectivity".into(),
             });
         }
-        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0 };
+        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0, target_edges: 0 };
 
         // Random cycle backbone.
         let mut order: Vec<usize> = (0..n).collect();
@@ -50,15 +65,23 @@ impl Topology {
             topo.add_edge(a, b);
         }
 
-        // Extra random edges until the mean degree target is met.
-        let target_edges = n * mean_degree / 2;
-        let mut guard = 0usize;
-        while topo.edges < target_edges && guard < target_edges * 20 {
-            guard += 1;
+        // Extra random edges until the mean degree target is met. The
+        // retry budget tracks the expected rejection cost of the *next*
+        // edge and is re-granted on every success (draw-for-draw identical
+        // to the old fixed-guard loop until the moment that guard tripped).
+        let max_edges = n * (n - 1) / 2;
+        let target_edges = (n * mean_degree / 2).min(max_edges).max(topo.edges);
+        topo.target_edges = target_edges;
+        let next_edge_budget =
+            |edges: usize| EDGE_RETRY_FACTOR * (n * n / (2 * (max_edges - edges)) + 1);
+        let mut attempts_left =
+            if topo.edges < target_edges { next_edge_budget(topo.edges) } else { 0 };
+        while topo.edges < target_edges && attempts_left > 0 {
+            attempts_left -= 1;
             let a = rng.random_range(0..n);
             let b = rng.random_range(0..n);
-            if a != b {
-                topo.add_edge(a, b);
+            if a != b && topo.add_edge(a, b) && topo.edges < target_edges {
+                attempts_left = attempts_left.max(next_edge_budget(topo.edges));
             }
         }
         Ok(topo)
@@ -83,7 +106,7 @@ impl Topology {
                 reason: "each peer must attach somewhere".into(),
             });
         }
-        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0 };
+        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0, target_edges: 0 };
         // Endpoint pool: each edge contributes both endpoints, so sampling
         // uniformly from the pool is degree-proportional sampling.
         let mut pool: Vec<usize> = Vec::with_capacity(2 * n * m);
@@ -106,7 +129,15 @@ impl Topology {
                 pool.extend_from_slice(&[v, v - 1]);
             }
         }
+        topo.target_edges = topo.edges;
         Ok(topo)
+    }
+
+    /// Edges [`Topology::random`] aimed for but could not place before its
+    /// retry budget ran out (0 for every reachable target — the regression
+    /// tests pin this at high density).
+    pub fn edge_shortfall(&self) -> usize {
+        self.target_edges - self.edges
     }
 
     /// Adds the undirected edge `(a, b)` if absent; returns whether added.
@@ -222,6 +253,37 @@ mod tests {
             degrees[0],
             degrees[1000]
         );
+    }
+
+    #[test]
+    fn dense_targets_are_met_not_silently_undershot() {
+        // At high density most uniform pairs collide with existing edges;
+        // the old fixed global retry guard gave up early and silently
+        // delivered a sparser graph. The proportional budget must deliver
+        // the full target (shortfall 0) right up to the complete graph.
+        for (n, deg) in [(100usize, 80usize), (200, 150), (64, 63), (40, 39)] {
+            let t = Topology::random(n, deg, &mut rng()).unwrap();
+            assert_eq!(
+                t.edge_shortfall(),
+                0,
+                "n={n}, deg={deg}: undershot by {} edges",
+                t.edge_shortfall()
+            );
+            assert_eq!(t.num_edges(), n * deg / 2, "n={n}, deg={deg}");
+            assert!((t.mean_degree() - deg as f64).abs() < 1.0);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn impossible_targets_clamp_to_the_complete_graph() {
+        // Denser than complete: the target is clamped, the achieved degree
+        // is surfaced, and construction still terminates.
+        let n = 30;
+        let t = Topology::random(n, 100, &mut rng()).unwrap();
+        assert_eq!(t.num_edges(), n * (n - 1) / 2, "must build the complete graph");
+        assert_eq!(t.edge_shortfall(), 0);
+        assert!((t.mean_degree() - (n - 1) as f64).abs() < 1e-9);
     }
 
     #[test]
