@@ -8,7 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pdht_bench::sched_delay as delay;
 use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy};
 use pdht_model::Scenario;
-use pdht_sim::{EventQueue, HeapEventQueue, Slab};
+use pdht_sim::{EventQueue, HeapEventQueue, ShardPool, Slab};
 
 /// The scheduler hold model: a steady resident population of `inflight`
 /// events, each pop immediately replaced by a reschedule — the shape the
@@ -43,6 +43,38 @@ fn bench_scheduler(c: &mut Criterion) {
                 q.schedule_in(delay(i), ev.event);
                 i += 1;
                 black_box(ev.time)
+            })
+        });
+    }
+    // The threads axis: the same hold model split over 8 per-shard wheels
+    // driven by the shard pool — the shape the sharded engine's lane
+    // queues take. Lane state is disjoint, so the thread count is a pure
+    // executor knob here too; the comparison across `t1..t8` measures the
+    // pool's dispatch overhead and the hardware's actual parallelism.
+    const LANES: usize = 8;
+    const RESIDENT_PER_LANE: u64 = 12_500; // 100k total, as above
+    const CYCLES_PER_LANE: u64 = 256;
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("wheel_hold_100000_8lanes_t{threads}"), |b| {
+            let pool = ShardPool::new(threads);
+            let mut lanes: Vec<(EventQueue<u64>, u64)> = (0..LANES)
+                .map(|_| {
+                    let mut q: EventQueue<u64> = EventQueue::new();
+                    for i in 0..RESIDENT_PER_LANE {
+                        q.schedule_in(delay(i), i);
+                    }
+                    (q, RESIDENT_PER_LANE)
+                })
+                .collect();
+            b.iter(|| {
+                pool.run(&mut lanes, |_, (q, i)| {
+                    for _ in 0..CYCLES_PER_LANE {
+                        let ev = q.pop().expect("resident population");
+                        q.schedule_in(delay(*i), ev.event);
+                        *i += 1;
+                    }
+                });
+                black_box(&lanes);
             })
         });
     }

@@ -1,0 +1,62 @@
+//! Benchmarks of the deterministic shard-merge barrier: per-shard outboxes
+//! drained and re-sequenced by `(time, src, seq)` between the parallel
+//! passes of the sharded query phase.
+//!
+//! The merge is the serial section of every sharded round, so its cost
+//! bounds the achievable thread speedup (Amdahl). The sweep varies the
+//! cross-shard traffic fraction from 0 (every message stays shard-local —
+//! the common case when queries are dealt to their key's group shard) to 1
+//! (every message crosses, the pathological all-remote workload); the fill
+//! work per iteration is identical across fractions, so differences are
+//! the merge's routing + sort cost alone.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_sim::{merge_outboxes, Outbox};
+use pdht_types::{mix64, SimTime};
+
+/// Shard count of the merge sweep (matches `sim_scale`'s sweep).
+const SHARDS: usize = 8;
+/// Messages each shard buffers per pass — the order of a busy round's
+/// query hand-off at the `sim_scale` configuration.
+const MSGS_PER_SHARD: u64 = 1_024;
+
+/// Fills every outbox with `MSGS_PER_SHARD` messages, a deterministic
+/// `cross_fraction` of which address a foreign shard.
+fn fill(outboxes: &mut [Outbox<u64>], cross_fraction: f64) {
+    let threshold = (cross_fraction * f64::from(u32::MAX)) as u64;
+    for s in 0..outboxes.len() {
+        for i in 0..MSGS_PER_SHARD {
+            let r = mix64(s as u64, i);
+            let dest = if (r & 0xffff_ffff) < threshold {
+                ((r >> 32) % SHARDS as u64) as u32
+            } else {
+                s as u32
+            };
+            let time = SimTime::from_micros(mix64(r, 0x5eed) % 1_000_000 + 1);
+            outboxes[s].push(dest, time, r);
+        }
+    }
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_merge/merge");
+    for (label, cross_fraction) in
+        [("cross_0", 0.0), ("cross_10", 0.1), ("cross_50", 0.5), ("cross_100", 1.0)]
+    {
+        group.bench_function(format!("{SHARDS}x{MSGS_PER_SHARD}_{label}"), |b| {
+            let mut outboxes: Vec<Outbox<u64>> =
+                (0..SHARDS).map(|s| Outbox::new(s as u32)).collect();
+            b.iter(|| {
+                // The merge drains the outboxes, so each iteration refills
+                // them — the fill cost is constant across fractions.
+                fill(&mut outboxes, cross_fraction);
+                let merged = merge_outboxes(outboxes.iter_mut(), SHARDS);
+                black_box(merged.iter().map(Vec::len).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

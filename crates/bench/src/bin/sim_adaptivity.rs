@@ -18,9 +18,10 @@ fn main() {
     let args = parse_sim_args();
     reject_peers_override(&args, "sim_adaptivity");
     println!(
-        "S3 configuration: overlay = {:?}, latency = {:?}{}",
+        "S3 configuration: overlay = {:?}, latency = {:?}, threads = {}{}",
         args.overlay,
         args.latency,
+        args.threads,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario = Scenario::table1_scaled(20); // 1 000 peers, 2 000 keys
@@ -44,8 +45,10 @@ fn main() {
     cfg.ttl_policy = TtlPolicy::Fixed(if args.smoke { 40 } else { 120 });
     cfg.purge_stride = 4;
     cfg.seed = 0xada_2004;
+    args.apply_shards(&mut cfg);
 
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    args.apply_threads(&mut net);
     net.run(total_rounds);
 
     let mut rows: Vec<Vec<String>> = Vec::new();

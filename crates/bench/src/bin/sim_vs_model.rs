@@ -40,7 +40,9 @@ fn run_strategy(
     cfg.seed = 0x51_2004;
     cfg.overlay = args.overlay;
     cfg.latency = args.latency;
+    args.apply_shards(&mut cfg);
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
+    args.apply_threads(&mut net);
     net.run(rounds);
     let rep = net.report(warmup, rounds - 1);
     if args.latency != LatencyConfig::Zero {
@@ -61,9 +63,10 @@ fn main() {
     let args = parse_sim_args();
     reject_peers_override(&args, "sim_vs_model");
     println!(
-        "S2 configuration: overlay = {:?}, latency = {:?}{}",
+        "S2 configuration: overlay = {:?}, latency = {:?}, threads = {}{}",
         args.overlay,
         args.latency,
+        args.threads,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario =
@@ -204,7 +207,9 @@ fn main() {
         cfg.overlay = args.overlay;
         cfg.latency = args.latency;
         cfg.ttl_policy = pdht_core::TtlPolicy::Fixed(ttl);
+        args.apply_shards(&mut cfg);
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        args.apply_threads(&mut net);
         net.run(rounds);
         let rep = net.report(warmup, rounds - 1);
         results.push(RunResult {

@@ -54,6 +54,22 @@ pub fn write_json(name: &str, body: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Extracts the first numeric value stored under `"key":` in
+/// `results/<name>.json`, or `None` if the file or key is absent. Good
+/// enough for the flat hand-rendered benchmark artifacts (no serde in this
+/// environment); bins use it to print deltas against the committed
+/// baseline before overwriting it.
+pub fn read_json_number(name: &str, key: &str) -> Option<f64> {
+    let body = fs::read_to_string(results_dir().join(format!("{name}.json"))).ok()?;
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Prints a fixed-width table: header row, separator, data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -112,6 +128,21 @@ mod tests {
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(f1(719.96), "720.0");
     }
+
+    #[test]
+    fn json_number_extraction() {
+        let p = write_json(
+            "unit_test_json_artifact",
+            "{\n  \"bench\": \"x\",\n  \"ms_per_round\": 41.625,\n  \"nested\": {\n    \
+             \"speedup\": 2.5\n  }\n}\n",
+        )
+        .unwrap();
+        assert_eq!(read_json_number("unit_test_json_artifact", "ms_per_round"), Some(41.625));
+        assert_eq!(read_json_number("unit_test_json_artifact", "speedup"), Some(2.5));
+        assert_eq!(read_json_number("unit_test_json_artifact", "absent"), None);
+        assert_eq!(read_json_number("no_such_file_at_all", "ms_per_round"), None);
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 /// Command-line flags shared by the simulation bins (S2/S3/S4): overlay
@@ -128,8 +159,26 @@ pub struct SimArgs {
     /// `--peers N`: override the scenario's total population (the S4 scale
     /// knob; `None` keeps each bin's default).
     pub peers: Option<u32>,
+    /// `--threads N`: shards + worker threads for the shard-parallel query
+    /// phase (default 1 = the single-threaded legacy engine). Bins set
+    /// `PdhtConfig::shards = N` and `set_threads(N)` together, so the
+    /// semantic universe and the executor scale in lockstep.
+    pub threads: u32,
     /// `--smoke`: shrink rounds/scale so CI can exercise the bin quickly.
     pub smoke: bool,
+}
+
+impl SimArgs {
+    /// Applies the `--threads` knob to a configuration (shard count) —
+    /// pair with [`SimArgs::apply_threads`] on the built network.
+    pub fn apply_shards(&self, cfg: &mut pdht_core::PdhtConfig) {
+        cfg.shards = self.threads.max(1);
+    }
+
+    /// Applies the `--threads` knob to a built network (worker count).
+    pub fn apply_threads(&self, net: &mut pdht_core::PdhtNetwork) {
+        net.set_threads(self.threads.max(1) as usize);
+    }
 }
 
 /// Parses the shared simulation flags from `std::env::args`, exiting with a
@@ -141,7 +190,7 @@ pub fn parse_sim_args() -> SimArgs {
         eprintln!(
             "usage: [--overlay trie|chord|kademlia] \
              [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] \
-             [--peers N] [--smoke]"
+             [--peers N] [--threads N] [--smoke]"
         );
         std::process::exit(2);
     };
@@ -149,6 +198,7 @@ pub fn parse_sim_args() -> SimArgs {
         overlay: OverlayKind::Trie,
         latency: LatencyConfig::Zero,
         peers: None,
+        threads: 1,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -172,6 +222,13 @@ pub fn parse_sim_args() -> SimArgs {
                 match v.parse::<u32>() {
                     Ok(n) if n >= 2 => args.peers = Some(n),
                     _ => usage(&format!("--peers needs an integer >= 2, got {v:?}")),
+                }
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage("--threads needs a value"));
+                match v.parse::<u32>() {
+                    Ok(n) if (1..=256).contains(&n) => args.threads = n,
+                    _ => usage(&format!("--threads needs an integer in 1..=256, got {v:?}")),
                 }
             }
             "--smoke" => args.smoke = true,

@@ -204,6 +204,13 @@ pub struct PdhtConfig {
     pub mean_degree: usize,
     /// Adjustment window (rounds) of the adaptive TTL controller.
     pub adaptive_window: u64,
+    /// Number of execution shards the engine partitions peers, replica
+    /// groups and the query pipeline into. `1` (the default) is the
+    /// single-threaded path with the historical RNG draw order; `S > 1`
+    /// splits workload/routing/latency draws onto per-shard streams — a
+    /// *semantic* knob: results depend on `S` but never on how many threads
+    /// execute the shards (see `PdhtNetwork::set_threads`).
+    pub shards: u32,
     /// Master seed; every component derives its own stream from it.
     pub seed: u64,
 }
@@ -229,6 +236,7 @@ impl PdhtConfig {
             background: BackgroundSchedule::default(),
             mean_degree: 5,
             adaptive_window: 50,
+            shards: 1,
             seed: DEFAULT_SEED,
         }
     }
@@ -279,6 +287,12 @@ impl PdhtConfig {
             });
         }
         self.background.validate()?;
+        if self.shards == 0 || self.shards > 256 {
+            return Err(PdhtError::InvalidConfig {
+                param: "shards",
+                reason: format!("must be in 1..=256, got {}", self.shards),
+            });
+        }
         if self.mean_degree < 2 {
             return Err(PdhtError::InvalidConfig {
                 param: "mean_degree",
@@ -353,6 +367,18 @@ mod tests {
 
         let mut c = base();
         c.background.ttl_jitter_us = MAX_BACKGROUND_JITTER_US;
+        assert!(c.validate().is_ok());
+
+        let mut c = base();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.shards = 257;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.shards = 256;
         assert!(c.validate().is_ok());
     }
 

@@ -23,6 +23,7 @@ use crate::config::{OverlayKind, PdhtConfig, Strategy};
 use crate::network::maintenance::UpdateCtx;
 use crate::network::peer::PeerStores;
 use crate::network::routing::QueryCtx;
+use crate::network::shard::ShardedState;
 use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
@@ -96,6 +97,11 @@ pub enum HookPoint {
         phase: RoundPhase,
     },
     /// A message-level event (arrival or timeout) is about to dispatch.
+    ///
+    /// Only fired on the single-shard path: with `cfg.shards > 1` message
+    /// events live on per-shard lane queues drained inside the parallel
+    /// query phase, where a shared mutable hook cannot run. Phase
+    /// boundaries keep firing at any shard count.
     BeforeMessage {
         /// The round the event fires in.
         round: u64,
@@ -157,7 +163,11 @@ const PHASES: [RoundPhase; 6] = [
 /// any of that phase's per-peer work dispatches (same-instant ties would
 /// put the rescheduled background events first, since their queue sequence
 /// numbers predate the round's phase events).
-const PHASE_SPACING_US: u64 = 10;
+pub(crate) const PHASE_SPACING_US: u64 = 10;
+
+/// Offset (µs past the round start) of the [`RoundPhase::Queries`] instant —
+/// the sharded query phase issues its merged batches at exactly this time.
+pub(crate) const QUERIES_OFFSET_US: u64 = 4 * PHASE_SPACING_US;
 
 /// Base offset (µs past the round start) of every
 /// [`NetEvent::PeerMaintenance`] event: one tick after the
@@ -239,7 +249,21 @@ pub struct PdhtNetwork {
     pub(crate) rng_search: SmallRng,
     pub(crate) rng_updates: SmallRng,
     pub(crate) rng_latency: SmallRng,
-    // Cumulative outcome counters.
+    /// Cumulative outcome counters (lane counters merge in here at the
+    /// sharded query barrier).
+    pub(crate) counters: Counters,
+    /// `(hits, misses)` already flushed to the adaptive-TTL controller —
+    /// the bookkeeping phase feeds it the delta since the previous round.
+    pub(crate) adaptive_seen: (u64, u64),
+    /// Shard-parallel execution state, present iff `cfg.shards > 1`.
+    /// `None` keeps the single-threaded legacy path bit-for-bit intact.
+    pub(crate) sharded: Option<ShardedState>,
+}
+
+/// Cumulative query-outcome counters. Plain sums, so per-shard lanes
+/// accumulate privately and merge commutatively at the round barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Counters {
     pub(crate) hits: u64,
     pub(crate) misses: u64,
     pub(crate) stale_hits: u64,
@@ -249,8 +273,24 @@ pub struct PdhtNetwork {
     pub(crate) query_timeouts: u64,
 }
 
+impl Counters {
+    /// Adds another counter set into this one (the shard-merge fold).
+    pub(crate) fn merge_from(&mut self, other: &Counters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_hits += other.stale_hits;
+        self.lookup_failures += other.lookup_failures;
+        self.search_failures += other.search_failures;
+        self.skipped_offline += other.skipped_offline;
+        self.query_timeouts += other.query_timeouts;
+    }
+}
+
 /// Aggregated results over a round window.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so determinism tests can assert bit-identical
+/// reports across thread counts.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// The window `[from, to]` in rounds.
     pub rounds: (u64, u64),
@@ -377,14 +417,44 @@ impl PdhtNetwork {
             }
             _ => s.stor as usize,
         };
-        let mut peers = PeerStores::new(nap, store_capacity, num_keys);
+        // Shard-parallel state: `cfg.shards` is a semantic knob (shards = 1
+        // is the bit-exact single-threaded engine), capped by the
+        // population so every shard owns at least one peer.
+        let s_eff = if cfg.shards <= 1 { 1 } else { (cfg.shards as usize).min(num_peers.max(1)) };
+        let sharded = if s_eff > 1 {
+            Some(ShardedState::new(s_eff, s.num_peers, overlay.as_deref(), &streams, cfg.admission))
+        } else {
+            None
+        };
+
+        let mut peers = match (&sharded, &overlay) {
+            (Some(st), Some(o)) => {
+                // Store shard = the shard of the key's replica group, so
+                // every store mutation a query performs is local to the
+                // shard executing it.
+                let assign: Vec<u16> = (0..nap)
+                    .map(|p| st.group_shard[o.group_of_peer(PeerId::from_idx(p))])
+                    .collect();
+                PeerStores::new_sharded(&assign, s_eff, store_capacity, num_keys)
+            }
+            (Some(_), None) => PeerStores::new_sharded(&[], s_eff, store_capacity, num_keys),
+            (None, _) => PeerStores::new(nap, store_capacity, num_keys),
+        };
 
         // Unstructured side.
         let topo = Topology::random(num_peers, cfg.mean_degree, &mut rng_build)?;
         let content = Replication::place(num_articles, s.repl as usize, num_peers, &mut rng_build)?;
 
-        // Processes.
-        let churn = ChurnModel::new(num_peers, cfg.churn, &mut streams.stream("churn"));
+        // Processes. Sharded engines give each churn shard its own RNG
+        // stream (`("churn", s)`), so shard calendars evolve independently
+        // of each other and of the single-stream legacy draw.
+        let churn = if let Some(st) = &sharded {
+            let mut init: Vec<SmallRng> =
+                (0..s_eff).map(|i| streams.indexed_stream("churn", i as u64)).collect();
+            ChurnModel::new_sharded(num_peers, cfg.churn, st.peer_shard.clone(), &mut init)
+        } else {
+            ChurnModel::new(num_peers, cfg.churn, &mut streams.stream("churn"))
+        };
         let updates = UpdateProcess::new(num_articles, 1.0 / s.f_upd.max(1e-12))?;
         let workload =
             QueryWorkload::new(num_keys, s.alpha, s.num_peers, cfg.f_qry, cfg.shift.clone())?;
@@ -465,13 +535,9 @@ impl PdhtNetwork {
             walk_scratch: VisitSet::new(num_peers),
             hook: None,
             events_dispatched: 0,
-            hits: 0,
-            misses: 0,
-            stale_hits: 0,
-            lookup_failures: 0,
-            search_failures: 0,
-            skipped_offline: 0,
-            query_timeouts: 0,
+            counters: Counters::default(),
+            adaptive_seen: (0, 0),
+            sharded,
         };
         net.schedule_background();
         Ok(net)
@@ -573,7 +639,29 @@ impl PdhtNetwork {
 
     /// Queries currently in flight (always 0 when every hop delay is zero).
     pub fn queries_in_flight(&self) -> usize {
-        self.inflight.len()
+        let lanes: usize =
+            self.sharded.as_ref().map_or(0, |st| st.lanes.iter().map(|l| l.inflight.len()).sum());
+        self.inflight.len() + lanes
+    }
+
+    /// Number of execution shards (1 = the single-threaded legacy engine).
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |st| st.shards)
+    }
+
+    /// Sets how many OS threads execute the sharded query phase. Purely an
+    /// executor knob: simulation results depend only on
+    /// [`PdhtConfig::shards`], never on the thread count, so any value
+    /// yields bit-identical output. No-op on unsharded engines.
+    pub fn set_threads(&mut self, threads: usize) {
+        if let Some(st) = &mut self.sharded {
+            st.pool.set_threads(threads);
+        }
+    }
+
+    /// The configured worker-thread count (1 on unsharded engines).
+    pub fn threads(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |st| st.pool.threads())
     }
 
     /// Update propagations currently in flight (always 0 when every hop
@@ -684,19 +772,26 @@ impl PdhtNetwork {
     /// Adaptive-TTL adjustment, gauges, and the round's metrics mark.
     fn phase_bookkeeping(&mut self, round: u64) {
         if let Some(ctl) = &mut self.adaptive {
+            // Flush the hit/miss delta accumulated since the last flush.
+            // The controller only counts, so batching a round's outcomes
+            // here is exactly the per-outcome `observe` calls it replaces —
+            // and it lets shard lanes count privately between barriers.
+            let (seen_hits, seen_misses) = self.adaptive_seen;
+            ctl.observe_n(self.counters.hits - seen_hits, self.counters.misses - seen_misses);
+            self.adaptive_seen = (self.counters.hits, self.counters.misses);
             if ctl.end_round() {
                 self.ttl_rounds = ctl.ttl_rounds();
             }
         }
         self.metrics.gauge("indexed_keys", Round(round), self.peers.distinct_keys() as f64);
         self.metrics.gauge("availability", Round(round), self.churn.liveness().availability());
-        self.metrics.gauge("hits", Round(round), self.hits as f64);
-        self.metrics.gauge("misses", Round(round), self.misses as f64);
-        self.metrics.gauge("search_failures", Round(round), self.search_failures as f64);
-        self.metrics.gauge("lookup_failures", Round(round), self.lookup_failures as f64);
-        self.metrics.gauge("stale_hits", Round(round), self.stale_hits as f64);
-        self.metrics.gauge("skipped_offline", Round(round), self.skipped_offline as f64);
-        self.metrics.gauge("query_timeouts", Round(round), self.query_timeouts as f64);
+        self.metrics.gauge("hits", Round(round), self.counters.hits as f64);
+        self.metrics.gauge("misses", Round(round), self.counters.misses as f64);
+        self.metrics.gauge("search_failures", Round(round), self.counters.search_failures as f64);
+        self.metrics.gauge("lookup_failures", Round(round), self.counters.lookup_failures as f64);
+        self.metrics.gauge("stale_hits", Round(round), self.counters.stale_hits as f64);
+        self.metrics.gauge("skipped_offline", Round(round), self.counters.skipped_offline as f64);
+        self.metrics.gauge("query_timeouts", Round(round), self.counters.query_timeouts as f64);
         self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
         self.metrics.mark_round(Round(round));
     }

@@ -68,7 +68,15 @@ impl PdhtNetwork {
     /// selection algorithm relies on replica flooding instead,
     /// Section 5.1).
     pub(crate) fn phase_churn(&mut self, round: u64) {
-        let transitions = self.churn.step_second(&mut self.rng_churn);
+        // Sharded engines drain the per-shard churn calendars serially in
+        // shard order, one RNG stream per shard — deterministic regardless
+        // of thread count (churn is cheap; parallelizing it would buy
+        // little and the liveness vector is shared).
+        let transitions = if let Some(st) = &mut self.sharded {
+            self.churn.step_second_sharded(&mut st.churn_rngs)
+        } else {
+            self.churn.step_second(&mut self.rng_churn)
+        };
         if self.cfg.strategy == Strategy::IndexAll {
             for (peer, now_online) in &transitions {
                 if *now_online && peer.idx() < self.nap {

@@ -22,6 +22,11 @@
 //! * [`maintenance`] — background work: churn transitions and rejoin
 //!   pulls, routing-table probe maintenance, TTL eviction sweeps, and
 //!   update propagation through replica gossip,
+//! * [`shard`] — shard-parallel rounds: with [`crate::PdhtConfig::shards`]
+//!   `> 1` the population splits into shards, each owning a query lane
+//!   (stores, RNG streams, event queue); the query phase generates and
+//!   executes work shard-parallel on a scoped thread pool with a
+//!   deterministic outbox merge between the passes,
 //! * [`engine`] — orchestration: round phases and query messages ride one
 //!   deterministic [`pdht_sim::EventQueue`] as [`NetEvent`]s dispatched in
 //!   virtual-time order, with [`pdht_sim::RoundDriver`] tracking the round
@@ -55,6 +60,7 @@ pub(crate) mod engine;
 pub(crate) mod maintenance;
 pub(crate) mod peer;
 pub(crate) mod routing;
+pub(crate) mod shard;
 
 pub use engine::{
     EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,

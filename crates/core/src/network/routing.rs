@@ -23,16 +23,29 @@
 //! identical. Non-zero delays interleave queries, let them cross round
 //! boundaries (observing churn and TTL expiry as they go), and populate
 //! the `query_hops` / `query_latency_us` histograms.
+//!
+//! # Execution lanes
+//!
+//! The pipeline itself is written against [`QueryExec`]: a split of the
+//! engine into a read-only [`QueryWorld`] (overlay, topology, liveness —
+//! shared by every shard) and a mutable [`QueryLane`] (stores, RNG
+//! streams, metrics, in-flight slab, event queue — exclusively owned).
+//! The single-threaded engine builds one exec over its own fields; the
+//! shard-parallel phase in [`super::shard`] builds one per shard, each
+//! wrapping that shard's lane state, and runs them on worker threads.
 
-use super::engine::{NetEvent, PdhtNetwork, QueryId};
+use super::engine::{Counters, NetEvent, PdhtNetwork, QueryId};
+use super::peer::ShardStores;
+use crate::admission::AdmissionFilter;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
-use pdht_gossip::{FloodWave, VersionedValue};
-use pdht_overlay::{HopOutcome, LookupState};
-use pdht_sim::Metrics;
-use pdht_types::{Key, MessageKind, PeerId, SimTime};
-use pdht_unstructured::{RandomWalk, SearchOutcome, WalkWave};
-use pdht_workload::Query;
+use pdht_gossip::{FloodWave, ReplicaGroup, VersionedValue};
+use pdht_overlay::{HopOutcome, LookupState, Overlay};
+use pdht_sim::{EventQueue, LatencyModel, Metrics, Slab, VisitSet};
+use pdht_types::{Key, Liveness, MessageKind, PeerId, SimTime};
+use pdht_unstructured::{RandomWalk, Replication, SearchOutcome, Topology, WalkWave};
+use pdht_workload::{Query, UpdateProcess};
+use rand::rngs::SmallRng;
 
 /// Why a broadcast search is running — determines how its outcome is
 /// accounted, mirroring the three broadcast call sites of the synchronous
@@ -122,20 +135,144 @@ pub(crate) enum StepFate {
     Next,
 }
 
+/// The shared, read-only side of query execution: every reference a
+/// pipeline step needs but never mutates, plus the copied configuration
+/// values. `Copy` so the shard dispatcher can hand the same world to every
+/// worker closure by value.
+#[derive(Clone, Copy)]
+pub(crate) struct QueryWorld<'a> {
+    pub(crate) overlay: Option<&'a dyn Overlay>,
+    pub(crate) live: &'a Liveness,
+    pub(crate) topo: &'a Topology,
+    pub(crate) content: &'a Replication,
+    pub(crate) updates: &'a UpdateProcess,
+    pub(crate) groups: &'a [ReplicaGroup],
+    pub(crate) keys: &'a [Key],
+    pub(crate) article_of: &'a [u32],
+    pub(crate) latency: &'a dyn LatencyModel,
+    pub(crate) strategy: Strategy,
+    pub(crate) walkers: usize,
+    /// `walk_budget_factor × num_peers`, precomputed.
+    pub(crate) walk_budget: u64,
+    pub(crate) nap: usize,
+    pub(crate) ttl_rounds: u64,
+    pub(crate) query_timeout_secs: Option<f64>,
+}
+
+/// The exclusively-owned, mutable side of query execution: one lane's
+/// stores, RNG streams, accounting, and virtual-time queue. The engine's
+/// own fields form the single legacy lane; each shard owns one of these
+/// between barriers.
+pub(crate) struct QueryLane<'a> {
+    pub(crate) stores: ShardStores<'a>,
+    pub(crate) admission: &'a mut AdmissionFilter,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) counters: &'a mut Counters,
+    pub(crate) rng_overlay: &'a mut SmallRng,
+    pub(crate) rng_search: &'a mut SmallRng,
+    pub(crate) rng_latency: &'a mut SmallRng,
+    pub(crate) scratch: &'a mut VisitSet,
+    pub(crate) inflight: &'a mut Slab<QueryCtx>,
+    pub(crate) events: &'a mut EventQueue<NetEvent>,
+}
+
+/// A world/lane pair: the complete capability set of the query pipeline.
+pub(crate) struct QueryExec<'a> {
+    pub(crate) world: QueryWorld<'a>,
+    pub(crate) lane: QueryLane<'a>,
+}
+
 impl PdhtNetwork {
     /// Query phase: issues the round's workload into the state machine.
     /// With zero hop latency every query completes inline, in issue order.
+    /// Sharded engines run the shard-parallel phase in [`super::shard`]
+    /// instead.
     pub(crate) fn phase_queries(&mut self, round: u64) {
-        let queries = self.workload.round_queries(round, &mut self.rng_workload);
-        for q in queries {
-            self.start_query(q, round);
+        if self.sharded.is_some() {
+            self.phase_queries_sharded(round);
+            return;
         }
+        let queries = self.workload.round_queries(round, &mut self.rng_workload);
+        let mut exec = self.query_exec();
+        for q in queries {
+            exec.start_query(q, round);
+        }
+    }
+
+    /// Advances the query whose message just landed (single-lane path;
+    /// sharded engines drain message events inside the query phase).
+    pub(crate) fn on_message_arrival(&mut self, id: QueryId, round: u64) {
+        self.query_exec().on_message_arrival(id, round);
+    }
+
+    /// Abandons an in-flight query whose deadline expired (single-lane
+    /// path).
+    pub(crate) fn on_query_timeout(&mut self, id: QueryId) {
+        self.query_exec().on_query_timeout(id);
+    }
+
+    /// Assembles a [`QueryExec`] over the engine's own fields: the legacy
+    /// single lane (store shard 0 is the whole population on unsharded
+    /// engines).
+    pub(crate) fn query_exec(&mut self) -> QueryExec<'_> {
+        let (slot, shards) = self.peers.split_mut();
+        QueryExec {
+            world: QueryWorld {
+                overlay: self.overlay.as_deref(),
+                live: self.churn.liveness(),
+                topo: &self.topo,
+                content: &self.content,
+                updates: &self.updates,
+                groups: &self.groups,
+                keys: &self.keys,
+                article_of: &self.article_of,
+                latency: self.latency.as_ref(),
+                strategy: self.cfg.strategy,
+                walkers: self.cfg.walkers,
+                walk_budget: u64::from(self.cfg.walk_budget_factor)
+                    * u64::from(self.cfg.scenario.num_peers),
+                nap: self.nap,
+                ttl_rounds: self.ttl_rounds,
+                query_timeout_secs: self.cfg.query_timeout_secs,
+            },
+            lane: QueryLane {
+                stores: ShardStores { slot, shard_id: 0, shard: &mut shards[0] },
+                admission: &mut self.admission,
+                metrics: &mut self.metrics,
+                counters: &mut self.counters,
+                rng_overlay: &mut self.rng_overlay,
+                rng_search: &mut self.rng_search,
+                rng_latency: &mut self.rng_latency,
+                scratch: &mut self.walk_scratch,
+                inflight: &mut self.inflight,
+                events: &mut self.events,
+            },
+        }
+    }
+}
+
+impl QueryExec<'_> {
+    /// Pops and dispatches every lane event due by `deadline` (inclusive) —
+    /// message arrivals and timeouts of this lane's in-flight queries — in
+    /// `(time, insertion)` order. Returns the number of events dispatched.
+    pub(crate) fn drain_until(&mut self, deadline: SimTime) -> u64 {
+        let mut dispatched = 0;
+        while let Some(scheduled) = self.lane.events.pop_until(deadline) {
+            dispatched += 1;
+            let round = scheduled.time.round().0;
+            match scheduled.event {
+                NetEvent::MessageArrival { query, .. } => self.on_message_arrival(query, round),
+                NetEvent::QueryTimeout { query } => self.on_query_timeout(query),
+                other => unreachable!("query lanes carry only message events, got {other:?}"),
+            }
+        }
+        dispatched
     }
 
     /// Advances the query whose message just landed. Arrivals for queries
     /// no longer in flight (answered or timed out) are ignored.
     pub(crate) fn on_message_arrival(&mut self, id: QueryId, round: u64) {
-        if let Some(ctx) = self.inflight.take(id) {
+        if let Some(ctx) = self.lane.inflight.take(id) {
             self.drive_query(ctx, round);
         }
     }
@@ -146,8 +283,8 @@ impl PdhtNetwork {
     /// its abandonment instant — dropping it would bias the percentiles
     /// toward the survivors.
     pub(crate) fn on_query_timeout(&mut self, id: QueryId) {
-        if let Some(ctx) = self.inflight.free(id) {
-            self.query_timeouts += 1;
+        if let Some(ctx) = self.lane.inflight.free(id) {
+            self.lane.counters.query_timeouts += 1;
             self.record_outcome(false, ctx.article, None);
             self.observe_query_done(ctx.steps, ctx.issued_at);
         }
@@ -155,15 +292,15 @@ impl PdhtNetwork {
 
     /// Issues one query: resolves its DHT entry (or starts a broadcast)
     /// and drives the state machine until it completes or goes in flight.
-    fn start_query(&mut self, q: Query, round: u64) {
-        if !self.churn.liveness().is_online(q.origin) {
-            self.skipped_offline += 1;
+    pub(crate) fn start_query(&mut self, q: Query, round: u64) {
+        if !self.world.live.is_online(q.origin) {
+            self.lane.counters.skipped_offline += 1;
             return;
         }
-        let key = self.keys[q.key_index];
-        let article = self.article_of[q.key_index];
+        let key = self.world.keys[q.key_index];
+        let article = self.world.article_of[q.key_index];
 
-        let stage = match self.cfg.strategy {
+        let stage = match self.world.strategy {
             Strategy::NoIndex => match self.begin_walk(q.origin, article) {
                 Ok(walk) => QueryStage::Walk { walk, mode: WalkMode::NoIndex },
                 Err(resolved) => {
@@ -174,7 +311,7 @@ impl PdhtNetwork {
             },
             Strategy::IndexAll | Strategy::Partial => match self.dht_entry(q.origin) {
                 Some(entry) => {
-                    let o = self.overlay.as_deref().expect("entry implies overlay");
+                    let o = self.world.overlay.expect("entry implies overlay");
                     QueryStage::Route { lookup: o.begin_lookup(entry, key) }
                 }
                 // Index unreachable: fall back to pure broadcast.
@@ -189,21 +326,21 @@ impl PdhtNetwork {
             },
         };
 
-        let is_partial = self.cfg.strategy == Strategy::Partial;
+        let is_partial = self.world.strategy == Strategy::Partial;
         let (entry, group) = match stage {
             QueryStage::Route { ref lookup } => (lookup.current, lookup.target_group),
             _ => (q.origin, 0),
         };
         let ctx = QueryCtx {
-            id: self.inflight.reserve(),
+            id: self.lane.inflight.reserve(),
             origin: q.origin,
             key,
             key_index: q.key_index,
             article,
             entry,
             group,
-            ttl: if is_partial { Ttl::Rounds(self.ttl_rounds) } else { Ttl::Infinite },
-            issued_at: self.events.now(),
+            ttl: if is_partial { Ttl::Rounds(self.world.ttl_rounds) } else { Ttl::Infinite },
+            issued_at: self.lane.events.now(),
             steps: 0,
             timeout_armed: false,
             stage,
@@ -218,21 +355,21 @@ impl PdhtNetwork {
         loop {
             match self.step_query(&mut ctx, round) {
                 StepFate::Done => {
-                    self.inflight.free(ctx.id);
+                    self.lane.inflight.free(ctx.id);
                     self.observe_query_done(ctx.steps, ctx.issued_at);
                     return;
                 }
                 StepFate::Next => {
                     ctx.steps += 1;
-                    let delay = self.latency.sample(&mut self.rng_latency);
+                    let delay = self.world.latency.sample(self.lane.rng_latency);
                     if delay == SimTime::ZERO {
                         continue;
                     }
                     if !ctx.timeout_armed {
                         // Armed before the first non-zero hop, when virtual
                         // time still equals the issue instant.
-                        if let Some(timeout) = self.cfg.query_timeout_secs {
-                            self.events.schedule_in(
+                        if let Some(timeout) = self.world.query_timeout_secs {
+                            self.lane.events.schedule_in(
                                 SimTime::from_secs_f64(timeout),
                                 NetEvent::QueryTimeout { query: ctx.id },
                             );
@@ -240,9 +377,9 @@ impl PdhtNetwork {
                         ctx.timeout_armed = true;
                     }
                     let event = NetEvent::MessageArrival { query: ctx.id, hop: ctx.steps };
-                    self.events.schedule_in(delay, event);
+                    self.lane.events.schedule_in(delay, event);
                     let id = ctx.id;
-                    self.inflight.park(id, ctx);
+                    self.lane.inflight.park(id, ctx);
                     return;
                 }
             }
@@ -252,16 +389,16 @@ impl PdhtNetwork {
     /// Queries resolved at their issue instant still count in the
     /// histograms (zero steps, zero latency).
     fn finish_inline(&mut self) {
-        let now = self.events.now();
+        let now = self.lane.events.now();
         self.observe_query_done(0, now);
     }
 
     /// The single place every finished (or abandoned) query enters the
     /// per-query histograms.
     fn observe_query_done(&mut self, steps: u32, issued_at: SimTime) {
-        self.metrics.observe("query_hops", u64::from(steps));
-        let elapsed = self.events.now().saturating_sub(issued_at);
-        self.metrics.observe("query_latency_us", elapsed.as_micros());
+        self.lane.metrics.observe("query_hops", u64::from(steps));
+        let elapsed = self.lane.events.now().saturating_sub(issued_at);
+        self.lane.metrics.observe("query_latency_us", elapsed.as_micros());
     }
 
     /// One step of the pipeline state machine, at the current virtual
@@ -270,11 +407,14 @@ impl PdhtNetwork {
         match ctx.stage {
             QueryStage::Route { lookup } => {
                 let mut lookup = lookup;
-                let outcome = {
-                    let o = self.overlay.as_deref().expect("routing implies overlay");
-                    let live = self.churn.liveness();
-                    o.next_hop(ctx.key, &mut lookup, live, &mut self.rng_overlay, &mut self.metrics)
-                };
+                let o = self.world.overlay.expect("routing implies overlay");
+                let outcome = o.next_hop(
+                    ctx.key,
+                    &mut lookup,
+                    self.world.live,
+                    self.lane.rng_overlay,
+                    self.lane.metrics,
+                );
                 match outcome {
                     Ok(HopOutcome::Forwarded(_)) => {
                         ctx.stage = QueryStage::Route { lookup };
@@ -282,7 +422,7 @@ impl PdhtNetwork {
                     }
                     Ok(HopOutcome::Arrived(responsible)) => {
                         // Local index check (refreshes TTL on hit).
-                        if let Some(v) = self.peers.get_and_refresh(
+                        if let Some(v) = self.lane.stores.get_and_refresh(
                             responsible,
                             ctx.key_index as u32,
                             round,
@@ -294,21 +434,21 @@ impl PdhtNetwork {
                         // Replica-subnetwork flood (Eq. 16) — the selection
                         // algorithm's consistency net. IndexAll uses it too
                         // (its replicas can drift during churn).
-                        let group = &self.groups[ctx.group];
-                        let peers = &self.peers;
+                        let group = &self.world.groups[ctx.group];
+                        let stores = &self.lane.stores;
                         let ki = ctx.key_index as u32;
                         let flood = group.flood_begin(
                             responsible,
                             |member_local| {
-                                peers.peek(group.members()[member_local], ki, round).is_some()
+                                stores.peek(group.members()[member_local], ki, round).is_some()
                             },
-                            self.churn.liveness(),
+                            self.world.live,
                         );
                         ctx.stage = QueryStage::Flood { flood };
                         StepFate::Next
                     }
                     Err(_) => {
-                        self.lookup_failures += 1;
+                        self.lane.counters.lookup_failures += 1;
                         self.walk_or_resolve(ctx, WalkMode::Fallback, round)
                     }
                 }
@@ -316,16 +456,16 @@ impl PdhtNetwork {
 
             QueryStage::Flood { ref mut flood } => {
                 let done = {
-                    let group = &self.groups[ctx.group];
-                    let peers = &self.peers;
+                    let group = &self.world.groups[ctx.group];
+                    let stores = &self.lane.stores;
                     let ki = ctx.key_index as u32;
                     group.flood_wave(
                         flood,
                         |member_local| {
-                            peers.peek(group.members()[member_local], ki, round).is_some()
+                            stores.peek(group.members()[member_local], ki, round).is_some()
                         },
-                        self.churn.liveness(),
-                        &mut self.metrics,
+                        self.world.live,
+                        self.lane.metrics,
                     )
                 };
                 if !done {
@@ -335,9 +475,12 @@ impl PdhtNetwork {
                     // The answer can expire while the flood sweeps the group
                     // (possible only with non-zero latency); that is just a
                     // miss.
-                    if let Some(v) =
-                        self.peers.get_and_refresh(answering, ctx.key_index as u32, round, ctx.ttl)
-                    {
+                    if let Some(v) = self.lane.stores.get_and_refresh(
+                        answering,
+                        ctx.key_index as u32,
+                        round,
+                        ctx.ttl,
+                    ) {
                         self.record_outcome(true, ctx.article, Some(v));
                         return StepFate::Done;
                     }
@@ -348,16 +491,15 @@ impl PdhtNetwork {
 
             QueryStage::Walk { ref mut walk, mode } => {
                 let wave = {
-                    let content = &self.content;
+                    let content = self.world.content;
                     let article = ctx.article as usize;
-                    let live = self.churn.liveness();
                     walk.wave(
-                        &self.topo,
+                        self.world.topo,
                         |p| content.is_holder(article, p),
-                        live,
-                        &mut self.rng_search,
-                        &mut self.metrics,
-                        &mut self.walk_scratch,
+                        self.world.live,
+                        self.lane.rng_search,
+                        self.lane.metrics,
+                        self.lane.scratch,
                     )
                 };
                 match wave {
@@ -372,12 +514,16 @@ impl PdhtNetwork {
                 // Hops of the insert route count as IndexInsert traffic,
                 // exactly as the synchronous pipeline recorded them.
                 let mut scratch = Metrics::new();
-                let outcome = {
-                    let o = self.overlay.as_deref().expect("overlay present");
-                    let live = self.churn.liveness();
-                    o.next_hop(ctx.key, &mut lookup, live, &mut self.rng_search, &mut scratch)
-                };
-                self.metrics
+                let o = self.world.overlay.expect("overlay present");
+                let outcome = o.next_hop(
+                    ctx.key,
+                    &mut lookup,
+                    self.world.live,
+                    self.lane.rng_search,
+                    &mut scratch,
+                );
+                self.lane
+                    .metrics
                     .record_n(MessageKind::IndexInsert, scratch.totals()[MessageKind::RouteHop]);
                 match outcome {
                     Ok(HopOutcome::Forwarded(_)) => {
@@ -386,15 +532,15 @@ impl PdhtNetwork {
                     }
                     Ok(HopOutcome::Arrived(at)) => {
                         let flood = {
-                            let group = &self.groups[ctx.group];
-                            let peers = &mut self.peers;
+                            let group = &self.world.groups[ctx.group];
+                            let stores = &mut self.lane.stores;
                             let ki = ctx.key_index as u32;
                             let key = ctx.key;
                             let ttl = ctx.ttl;
                             group.flood_begin(
                                 at,
                                 |member_local| {
-                                    peers.insert(
+                                    stores.insert(
                                         group.members()[member_local],
                                         ki,
                                         key,
@@ -404,7 +550,7 @@ impl PdhtNetwork {
                                     );
                                     false
                                 },
-                                self.churn.liveness(),
+                                self.world.live,
                             )
                         };
                         ctx.stage = QueryStage::InsertFlood { flood, value };
@@ -421,19 +567,26 @@ impl PdhtNetwork {
 
             QueryStage::InsertFlood { ref mut flood, value } => {
                 let done = {
-                    let group = &self.groups[ctx.group];
-                    let peers = &mut self.peers;
+                    let group = &self.world.groups[ctx.group];
+                    let stores = &mut self.lane.stores;
                     let ki = ctx.key_index as u32;
                     let key = ctx.key;
                     let ttl = ctx.ttl;
                     group.flood_wave(
                         flood,
                         |member_local| {
-                            peers.insert(group.members()[member_local], ki, key, value, round, ttl);
+                            stores.insert(
+                                group.members()[member_local],
+                                ki,
+                                key,
+                                value,
+                                round,
+                                ttl,
+                            );
                             false
                         },
-                        self.churn.liveness(),
-                        &mut self.metrics,
+                        self.world.live,
+                        self.lane.metrics,
                     )
                 };
                 if done {
@@ -474,25 +627,25 @@ impl PdhtNetwork {
             }
             WalkMode::IndexMiss => {
                 if !found {
-                    self.search_failures += 1;
+                    self.lane.counters.search_failures += 1;
                     self.record_outcome(false, ctx.article, None);
                     return StepFate::Done;
                 }
                 let value = VersionedValue {
-                    version: self.updates.version(ctx.article),
+                    version: self.world.updates.version(ctx.article),
                     data: ctx.key_index as u64,
                 };
                 // Admission check: the paper admits every miss; the
                 // frequency-aware extension requires a repeat miss first.
-                let is_partial = self.cfg.strategy == Strategy::Partial;
-                if is_partial && !self.admission.on_miss(ctx.key, round) {
+                let is_partial = self.world.strategy == Strategy::Partial;
+                if is_partial && !self.lane.admission.on_miss(ctx.key, round) {
                     self.record_outcome(false, ctx.article, None);
                     return StepFate::Done;
                 }
                 // Insert the result at the responsible replicas (routed from
                 // the entry peer, counted as IndexInsert, then replica
                 // flood).
-                let o = self.overlay.as_deref().expect("overlay present");
+                let o = self.world.overlay.expect("overlay present");
                 ctx.stage =
                     QueryStage::InsertRoute { lookup: o.begin_lookup(ctx.entry, ctx.key), value };
                 StepFate::Next
@@ -505,14 +658,14 @@ impl PdhtNetwork {
         match mode {
             WalkMode::NoIndex => {
                 if found {
-                    self.misses += 1; // every query is a "miss" in index terms
+                    self.lane.counters.misses += 1; // every query is a "miss" in index terms
                 } else {
-                    self.search_failures += 1;
+                    self.lane.counters.search_failures += 1;
                 }
             }
             WalkMode::Fallback => {
                 if !found {
-                    self.search_failures += 1;
+                    self.lane.counters.search_failures += 1;
                 }
                 self.record_outcome(false, article, None);
             }
@@ -521,50 +674,46 @@ impl PdhtNetwork {
     }
 
     /// Begins a k-random-walk broadcast for a holder of `article` from
-    /// `origin` (visited state lives in the engine-owned scratch set);
+    /// `origin` (visited state lives in the lane-owned scratch set);
     /// `Err` is the immediately resolved outcome.
     fn begin_walk(&mut self, origin: PeerId, article: u32) -> Result<RandomWalk, SearchOutcome> {
-        let budget =
-            u64::from(self.cfg.walk_budget_factor) * u64::from(self.cfg.scenario.num_peers);
-        let live = self.churn.liveness();
-        let content = &self.content;
+        let content = self.world.content;
         RandomWalk::begin(
-            &self.topo,
+            self.world.topo,
             origin,
-            self.cfg.walkers,
-            budget,
+            self.world.walkers,
+            self.world.walk_budget,
             |p| content.is_holder(article as usize, p),
-            live,
-            &mut self.walk_scratch,
+            self.world.live,
+            self.lane.scratch,
         )
     }
 
     /// Finds an online DHT peer to hand the query to; free if the origin
     /// itself participates, one `QueryEntry` message otherwise.
     fn dht_entry(&mut self, origin: PeerId) -> Option<PeerId> {
-        let o = self.overlay.as_deref()?;
-        let live = self.churn.liveness();
-        if origin.idx() < self.nap && live.is_online(origin) {
+        let o = self.world.overlay?;
+        if origin.idx() < self.world.nap && self.world.live.is_online(origin) {
             return Some(origin);
         }
-        let entry = o.entry_peer(live, &mut self.rng_overlay)?;
-        self.metrics.record(MessageKind::QueryEntry);
+        let entry = o.entry_peer(self.world.live, self.lane.rng_overlay)?;
+        self.lane.metrics.record(MessageKind::QueryEntry);
         Some(entry)
     }
 
+    /// Outcome bookkeeping. The adaptive-TTL controller no longer observes
+    /// here — the engine flushes the counter deltas at the bookkeeping
+    /// phase, outside any parallel section.
     fn record_outcome(&mut self, hit: bool, article: u32, value: Option<VersionedValue>) {
         if hit {
-            self.hits += 1;
+            self.lane.counters.hits += 1;
             if let Some(v) = value {
-                if v.version < self.updates.version(article) {
-                    self.stale_hits += 1;
+                if v.version < self.world.updates.version(article) {
+                    self.lane.counters.stale_hits += 1;
                 }
             }
         } else {
-            self.misses += 1;
-        }
-        if let Some(ctl) = &mut self.adaptive {
-            ctl.observe(hit);
+            self.lane.counters.misses += 1;
         }
     }
 }

@@ -122,6 +122,16 @@ impl AdaptiveTtl {
         }
     }
 
+    /// Records a batch of query outcomes at once — how the engine flushes a
+    /// round's accumulated hit/miss deltas at the bookkeeping boundary.
+    /// Observation order never matters (the controller only counts), so
+    /// this is exactly `hits + misses` individual [`AdaptiveTtl::observe`]
+    /// calls.
+    pub fn observe_n(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
     /// Ends one round; every `window` rounds the controller compares the
     /// window's hit rate with the target and adjusts multiplicatively.
     /// Returns `true` if the TTL changed.

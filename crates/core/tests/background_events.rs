@@ -32,14 +32,26 @@ fn busy_cfg(kind: OverlayKind, strategy: Strategy) -> PdhtConfig {
     cfg
 }
 
-/// Per-kind cumulative totals in [`MessageKind::ALL`] order.
+/// Per-kind cumulative totals in [`MessageKind::ALL`] order, checked to be
+/// identical at every thread count (`--threads` is a pure executor knob;
+/// under the default `shards = 1` the engine takes the single-threaded
+/// path regardless).
 fn run_totals(cfg: PdhtConfig, rounds: u64) -> [u64; MessageKind::COUNT] {
-    let mut net = PdhtNetwork::new(cfg).expect("network builds");
-    net.run(rounds);
-    let totals = net.metrics().totals();
     let mut out = [0u64; MessageKind::COUNT];
-    for (i, &k) in MessageKind::ALL.iter().enumerate() {
-        out[i] = totals[k];
+    for threads in [1usize, 2, 4, 8] {
+        let mut net = PdhtNetwork::new(cfg.clone()).expect("network builds");
+        net.set_threads(threads);
+        net.run(rounds);
+        let totals = net.metrics().totals();
+        let mut vec = [0u64; MessageKind::COUNT];
+        for (i, &k) in MessageKind::ALL.iter().enumerate() {
+            vec[i] = totals[k];
+        }
+        if threads == 1 {
+            out = vec;
+        } else {
+            assert_eq!(vec, out, "thread count {threads} changed the accounting");
+        }
     }
     out
 }

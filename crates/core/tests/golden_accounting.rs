@@ -10,18 +10,32 @@ use pdht_core::{LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, Strategy};
 use pdht_model::Scenario;
 use pdht_types::MessageKind;
 
-/// Per-kind cumulative totals in [`MessageKind::ALL`] order.
+/// Per-kind cumulative totals in [`MessageKind::ALL`] order. Each golden
+/// vector must reproduce at every thread count — `--threads` is a pure
+/// executor knob, so the worker count can never move a single message
+/// count. (With the default `shards = 1` the engine takes the
+/// single-threaded path regardless; the sharded-semantics equivalents live
+/// in `sharded_determinism.rs`.)
 fn run_totals(kind: OverlayKind, strategy: Strategy) -> [u64; MessageKind::COUNT] {
-    let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, strategy);
-    cfg.overlay = kind;
-    cfg.seed = 0x601d;
-    cfg.latency = LatencyConfig::Zero;
-    let mut net = PdhtNetwork::new(cfg).expect("network builds");
-    net.run(40);
-    let totals = net.metrics().totals();
     let mut out = [0u64; MessageKind::COUNT];
-    for (i, &k) in MessageKind::ALL.iter().enumerate() {
-        out[i] = totals[k];
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 30.0, strategy);
+        cfg.overlay = kind;
+        cfg.seed = 0x601d;
+        cfg.latency = LatencyConfig::Zero;
+        let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        net.set_threads(threads);
+        net.run(40);
+        let totals = net.metrics().totals();
+        let mut vec = [0u64; MessageKind::COUNT];
+        for (i, &k) in MessageKind::ALL.iter().enumerate() {
+            vec[i] = totals[k];
+        }
+        if threads == 1 {
+            out = vec;
+        } else {
+            assert_eq!(vec, out, "thread count {threads} changed the accounting");
+        }
     }
     out
 }

@@ -61,17 +61,31 @@ impl ChurnConfig {
 /// each drains all its toggles in the window before the next peer, which
 /// is exactly the draw order of the old full scan (draws only happen on
 /// toggles), so seeded runs stay bit-for-bit identical.
+///
+/// # Sharding
+///
+/// For the shard-parallel engine the calendar can be split per shard
+/// ([`ChurnModel::new_sharded`]): every peer belongs to a fixed shard, each
+/// shard keeps its own calendar, and both the initial steady-state draws
+/// and every subsequent toggle draw come from that shard's dedicated RNG
+/// stream. Shards are visited in ascending shard order (peers ascending
+/// within each shard), so the transition sequence is deterministic and —
+/// because no stream is shared — independent of how many threads the engine
+/// uses elsewhere. The unsharded constructor is the single-shard special
+/// case and reproduces the historical draw order bit-for-bit.
 pub struct ChurnModel {
     cfg: ChurnConfig,
     liveness: Liveness,
     /// Absolute second at which each peer next toggles (`f64::INFINITY` for
     /// static configurations).
     next_toggle: Vec<f64>,
-    /// Round → peers filed to toggle in that round. Entries are
+    /// Per-shard: round → peers filed to toggle in that round. Entries are
     /// lazy-deleted: re-filing a peer (e.g. [`ChurnModel::force_blackout`])
     /// just updates `bucket_of`, and stale calendar entries are skipped
     /// when their round is processed.
-    calendar: BTreeMap<u64, Vec<u32>>,
+    calendars: Vec<BTreeMap<u64, Vec<u32>>>,
+    /// The shard each peer's toggles are filed (and drawn) under.
+    shard_of: Vec<u16>,
     /// The calendar round each peer is currently (validly) filed under.
     bucket_of: Vec<u64>,
     now_secs: f64,
@@ -84,24 +98,51 @@ impl ChurnModel {
     /// steady-state distribution so experiments start in equilibrium rather
     /// than with everyone online.
     pub fn new(n: usize, cfg: ChurnConfig, rng: &mut SmallRng) -> ChurnModel {
+        Self::new_sharded(n, cfg, vec![0; n], std::slice::from_mut(rng))
+    }
+
+    /// Creates the model with per-shard calendars and RNG streams:
+    /// `shard_of[i]` names the shard whose stream peer `i` draws from, and
+    /// `rngs[s]` is shard `s`'s stream. Initial draws happen shard by shard
+    /// (ascending), peers ascending within each shard.
+    ///
+    /// # Panics
+    /// Panics if `shard_of` is not `n` long or names a shard `>= rngs.len()`.
+    pub fn new_sharded(
+        n: usize,
+        cfg: ChurnConfig,
+        shard_of: Vec<u16>,
+        rngs: &mut [SmallRng],
+    ) -> ChurnModel {
+        assert_eq!(shard_of.len(), n, "shard_of must cover the population");
+        let num_shards = rngs.len();
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for (i, &s) in shard_of.iter().enumerate() {
+            by_shard[s as usize].push(i as u32);
+        }
         let mut liveness = Liveness::all_online(n);
         let mut next_toggle = vec![f64::INFINITY; n];
         if !cfg.is_static() {
             let p_online = cfg.availability();
-            for (i, toggle) in next_toggle.iter_mut().enumerate() {
-                let online = rand::Rng::random::<f64>(rng) < p_online;
-                liveness.set(PeerId::from_idx(i), online);
-                let mean = if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
-                // Exponential residual life (memorylessness makes the
-                // residual the same distribution as a full session).
-                *toggle = exponential(rng, 1.0 / mean);
+            for (s, members) in by_shard.iter().enumerate() {
+                let rng = &mut rngs[s];
+                for &p in members {
+                    let i = p as usize;
+                    let online = rand::Rng::random::<f64>(rng) < p_online;
+                    liveness.set(PeerId::from_idx(i), online);
+                    let mean = if online { cfg.mean_online_secs } else { cfg.mean_offline_secs };
+                    // Exponential residual life (memorylessness makes the
+                    // residual the same distribution as a full session).
+                    next_toggle[i] = exponential(rng, 1.0 / mean);
+                }
             }
         }
         let mut model = ChurnModel {
             cfg,
             liveness,
             next_toggle,
-            calendar: BTreeMap::new(),
+            calendars: vec![BTreeMap::new(); num_shards],
+            shard_of,
             bucket_of: vec![u64::MAX; n],
             now_secs: 0.0,
             round: 0,
@@ -115,13 +156,18 @@ impl ChurnModel {
         model
     }
 
-    /// Files peer `i` in the calendar bucket of the round its next toggle
-    /// falls in, superseding any previous (now stale) filing.
+    /// Files peer `i` in its shard's calendar bucket of the round its next
+    /// toggle falls in, superseding any previous (now stale) filing.
     fn file(&mut self, i: usize) {
         // `as` saturates, so enormous draws file in a never-reached round.
         let bucket = self.next_toggle[i].floor() as u64;
         self.bucket_of[i] = bucket;
-        self.calendar.entry(bucket).or_default().push(i as u32);
+        self.calendars[self.shard_of[i] as usize].entry(bucket).or_default().push(i as u32);
+    }
+
+    /// Number of calendar shards (1 for [`ChurnModel::new`]).
+    pub fn num_shards(&self) -> usize {
+        self.calendars.len()
     }
 
     /// Current liveness view.
@@ -142,6 +188,21 @@ impl ChurnModel {
     /// ascending peer index, the old full scan's order), so the cost is
     /// O(transitions log transitions), not O(population).
     pub fn step_second(&mut self, rng: &mut SmallRng) -> Vec<(PeerId, bool)> {
+        self.step_second_sharded(std::slice::from_mut(rng))
+    }
+
+    /// The sharded form of [`ChurnModel::step_second`]: shard `s`'s due
+    /// bucket is drained with `rngs[s]`, shards visited in ascending order.
+    /// The drain itself is serial (churn is far off the hot path); splitting
+    /// the calendars exists to keep each shard's toggle draws on its own
+    /// stream, so the rest of the engine can consume those streams from
+    /// worker threads without perturbing churn.
+    ///
+    /// # Panics
+    /// Panics if `rngs.len()` differs from the shard count the model was
+    /// built with.
+    pub fn step_second_sharded(&mut self, rngs: &mut [SmallRng]) -> Vec<(PeerId, bool)> {
+        assert_eq!(rngs.len(), self.calendars.len(), "one rng stream per churn shard");
         if self.cfg.is_static() {
             self.now_secs += 1.0;
             self.round += 1;
@@ -149,7 +210,11 @@ impl ChurnModel {
         }
         let end = self.now_secs + 1.0;
         let mut transitions = Vec::new();
-        if let Some(mut due) = self.calendar.remove(&self.round) {
+        for s in 0..self.calendars.len() {
+            let Some(mut due) = self.calendars[s].remove(&self.round) else {
+                continue;
+            };
+            let rng = &mut rngs[s];
             // Filing order is arbitrary (and re-filed peers can appear
             // twice); the RNG draw order must match the old ascending
             // full scan exactly.
@@ -376,6 +441,60 @@ mod tests {
                 assert_eq!(cal.liveness().is_online(PeerId(i)), refm.liveness.is_online(PeerId(i)));
             }
         }
+    }
+
+    #[test]
+    fn single_shard_constructor_is_the_legacy_model() {
+        let cfg = ChurnConfig::gnutella_like();
+        let mut r_a = SmallRng::seed_from_u64(99);
+        let mut r_b = SmallRng::seed_from_u64(99);
+        let mut a = ChurnModel::new(300, cfg, &mut r_a);
+        let mut b = ChurnModel::new_sharded(300, cfg, vec![0; 300], std::slice::from_mut(&mut r_b));
+        assert_eq!(a.num_shards(), 1);
+        for _ in 0..50 {
+            assert_eq!(
+                a.step_second(&mut r_a),
+                b.step_second_sharded(std::slice::from_mut(&mut r_b))
+            );
+        }
+    }
+
+    #[test]
+    fn shards_evolve_on_independent_streams() {
+        // Shard 0's peers must behave exactly as a standalone model fed the
+        // same stream, no matter what shard 1 does — that independence is
+        // what lets the sharded engine consume other streams from worker
+        // threads without perturbing churn.
+        let cfg = ChurnConfig { mean_online_secs: 40.0, mean_offline_secs: 20.0 };
+        let n0 = 250usize;
+        let n1 = 150usize;
+        let shard_of: Vec<u16> = (0..n0 + n1).map(|i| if i < n0 { 0 } else { 1 }).collect();
+        let mut combined_rngs = vec![SmallRng::seed_from_u64(11), SmallRng::seed_from_u64(22)];
+        let mut combined = ChurnModel::new_sharded(n0 + n1, cfg, shard_of, &mut combined_rngs);
+        let mut solo_rng = SmallRng::seed_from_u64(11);
+        let mut solo = ChurnModel::new(n0, cfg, &mut solo_rng);
+        for round in 0..200 {
+            let both = combined.step_second_sharded(&mut combined_rngs);
+            let shard0: Vec<(PeerId, bool)> =
+                both.into_iter().filter(|&(p, _)| (p.0 as usize) < n0).collect();
+            let expect = solo.step_second(&mut solo_rng);
+            assert_eq!(shard0, expect, "shard-0 transitions diverged in round {round}");
+        }
+        for i in 0..n0 {
+            assert_eq!(
+                combined.liveness().is_online(PeerId(i as u32)),
+                solo.liveness().is_online(PeerId(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one rng stream per churn shard")]
+    fn sharded_step_checks_stream_count() {
+        let cfg = ChurnConfig::gnutella_like();
+        let mut rngs = vec![SmallRng::seed_from_u64(1), SmallRng::seed_from_u64(2)];
+        let mut c = ChurnModel::new_sharded(10, cfg, vec![0; 10], &mut rngs[..1]);
+        c.step_second_sharded(&mut rngs);
     }
 
     #[test]

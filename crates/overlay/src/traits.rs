@@ -64,7 +64,12 @@ pub enum HopOutcome {
 /// * `responsible_group(key) == group_members(group_of_key(key))`,
 /// * `is_responsible(p, key)` ⇔ `group_of_peer(p) == group_of_key(key)`
 ///   (routing terminates exactly when it reaches the key's group).
-pub trait Overlay {
+///
+/// `Send + Sync` is a supertrait: the shard-parallel engine routes lookups
+/// through a shared `&dyn Overlay` from multiple worker threads (all
+/// routing methods take `&self`; mutation happens only in the serial
+/// maintenance phase).
+pub trait Overlay: Send + Sync {
     /// Number of peers participating in the overlay (`numActivePeers`).
     fn num_active(&self) -> usize;
 

@@ -16,7 +16,10 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Assigns each message hop a virtual-time delay.
-pub trait LatencyModel {
+///
+/// `Send + Sync` is a supertrait so sharded engines can sample latencies
+/// from multiple worker threads (each with its own RNG stream).
+pub trait LatencyModel: Send + Sync {
     /// Delay for one forwarded message (or one parallel wave of messages).
     fn sample(&self, rng: &mut SmallRng) -> SimTime;
 }

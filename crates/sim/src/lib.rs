@@ -16,6 +16,9 @@
 //!   `rand` (the offline set has no `rand_distr`),
 //! * [`RoundDriver`] — a helper that advances simulations round-by-round
 //!   and snapshots metrics at each boundary,
+//! * [`shard`] — shard-parallel execution primitives: a scoped-thread
+//!   [`ShardPool`] plus deterministic cross-shard [`Outbox`]es merged by
+//!   `(time, src, seq)`, so parallel rounds stay bit-reproducible,
 //! * [`Slab`] — a generational slab for in-flight per-query/per-update
 //!   contexts, so event dispatch parks and resumes state allocation-free,
 //! * [`VisitSet`] — a generation-stamped membership set, so per-query
@@ -26,6 +29,7 @@ pub mod latency;
 pub mod metrics;
 pub mod random;
 pub mod scratch;
+pub mod shard;
 pub mod slab;
 pub(crate) mod wheel;
 
@@ -33,4 +37,5 @@ pub use event::{EventQueue, HeapEventQueue, Scheduled};
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
 pub use metrics::{Histogram, HistogramSummary, Metrics, RoundDriver};
 pub use scratch::VisitSet;
+pub use shard::{merge_outboxes, OutMsg, Outbox, ShardPool};
 pub use slab::{Slab, SlabKey};

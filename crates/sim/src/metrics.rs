@@ -177,6 +177,30 @@ impl Metrics {
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
     }
+
+    /// Folds another metrics object's message counters and histograms into
+    /// this one. The shard-parallel engine accumulates per-lane metrics and
+    /// merges them at round barriers; merging is additive, so the result is
+    /// independent of merge order.
+    ///
+    /// `other` must carry only counters and histograms — round marks and
+    /// gauges are boundary bookkeeping that belongs to the owner of the
+    /// round clock.
+    ///
+    /// # Panics
+    /// Panics if `other` has round marks or gauges.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        assert!(
+            other.round_marks.is_empty() && other.gauges.is_empty(),
+            "merge_from expects counter/histogram-only metrics"
+        );
+        for (kind, n) in other.msgs.iter() {
+            self.msgs.add(kind, n);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name).or_default().merge_from(hist);
+        }
+    }
 }
 
 /// A compact fixed-bucket histogram for small non-negative integers
@@ -216,6 +240,20 @@ impl Histogram {
             let bucket = bucket.min(self.coarse.len() - 1);
             self.coarse[bucket] += 1;
         }
+    }
+
+    /// Adds every observation of `other` into this histogram. Buckets are
+    /// counts, so merging is exact and order-independent.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (a, b) in self.exact.iter_mut().zip(other.exact.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.coarse.iter_mut().zip(other.coarse.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Number of observations.
@@ -440,6 +478,56 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!((h.mean() - 5.0).abs() < 1e-12);
         assert!(m.histogram("none").is_none());
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, v) in [1u64, 2, 2, 63, 64, 100, 5000].iter().enumerate() {
+            whole.record(*v);
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.summary(), whole.summary());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn metrics_merge_folds_counters_and_histograms() {
+        let mut base = Metrics::new();
+        base.record_n(MK::Probe, 3);
+        base.observe("hops", 2);
+        let mut lane = Metrics::new();
+        lane.record_n(MK::Probe, 4);
+        lane.record(MK::RouteHop);
+        lane.observe("hops", 6);
+        lane.observe("walk", 1);
+        base.merge_from(&lane);
+        assert_eq!(base.totals()[MK::Probe], 7);
+        assert_eq!(base.totals()[MK::RouteHop], 1);
+        assert_eq!(base.histogram("hops").unwrap().count(), 2);
+        assert_eq!(base.histogram("walk").unwrap().count(), 1);
+        // The lane itself is untouched (callers mem::take it anyway).
+        assert_eq!(lane.totals()[MK::Probe], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter/histogram-only")]
+    fn metrics_merge_rejects_marked_lanes() {
+        let mut base = Metrics::new();
+        let mut lane = Metrics::new();
+        lane.mark_round(Round(0));
+        base.merge_from(&lane);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Shard-parallel execution primitives: a scoped-thread pool and
+//! deterministic cross-shard outboxes.
+//!
+//! The sharded engine partitions simulation state into `S` independent
+//! shards and runs each round's shard work in parallel on std threads
+//! (the offline crate set has no rayon). Two invariants make the results
+//! independent of the thread count:
+//!
+//! 1. **Disjoint state.** [`ShardPool::run`] hands each task exclusive
+//!    `&mut` access to its shard; shards share nothing mutable, so the
+//!    execution schedule cannot reorder any shard's internal work.
+//! 2. **Deterministic barriers.** Work crossing shard boundaries is pushed
+//!    into per-shard [`Outbox`]es and merged at a barrier by
+//!    [`merge_outboxes`]: messages are re-sequenced by
+//!    `(SimTime, source shard, per-source sequence)` — a total order fixed
+//!    by the *logical* computation, not by which thread finished first.
+//!
+//! Together: any interleaving of shard executions produces the same
+//! per-shard state and the same merged message order, so downstream
+//! accounting is bit-for-bit identical at any thread count (including a
+//! pool of one, which runs inline on the calling thread).
+
+use pdht_types::SimTime;
+use std::sync::Mutex;
+
+/// A minimal scoped-thread work pool over per-shard tasks.
+///
+/// With `threads <= 1` (or a single task) everything runs inline on the
+/// calling thread — the zero-overhead path the default configuration uses.
+pub struct ShardPool {
+    threads: usize,
+}
+
+impl ShardPool {
+    /// A pool that dispatches on up to `threads` worker threads
+    /// (`0` is treated as `1`).
+    pub fn new(threads: usize) -> ShardPool {
+        ShardPool { threads: threads.max(1) }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the thread count (`0` is treated as `1`). Purely an
+    /// executor knob: results must not depend on it.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Runs `f(index, task)` exactly once for every task, in parallel on up
+    /// to [`ShardPool::threads`] scoped threads. Tasks are claimed from a
+    /// shared queue, so any worker may execute any task — callers must not
+    /// depend on assignment or completion order (determinism comes from the
+    /// disjoint-state + barrier-merge discipline, see the module docs).
+    ///
+    /// # Panics
+    /// Propagates panics from `f` (the scope joins all workers).
+    pub fn run<T, F>(&self, tasks: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let workers = self.threads.min(tasks.len());
+        if workers <= 1 {
+            for (i, task) in tasks.iter_mut().enumerate() {
+                f(i, task);
+            }
+            return;
+        }
+        let queue = Mutex::new(tasks.iter_mut().enumerate());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Claim under the lock, run outside it.
+                    let claimed = queue.lock().expect("shard pool worker panicked").next();
+                    match claimed {
+                        Some((i, task)) => f(i, task),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// One message buffered for another shard: re-sequencing metadata plus the
+/// payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutMsg<T> {
+    /// Destination shard.
+    pub dest: u32,
+    /// Virtual time the message is due at its destination.
+    pub time: SimTime,
+    /// Source shard (fixed merge tie-break after `time`).
+    pub src: u32,
+    /// Per-source issue sequence (final tie-break; reflects the source
+    /// shard's deterministic issue order).
+    pub seq: u64,
+    /// The message itself.
+    pub payload: T,
+}
+
+/// A per-shard outbox: messages a shard produced for other shards during
+/// one parallel pass, awaiting the barrier merge.
+pub struct Outbox<T> {
+    src: u32,
+    entries: Vec<OutMsg<T>>,
+    seq: u64,
+}
+
+impl<T> Outbox<T> {
+    /// An empty outbox owned by source shard `src`.
+    pub fn new(src: u32) -> Outbox<T> {
+        Outbox { src, entries: Vec::new(), seq: 0 }
+    }
+
+    /// The owning source shard.
+    pub fn src(&self) -> u32 {
+        self.src
+    }
+
+    /// Buffers `payload` for shard `dest` at virtual time `time`.
+    pub fn push(&mut self, dest: u32, time: SimTime, payload: T) {
+        self.entries.push(OutMsg { dest, time, src: self.src, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Buffered messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Barrier merge: drains every outbox (visited in the fixed slice order)
+/// and returns, per destination shard, its inbound messages sorted by
+/// `(time, src, seq)`.
+///
+/// The sort key is a total order over all messages that depends only on
+/// what each shard produced — never on thread scheduling — so the merged
+/// sequence is identical at any thread count. Outboxes come back empty
+/// with their sequence counters reset, ready for the next pass.
+///
+/// # Panics
+/// Panics if any message addresses a destination `>= dests`.
+pub fn merge_outboxes<'a, T, I>(outboxes: I, dests: usize) -> Vec<Vec<OutMsg<T>>>
+where
+    I: IntoIterator<Item = &'a mut Outbox<T>>,
+    T: 'a,
+{
+    let mut merged: Vec<Vec<OutMsg<T>>> = (0..dests).map(|_| Vec::new()).collect();
+    for outbox in outboxes {
+        for msg in outbox.entries.drain(..) {
+            merged[msg.dest as usize].push(msg);
+        }
+        outbox.seq = 0;
+    }
+    for inbound in &mut merged {
+        inbound.sort_by_key(|m| (m.time, m.src, m.seq));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ShardPool::new(threads);
+            let mut tasks: Vec<u64> = vec![0; 13];
+            pool.run(&mut tasks, |i, slot| {
+                *slot += i as u64 + 1;
+            });
+            let expected: Vec<u64> = (1..=13).collect();
+            assert_eq!(tasks, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_with_more_threads_than_tasks() {
+        let pool = ShardPool::new(16);
+        let mut tasks = vec![0u32; 3];
+        pool.run(&mut tasks, |_, slot| *slot += 1);
+        assert_eq!(tasks, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn pool_zero_threads_is_inline() {
+        let pool = ShardPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let mut tasks = vec![0u32; 2];
+        pool.run(&mut tasks, |i, slot| *slot = i as u32);
+        assert_eq!(tasks, vec![0, 1]);
+    }
+
+    #[test]
+    fn pool_results_independent_of_thread_count() {
+        // Each task's result depends only on its own state — the invariant
+        // the sharded engine relies on.
+        let compute = |threads: usize| {
+            let pool = ShardPool::new(threads);
+            let mut tasks: Vec<(u64, Vec<u64>)> = (0..8).map(|s| (s, Vec::new())).collect();
+            pool.run(&mut tasks, |_, (seed, out)| {
+                let mut x = *seed;
+                for _ in 0..100 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    out.push(x);
+                }
+            });
+            tasks
+        };
+        let base = compute(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(compute(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn outbox_stamps_source_and_sequence() {
+        let mut ob: Outbox<&str> = Outbox::new(3);
+        ob.push(0, t(10), "a");
+        ob.push(1, t(5), "b");
+        assert_eq!(ob.len(), 2);
+        let merged = merge_outboxes([&mut ob], 2);
+        assert_eq!(merged[0], vec![OutMsg { dest: 0, time: t(10), src: 3, seq: 0, payload: "a" }]);
+        assert_eq!(merged[1], vec![OutMsg { dest: 1, time: t(5), src: 3, seq: 1, payload: "b" }]);
+        assert!(ob.is_empty(), "merge drains the outbox");
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_source_then_sequence() {
+        let mut a: Outbox<u32> = Outbox::new(0);
+        let mut b: Outbox<u32> = Outbox::new(1);
+        b.push(0, t(5), 10); // same time as a's second push, higher src
+        b.push(0, t(1), 11);
+        a.push(0, t(5), 20);
+        a.push(0, t(5), 21);
+        let merged = merge_outboxes([&mut a, &mut b], 1);
+        let order: Vec<u32> = merged[0].iter().map(|m| m.payload).collect();
+        // time 1 first; at time 5: src 0 (seq 0 then 1) before src 1.
+        assert_eq!(order, vec![11, 20, 21, 10]);
+    }
+
+    #[test]
+    fn merge_resets_sequences_for_the_next_pass() {
+        let mut ob: Outbox<u8> = Outbox::new(0);
+        ob.push(0, t(1), 1);
+        merge_outboxes([&mut ob], 1);
+        ob.push(0, t(2), 2);
+        let merged = merge_outboxes([&mut ob], 1);
+        assert_eq!(merged[0][0].seq, 0, "sequence restarts after a merge");
+    }
+
+    #[test]
+    fn merged_order_is_independent_of_outbox_visit_order() {
+        let fill = |a: &mut Outbox<u32>, b: &mut Outbox<u32>| {
+            a.push(0, t(7), 1);
+            a.push(0, t(3), 2);
+            b.push(0, t(7), 3);
+            b.push(0, t(3), 4);
+        };
+        let (mut a1, mut b1) = (Outbox::new(0), Outbox::new(1));
+        fill(&mut a1, &mut b1);
+        let fwd: Vec<u32> =
+            merge_outboxes([&mut a1, &mut b1], 1)[0].iter().map(|m| m.payload).collect();
+        let (mut a2, mut b2) = (Outbox::new(0), Outbox::new(1));
+        fill(&mut a2, &mut b2);
+        let rev: Vec<u32> =
+            merge_outboxes([&mut b2, &mut a2], 1)[0].iter().map(|m| m.payload).collect();
+        assert_eq!(fwd, rev, "the (time, src, seq) key fixes the order");
+    }
+}

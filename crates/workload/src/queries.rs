@@ -75,12 +75,40 @@ impl QueryWorkload {
 
     /// Samples the queries issued in `round`.
     pub fn round_queries(&self, round: u64, rng: &mut SmallRng) -> Vec<Query> {
-        let n = poisson(rng, self.expected_per_round());
+        self.round_queries_range(round, rng, 0, self.num_peers)
+    }
+
+    /// Samples the queries issued in `round` by origins in
+    /// `[origin_lo, origin_hi)`: a `Poisson((hi-lo) · fQry)` count with
+    /// origins uniform in the range and keys Zipf-sampled over the *global*
+    /// catalog.
+    ///
+    /// This is the per-shard form of [`QueryWorkload::round_queries`]: the
+    /// population split into disjoint ranges, each range drawing from its
+    /// own RNG stream, yields the same per-peer query law as the global
+    /// draw (Poisson processes split by independent thinning), and the full
+    /// range `[0, num_peers)` is bit-identical to the unsharded method.
+    ///
+    /// # Panics
+    /// Panics if the range is inverted or extends past the population.
+    pub fn round_queries_range(
+        &self,
+        round: u64,
+        rng: &mut SmallRng,
+        origin_lo: u32,
+        origin_hi: u32,
+    ) -> Vec<Query> {
+        assert!(
+            origin_lo <= origin_hi && origin_hi <= self.num_peers,
+            "origin range [{origin_lo}, {origin_hi}) out of bounds for {} peers",
+            self.num_peers
+        );
+        let n = poisson(rng, f64::from(origin_hi - origin_lo) * self.f_qry);
         let mut out = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let rank = self.zipf.sample(rng);
             let key_index = self.shift.key_for(rank, round);
-            let origin = PeerId(rng.random_range(0..self.num_peers));
+            let origin = PeerId(rng.random_range(origin_lo..origin_hi));
             out.push(Query { origin, key_index, rank });
         }
         out
@@ -176,6 +204,50 @@ mod tests {
         for round in 0..10 {
             assert!(w.round_queries(round, &mut r).is_empty());
         }
+    }
+
+    #[test]
+    fn range_draw_confines_origins_and_scales_volume() {
+        let w = QueryWorkload::new(500, 1.1, 1_000, 0.5, None).unwrap();
+        let mut r = rng();
+        let mut total = 0usize;
+        for round in 0..200 {
+            for q in w.round_queries_range(round, &mut r, 250, 500) {
+                assert!((250..500).contains(&q.origin.0));
+                total += 1;
+            }
+        }
+        // 250 origins at fQry=0.5 → ~125 queries per round.
+        let avg = total as f64 / 200.0;
+        assert!((avg - 125.0).abs() < 6.0, "avg {avg} per round");
+    }
+
+    #[test]
+    fn full_range_matches_round_queries_bitwise() {
+        let w = QueryWorkload::new(2_000, 1.2, 777, 0.3, None).unwrap();
+        let mut r_a = rng();
+        let mut r_b = rng();
+        for round in 0..50 {
+            assert_eq!(
+                w.round_queries(round, &mut r_a),
+                w.round_queries_range(round, &mut r_b, 0, 777)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_range_draws_nothing() {
+        let w = QueryWorkload::new(100, 1.0, 50, 2.0, None).unwrap();
+        let mut r = rng();
+        assert!(w.round_queries_range(0, &mut r, 30, 30).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_past_population_rejected() {
+        let w = QueryWorkload::new(100, 1.0, 50, 2.0, None).unwrap();
+        let mut r = rng();
+        let _ = w.round_queries_range(0, &mut r, 0, 51);
     }
 
     #[test]
