@@ -8,7 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pdht_bench::sched_delay as delay;
 use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy};
 use pdht_model::Scenario;
-use pdht_sim::{EventQueue, HeapEventQueue, ShardPool, Slab};
+use pdht_sim::{EventQueue, HeapEventQueue, RespawnPool, ShardPool, Slab};
 
 /// The scheduler hold model: a steady resident population of `inflight`
 /// events, each pop immediately replaced by a reschedule — the shape the
@@ -54,26 +54,43 @@ fn bench_scheduler(c: &mut Criterion) {
     const LANES: usize = 8;
     const RESIDENT_PER_LANE: u64 = 12_500; // 100k total, as above
     const CYCLES_PER_LANE: u64 = 256;
+    fn hold_lanes() -> Vec<(EventQueue<u64>, u64)> {
+        (0..LANES)
+            .map(|_| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for i in 0..RESIDENT_PER_LANE {
+                    q.schedule_in(delay(i), i);
+                }
+                (q, RESIDENT_PER_LANE)
+            })
+            .collect()
+    }
+    fn hold_cycle(q: &mut EventQueue<u64>, i: &mut u64) {
+        for _ in 0..CYCLES_PER_LANE {
+            let ev = q.pop().expect("resident population");
+            q.schedule_in(delay(*i), ev.event);
+            *i += 1;
+        }
+    }
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(format!("wheel_hold_100000_8lanes_t{threads}"), |b| {
             let pool = ShardPool::new(threads);
-            let mut lanes: Vec<(EventQueue<u64>, u64)> = (0..LANES)
-                .map(|_| {
-                    let mut q: EventQueue<u64> = EventQueue::new();
-                    for i in 0..RESIDENT_PER_LANE {
-                        q.schedule_in(delay(i), i);
-                    }
-                    (q, RESIDENT_PER_LANE)
-                })
-                .collect();
+            let mut lanes = hold_lanes();
             b.iter(|| {
-                pool.run(&mut lanes, |_, (q, i)| {
-                    for _ in 0..CYCLES_PER_LANE {
-                        let ev = q.pop().expect("resident population");
-                        q.schedule_in(delay(*i), ev.event);
-                        *i += 1;
-                    }
-                });
+                pool.run(&mut lanes, |_, (q, i)| hold_cycle(q, i));
+                black_box(&lanes);
+            })
+        });
+        // The persistent-vs-respawn axis: the identical lane work driven by
+        // the pre-persistent executor, which spawns and joins `threads`
+        // scoped OS threads on every pass. The delta against the row above
+        // is pure executor overhead — at the engine's 6 passes per round,
+        // it is paid six times per simulated second.
+        group.bench_function(format!("respawn_hold_100000_8lanes_t{threads}"), |b| {
+            let pool = RespawnPool::new(threads);
+            let mut lanes = hold_lanes();
+            b.iter(|| {
+                pool.run(&mut lanes, |_, (q, i)| hold_cycle(q, i));
                 black_box(&lanes);
             })
         });

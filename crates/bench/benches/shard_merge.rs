@@ -1,6 +1,6 @@
 //! Benchmarks of the deterministic shard-merge barrier: per-shard outboxes
 //! drained and re-sequenced by `(time, src, seq)` between the parallel
-//! passes of the sharded query phase.
+//! passes of the sharded round.
 //!
 //! The merge is the serial section of every sharded round, so its cost
 //! bounds the achievable thread speedup (Amdahl). The sweep varies the
@@ -8,10 +8,13 @@
 //! the common case when queries are dealt to their key's group shard) to 1
 //! (every message crosses, the pathological all-remote workload); the fill
 //! work per iteration is identical across fractions, so differences are
-//! the merge's routing + sort cost alone.
+//! the merge's routing + merge cost alone. Both forms are measured: the
+//! allocating `merge_outboxes` (fresh buffers per pass) and the
+//! `merge_outboxes_into` form the engine uses, which k-way-merges into
+//! caller-owned [`MergeBuffers`] and allocates nothing at steady state.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pdht_sim::{merge_outboxes, Outbox};
+use pdht_sim::{merge_outboxes, merge_outboxes_into, MergeBuffers, Outbox};
 use pdht_types::{mix64, SimTime};
 
 /// Shard count of the merge sweep (matches `sim_scale`'s sweep).
@@ -21,7 +24,11 @@ const SHARDS: usize = 8;
 const MSGS_PER_SHARD: u64 = 1_024;
 
 /// Fills every outbox with `MSGS_PER_SHARD` messages, a deterministic
-/// `cross_fraction` of which address a foreign shard.
+/// `cross_fraction` of which address a foreign shard. Each source's times
+/// rise with the push index — producers stamp a forward-only lane clock,
+/// and [`Outbox::push`] requires nondecreasing times per destination — so
+/// every (source, destination) run arrives pre-sorted, the shape the
+/// barrier's k-way merge exploits.
 fn fill(outboxes: &mut [Outbox<u64>], cross_fraction: f64) {
     let threshold = (cross_fraction * f64::from(u32::MAX)) as u64;
     for s in 0..outboxes.len() {
@@ -32,7 +39,9 @@ fn fill(outboxes: &mut [Outbox<u64>], cross_fraction: f64) {
             } else {
                 s as u32
             };
-            let time = SimTime::from_micros(mix64(r, 0x5eed) % 1_000_000 + 1);
+            // Strictly increasing per source: the jitter term stays below
+            // the 977 µs stride between consecutive pushes.
+            let time = SimTime::from_micros(i * 977 + r % 977 + 1);
             outboxes[s].push(dest, time, r);
         }
     }
@@ -58,5 +67,32 @@ fn bench_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merge);
+/// The engine's form: merge into persistent [`MergeBuffers`]. Past the
+/// first iteration every internal `Vec` reuses its capacity, so the
+/// difference against `merge` above is the allocator traffic the
+/// caller-owned buffers remove from the barrier.
+fn bench_merge_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_merge/merge_into");
+    for (label, cross_fraction) in
+        [("cross_0", 0.0), ("cross_10", 0.1), ("cross_50", 0.5), ("cross_100", 1.0)]
+    {
+        group.bench_function(format!("{SHARDS}x{MSGS_PER_SHARD}_{label}"), |b| {
+            let mut outboxes: Vec<Outbox<u64>> =
+                (0..SHARDS).map(|s| Outbox::new(s as u32)).collect();
+            let mut bufs: MergeBuffers<u64> = MergeBuffers::new(SHARDS);
+            b.iter(|| {
+                fill(&mut outboxes, cross_fraction);
+                merge_outboxes_into(outboxes.iter_mut(), &mut bufs);
+                let total = bufs.total();
+                for batch in bufs.batches_mut() {
+                    batch.clear();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_merge_into);
 criterion_main!(benches);

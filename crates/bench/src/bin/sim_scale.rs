@@ -28,7 +28,7 @@ use pdht_bench::{
     f1, f3, parse_sim_args, print_table, read_json_number, write_csv, write_histograms_csv,
     write_json,
 };
-use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, Strategy, TtlPolicy};
+use pdht_core::{BackgroundSchedule, PdhtConfig, PdhtNetwork, PhaseBreakdown, Strategy, TtlPolicy};
 use pdht_model::Scenario;
 use pdht_overlay::ChurnConfig;
 use pdht_sim::{EventQueue, HeapEventQueue};
@@ -98,6 +98,14 @@ struct SweepPoint {
     ms_per_round: f64,
     msgs_per_round: f64,
     speedup: f64,
+    phases: PhaseBreakdown,
+}
+
+/// `breakdown` as per-round milliseconds `(churn, queries, background,
+/// barriers)`.
+fn phase_ms(tm: &PhaseBreakdown, rounds: u64) -> (f64, f64, f64, f64) {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3 / rounds as f64;
+    (ms(tm.churn), ms(tm.queries), ms(tm.background), ms(tm.barriers))
 }
 
 fn main() {
@@ -125,6 +133,7 @@ fn main() {
     let t0 = Instant::now();
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
     args.apply_threads(&mut net);
+    net.enable_phase_timers();
     let build_secs = t0.elapsed().as_secs_f64();
     let nap = net.num_active_peers();
     println!(
@@ -143,6 +152,9 @@ fn main() {
     let events_dispatched = net.events_dispatched();
     let events_per_round = events_dispatched as f64 / rounds as f64;
     let events_per_sec = events_dispatched as f64 / run_secs;
+    let breakdown = net.phase_breakdown().expect("phase timers enabled");
+    let (churn_ms, queries_ms, background_ms, barriers_ms) = phase_ms(&breakdown, rounds);
+    let serial_fraction = breakdown.serial_fraction();
 
     let rows = vec![vec![
         num_peers.to_string(),
@@ -186,6 +198,16 @@ fn main() {
         ),
         _ => println!("no committed baseline found (first run on this checkout)"),
     }
+    // Per-phase wall clock of the timed run. On the legacy `shards = 1`
+    // path only the serial churn and content-update slices are
+    // instrumented (the query/background work dispatches through the
+    // untimed global queue), so the fraction is meaningful on sharded
+    // runs — the sweep below times every row at 8 shards.
+    println!(
+        "phase breakdown (ms/round): churn {churn_ms:.2}, queries {queries_ms:.2}, \
+         background {background_ms:.2}, barriers {barriers_ms:.2} — serial fraction \
+         {serial_fraction:.3}"
+    );
 
     // --- Threads vs throughput: the shard-parallel query phase ----------
     // Measured at min(peers, 100k) so the sweep stays inside the CI budget
@@ -212,6 +234,7 @@ fn main() {
         let t0 = Instant::now();
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.set_threads(threads as usize);
+        net.enable_phase_timers();
         let build_secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         net.run(SWEEP_ROUNDS);
@@ -224,6 +247,7 @@ fn main() {
             ms_per_round,
             msgs_per_round: rep.msgs_per_round,
             speedup,
+            phases: net.phase_breakdown().expect("phase timers enabled"),
         });
     }
     print_table(
@@ -231,7 +255,7 @@ fn main() {
             "S4 threads vs throughput — {sweep_peers} peers, {SWEEP_SHARDS} shards, \
              {SWEEP_ROUNDS} rounds ({host_cpus} host cpus)"
         ),
-        &["threads", "build s", "ms/round", "msg/round", "speedup"],
+        &["threads", "build s", "ms/round", "msg/round", "speedup", "serial"],
         &sweep
             .iter()
             .map(|p| {
@@ -241,6 +265,7 @@ fn main() {
                     format!("{:.1}", p.ms_per_round),
                     f1(p.msgs_per_round),
                     format!("{:.2}x", p.speedup),
+                    format!("{:.0}%", p.phases.serial_fraction() * 100.0),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -290,10 +315,19 @@ fn main() {
     let sweep_rows = sweep
         .iter()
         .map(|p| {
+            let (churn, queries, background, barriers) = phase_ms(&p.phases, SWEEP_ROUNDS);
             format!(
                 "      {{ \"threads\": {}, \"build_secs\": {:.4}, \"ms_per_round\": {:.3}, \
-                 \"msgs_per_round\": {:.1}, \"speedup\": {:.3} }}",
-                p.threads, p.build_secs, p.ms_per_round, p.msgs_per_round, p.speedup
+                 \"msgs_per_round\": {:.1}, \"speedup\": {:.3}, \
+                 \"churn_ms\": {churn:.3}, \"queries_ms\": {queries:.3}, \
+                 \"background_ms\": {background:.3}, \"barriers_ms\": {barriers:.3}, \
+                 \"serial_fraction\": {:.4} }}",
+                p.threads,
+                p.build_secs,
+                p.ms_per_round,
+                p.msgs_per_round,
+                p.speedup,
+                p.phases.serial_fraction()
             )
         })
         .collect::<Vec<_>>()
@@ -309,6 +343,14 @@ fn main() {
              \"events_dispatched\": {events_dispatched},\n  \
              \"events_per_round\": {events_per_round:.1},\n  \
              \"events_per_sec\": {events_per_sec:.0},\n  \
+             \"phase_breakdown\": {{\n    \"churn_ms\": {churn_ms:.3},\n    \
+             \"queries_ms\": {queries_ms:.3},\n    \
+             \"background_ms\": {background_ms:.3},\n    \
+             \"barriers_ms\": {barriers_ms:.3},\n    \
+             \"serial_fraction\": {serial_fraction:.4},\n    \
+             \"note\": \"per-round ms of the timed run; at shards = 1 only \
+             the serial churn/content slices are instrumented — the \
+             threads_sweep rows time every bucket at 8 shards\"\n  }},\n  \
              \"threads_sweep\": {{\n    \"peers\": {sweep_peers},\n    \
              \"shards\": {SWEEP_SHARDS},\n    \
              \"rounds\": {SWEEP_ROUNDS},\n    \"rows\": [\n{sweep_rows}\n    ]\n  }},\n  \

@@ -45,7 +45,7 @@ pub use config::{
 };
 pub use index::{IndexEntry, InsertResult, PartialIndex};
 pub use network::{
-    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
-    UpdateId,
+    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, PhaseBreakdown, QueryId, RoundPhase,
+    SimReport, UpdateId,
 };
 pub use ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};

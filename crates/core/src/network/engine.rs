@@ -23,16 +23,21 @@ use crate::config::{OverlayKind, PdhtConfig, Strategy};
 use crate::network::maintenance::UpdateCtx;
 use crate::network::peer::PeerStores;
 use crate::network::routing::QueryCtx;
-use crate::network::shard::ShardedState;
+use crate::network::shard::{LaneMsg, ShardedState};
 use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
 use pdht_gossip::{ReplicaGroup, VersionedValue};
 use pdht_model::{CostModel, SelectionModel};
-use pdht_overlay::{ChordOverlay, ChurnModel, KademliaOverlay, Overlay, TrieOverlay};
-use pdht_sim::{EventQueue, HistogramSummary, LatencyModel, Metrics, RoundDriver, Slab, VisitSet};
+use pdht_overlay::{
+    ChordOverlay, ChurnModel, KademliaOverlay, Overlay, PlanScratch, Repair, TrieOverlay,
+};
+use pdht_sim::{
+    EventQueue, HistogramSummary, LatencyModel, Metrics, Outbox, RoundDriver, Slab, VisitSet,
+};
 use pdht_types::{Key, MessageKind, PeerId, Result, RngStreams, Round, SimTime};
 use pdht_unstructured::{Replication, Topology};
 use pdht_workload::{QueryWorkload, UpdateProcess};
 use rand::rngs::SmallRng;
+use std::time::{Duration, Instant};
 
 /// Identifier of an in-flight query: a generational slab key, so events
 /// referencing resolved queries miss instead of aliasing a recycled slot.
@@ -258,6 +263,54 @@ pub struct PdhtNetwork {
     /// Shard-parallel execution state, present iff `cfg.shards > 1`.
     /// `None` keeps the single-threaded legacy path bit-for-bit intact.
     pub(crate) sharded: Option<ShardedState>,
+    /// Reusable churn-transition buffer (steady-state churn allocates
+    /// nothing).
+    pub(crate) churn_buf: Vec<(PeerId, bool)>,
+    /// Legacy-lane outbox backing [`PdhtNetwork::query_exec`]. Never
+    /// written: the legacy world's empty `group_shard` disables handoffs.
+    pub(crate) lane_outbox: Outbox<LaneMsg>,
+    /// Legacy-lane repair queue (unused: legacy maintenance mutates the
+    /// overlay directly via `maintenance_step`).
+    pub(crate) lane_repairs: Vec<Repair>,
+    /// Legacy-lane maintenance-plan scratch (unused on the legacy path).
+    pub(crate) plan_scratch: PlanScratch,
+    /// Opt-in per-phase wall-clock accounting (the scale bench's
+    /// serial-fraction probe); `None` keeps clock reads off the hot paths.
+    pub(crate) phase_timers: Option<PhaseBreakdown>,
+}
+
+/// Opt-in wall-clock breakdown of round execution, split into the buckets
+/// that matter for shard scaling: parallel pool time (queries,
+/// background-event drains) versus serial sections (churn, barriers).
+/// Enabled via [`PdhtNetwork::enable_phase_timers`]; most meaningful on
+/// sharded engines, where the serial fraction bounds the achievable
+/// speedup.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Serial churn phase (session transitions + rejoin pulls).
+    pub churn: Duration,
+    /// Parallel pool time generating and executing queries.
+    pub queries: Duration,
+    /// Parallel pool time draining background events (maintenance, TTL
+    /// sweeps, update waves).
+    pub background: Duration,
+    /// Serial barrier work: outbox merges, repair application, and the
+    /// serial slice of the content-update phase.
+    pub barriers: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Fraction of the accounted wall-clock spent in serial sections —
+    /// Amdahl's ceiling on shard-parallel speedup.
+    pub fn serial_fraction(&self) -> f64 {
+        let serial = self.churn + self.barriers;
+        let total = serial + self.queries + self.background;
+        if total.is_zero() {
+            0.0
+        } else {
+            serial.as_secs_f64() / total.as_secs_f64()
+        }
+    }
 }
 
 /// Cumulative query-outcome counters. Plain sums, so per-shard lanes
@@ -538,6 +591,11 @@ impl PdhtNetwork {
             counters: Counters::default(),
             adaptive_seen: (0, 0),
             sharded,
+            churn_buf: Vec::new(),
+            lane_outbox: Outbox::new(0),
+            lane_repairs: Vec::new(),
+            plan_scratch: PlanScratch::new(),
+            phase_timers: None,
         };
         net.schedule_background();
         Ok(net)
@@ -559,8 +617,55 @@ impl PdhtNetwork {
     /// the order the phase sweeps did, keeping `LatencyConfig::Zero`
     /// accounting bit-for-bit identical. Non-zero jitter gives each peer a
     /// fixed hashed offset inside its round.
+    ///
+    /// Sharded engines seed each event into its owning *lane's* queue
+    /// instead of the global one — maintenance ticks at the peer's origin
+    /// shard (they touch only the shared tables and the lane's streams),
+    /// TTL sweeps at the shard owning the peer's store (its replica
+    /// group's shard), so every dispatch is lane-local. The global queue
+    /// then carries nothing but the six phase markers.
     fn schedule_background(&mut self) {
         let jitter = self.cfg.background;
+        if let Some(st) = &mut self.sharded {
+            if self.overlay.is_some() {
+                for p in 0..self.nap {
+                    let offset = MAINTENANCE_OFFSET_US
+                        + peer_jitter_us(
+                            self.cfg.seed,
+                            0xA11C_E000 + p as u64,
+                            jitter.maintenance_jitter_us,
+                        );
+                    let lane = usize::from(st.peer_shard[p]);
+                    st.lanes[lane].events.schedule_at(
+                        Round(0).start() + SimTime::from_micros(offset),
+                        NetEvent::PeerMaintenance { peer: PeerId::from_idx(p) },
+                    );
+                }
+            }
+            if self.cfg.strategy == Strategy::Partial {
+                let stride = self.cfg.purge_stride;
+                for p in 0..self.nap {
+                    let first = Round(p as u64 % stride);
+                    let offset = TTL_SWEEP_OFFSET_US
+                        + peer_jitter_us(
+                            self.cfg.seed,
+                            0x77E0_0000 + p as u64,
+                            jitter.ttl_jitter_us,
+                        );
+                    let lane = match self.overlay.as_deref() {
+                        Some(o) => {
+                            usize::from(st.group_shard[o.group_of_peer(PeerId::from_idx(p))])
+                        }
+                        None => usize::from(st.peer_shard[p]),
+                    };
+                    st.lanes[lane].events.schedule_at(
+                        first.start() + SimTime::from_micros(offset),
+                        NetEvent::TtlSweep { peer: PeerId::from_idx(p) },
+                    );
+                }
+            }
+            return;
+        }
         if self.overlay.is_some() {
             for p in 0..self.nap {
                 let offset = MAINTENANCE_OFFSET_US
@@ -665,9 +770,26 @@ impl PdhtNetwork {
     }
 
     /// Update propagations currently in flight (always 0 when every hop
-    /// delay is zero).
+    /// delay is zero). Counts the engine slab plus every lane slab, like
+    /// [`PdhtNetwork::queries_in_flight`].
     pub fn updates_in_flight(&self) -> usize {
-        self.updates_inflight.len()
+        let lanes: usize = self
+            .sharded
+            .as_ref()
+            .map_or(0, |st| st.lanes.iter().map(|l| l.updates_inflight.len()).sum());
+        self.updates_inflight.len() + lanes
+    }
+
+    /// Starts collecting the per-phase wall-clock breakdown (a scale-bench
+    /// probe; off by default so the hot paths never read the clock).
+    pub fn enable_phase_timers(&mut self) {
+        self.phase_timers = Some(PhaseBreakdown::default());
+    }
+
+    /// The wall-clock breakdown accumulated since
+    /// [`PdhtNetwork::enable_phase_timers`] (`None` unless enabled).
+    pub fn phase_breakdown(&self) -> Option<PhaseBreakdown> {
+        self.phase_timers
     }
 
     /// Total events dispatched off the virtual-time queue so far. Scale
@@ -740,20 +862,70 @@ impl PdhtNetwork {
             }
         }
         match event {
-            NetEvent::Phase(RoundPhase::Churn) => self.phase_churn(round),
-            // Maintenance and purge run as per-peer events now; their
-            // phases remain as report/calibration boundaries the hook can
-            // target.
-            NetEvent::Phase(RoundPhase::OverlayMaintenance | RoundPhase::PurgeExpired) => {}
-            NetEvent::Phase(RoundPhase::ContentUpdates) => self.phase_content_updates(round),
-            NetEvent::Phase(RoundPhase::Queries) => self.phase_queries(round),
-            NetEvent::Phase(RoundPhase::Bookkeeping) => self.phase_bookkeeping(round),
+            NetEvent::Phase(phase) => self.run_phase(phase, round),
             NetEvent::MessageArrival { query, .. } => self.on_message_arrival(query, round),
             NetEvent::QueryTimeout { query } => self.on_query_timeout(query),
             NetEvent::PeerMaintenance { peer } => self.on_peer_maintenance(peer),
             NetEvent::TtlSweep { peer } => self.on_ttl_sweep(peer, round),
             NetEvent::GossipPush { update, .. } => self.on_gossip_push(update, round),
         }
+    }
+
+    /// Executes one phase marker. On the legacy path `OverlayMaintenance`
+    /// and `PurgeExpired` are pure calibration boundaries (their per-peer
+    /// events dispatch off the global queue at their own instants); on
+    /// sharded engines every phase marker additionally drains the lanes in
+    /// parallel up to the next marker, so lane-resident background events
+    /// fire *after* their phase's hook seam.
+    fn run_phase(&mut self, phase: RoundPhase, round: u64) {
+        let sharded = self.sharded.is_some();
+        match phase {
+            RoundPhase::Churn => {
+                let t0 = self.phase_timers.is_some().then(Instant::now);
+                self.phase_churn(round);
+                if let (Some(t0), Some(tm)) = (t0, self.phase_timers.as_mut()) {
+                    tm.churn += t0.elapsed();
+                }
+                if sharded {
+                    self.sharded_pass(round, 1);
+                }
+            }
+            RoundPhase::OverlayMaintenance => {
+                if sharded {
+                    self.sharded_pass(round, 2);
+                }
+            }
+            RoundPhase::PurgeExpired => {
+                if sharded {
+                    self.sharded_pass(round, 3);
+                }
+            }
+            RoundPhase::ContentUpdates => {
+                let t0 = self.phase_timers.is_some().then(Instant::now);
+                self.phase_content_updates(round);
+                if let (Some(t0), Some(tm)) = (t0, self.phase_timers.as_mut()) {
+                    tm.barriers += t0.elapsed();
+                }
+                if sharded {
+                    self.sharded_pass(round, 4);
+                }
+            }
+            RoundPhase::Queries => self.phase_queries(round),
+            RoundPhase::Bookkeeping => {
+                self.fold_lanes();
+                self.phase_bookkeeping(round);
+            }
+        }
+    }
+
+    /// Runs one parallel lane drain ending just before phase instant
+    /// `next_phase_index` of `round`. No-op on unsharded engines.
+    fn sharded_pass(&mut self, round: u64, next_phase_index: u64) {
+        let Some(mut st) = self.sharded.take() else { return };
+        let deadline =
+            Round(round).start() + SimTime::from_micros(next_phase_index * PHASE_SPACING_US - 1);
+        self.lane_pass(&mut st, deadline, None, false);
+        self.sharded = Some(st);
     }
 
     /// Calls the hook (temporarily detached to keep the borrow checker

@@ -15,15 +15,30 @@
 //! order the old phase sweeps used, so the accounting stays bit-for-bit
 //! identical; jittered schedules and non-zero latency spread the work
 //! across each round.
+//!
+//! # Execution lanes
+//!
+//! The update state machine and the per-peer background handlers are
+//! written against [`QueryExec`], like the query pipeline: the legacy
+//! single-lane engine builds one exec over its own fields and keeps its
+//! background events on the global queue, while sharded engines seed them
+//! into the owning lane's queue and dispatch them inside the parallel
+//! passes (see [`super::shard`]). On a lane, a maintenance tick only
+//! *plans* its repairs ([`pdht_overlay::Overlay::maintenance_plan`]) —
+//! the shared routing tables are repaired serially at the pass barrier —
+//! and an update propagation whose next key belongs to another shard's
+//! replica group hands its context over through the barrier outbox.
 
-use super::engine::{NetEvent, PdhtNetwork, UpdateId};
-use super::routing::StepFate;
+use super::engine::{NetEvent, PdhtNetwork, UpdateId, PHASE_SPACING_US};
+use super::routing::QueryExec;
+use super::shard::LaneMsg;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
 use pdht_gossip::{RumorWave, VersionedValue};
 use pdht_overlay::{HopOutcome, LookupState};
 use pdht_sim::Metrics;
-use pdht_types::{MessageKind, PeerId, SimTime};
+use pdht_types::{MessageKind, PeerId, Round, SimTime};
+use pdht_workload::updates::Replacement;
 
 /// The pipeline position of an in-flight update propagation: routing the
 /// current key of the replaced article towards its responsible peer, or
@@ -57,38 +72,57 @@ pub(crate) struct UpdateCtx {
     entry: PeerId,
     /// Position within the article's key list.
     pos: usize,
-    /// Forwarding steps so far (route hops / gossip waves).
+    /// Forwarding steps so far (route hops / gossip waves / shard
+    /// handoffs).
     steps: u32,
     stage: UpdateStage,
+}
+
+/// What one update-propagation step decided.
+enum UpdateFate {
+    /// The propagation finished; its context can be dropped.
+    Done,
+    /// A wave goes in flight (or advances inline under zero delay).
+    Next,
+    /// The next key's replica group lives on another shard: hand the
+    /// context over through the barrier outbox. Unreachable on the legacy
+    /// path, whose world carries an empty `group_shard`.
+    Handoff(u32),
 }
 
 impl PdhtNetwork {
     /// Churn phase: session transitions; rejoining active peers pull missed
     /// updates (IndexAll — the proactive-consistency strategy; the
     /// selection algorithm relies on replica flooding instead,
-    /// Section 5.1).
+    /// Section 5.1). The transition buffer is engine-owned and reused, so
+    /// steady-state churn allocates nothing.
     pub(crate) fn phase_churn(&mut self, round: u64) {
+        let mut transitions = std::mem::take(&mut self.churn_buf);
+        transitions.clear();
         // Sharded engines drain the per-shard churn calendars serially in
         // shard order, one RNG stream per shard — deterministic regardless
         // of thread count (churn is cheap; parallelizing it would buy
         // little and the liveness vector is shared).
-        let transitions = if let Some(st) = &mut self.sharded {
-            self.churn.step_second_sharded(&mut st.churn_rngs)
+        if let Some(st) = &mut self.sharded {
+            self.churn.step_second_sharded_into(&mut st.churn_rngs, &mut transitions);
         } else {
-            self.churn.step_second(&mut self.rng_churn)
-        };
+            self.churn.step_second_into(&mut self.rng_churn, &mut transitions);
+        }
         if self.cfg.strategy == Strategy::IndexAll {
-            for (peer, now_online) in &transitions {
-                if *now_online && peer.idx() < self.nap {
-                    self.pull_on_rejoin(*peer, round);
+            for &(peer, now_online) in &transitions {
+                if now_online && peer.idx() < self.nap {
+                    self.pull_on_rejoin(peer, round);
                 }
             }
         }
+        self.churn_buf = transitions;
     }
 
-    /// One peer's maintenance tick: probe its routing entries at the
-    /// calibrated rate, then reschedule the tick one round later (the event
-    /// is perpetual, so each peer keeps its fixed sub-round offset).
+    /// One peer's maintenance tick on the legacy single-lane path: probe
+    /// its routing entries at the calibrated rate, then reschedule the tick
+    /// one round later (the event is perpetual, so each peer keeps its
+    /// fixed sub-round offset). Sharded engines dispatch
+    /// [`QueryExec::on_lane_maintenance`] instead.
     pub(crate) fn on_peer_maintenance(&mut self, peer: PeerId) {
         if let Some(o) = &mut self.overlay {
             o.maintenance_step(
@@ -102,9 +136,10 @@ impl PdhtNetwork {
         self.events.schedule_in(SimTime::from_secs(1), NetEvent::PeerMaintenance { peer });
     }
 
-    /// One peer's TTL eviction sweep (Partial only — IndexAll entries never
-    /// expire): purge its expired entries, then reschedule `purge_stride`
-    /// rounds later, preserving the staggered cohorts.
+    /// One peer's TTL eviction sweep on the legacy path (Partial only —
+    /// IndexAll entries never expire): purge its expired entries, then
+    /// reschedule `purge_stride` rounds later, preserving the staggered
+    /// cohorts.
     pub(crate) fn on_ttl_sweep(&mut self, peer: PeerId, round: u64) {
         self.peers.purge_expired(peer, round);
         self.events
@@ -112,16 +147,52 @@ impl PdhtNetwork {
     }
 
     /// Update phase: content replacement, plus (IndexAll) kicking off one
-    /// update-propagation state machine per replaced article.
+    /// update-propagation state machine per replaced article — driven
+    /// inline on the legacy lane, dealt to the owning shard's lane on
+    /// sharded engines.
     pub(crate) fn phase_content_updates(&mut self, round: u64) {
         let replacements = self.updates.round_updates(&mut self.rng_updates);
         for rep in &replacements {
             self.content.replace_item(rep.article as usize, &mut self.rng_updates);
         }
-        if self.cfg.strategy == Strategy::IndexAll {
+        if self.cfg.strategy != Strategy::IndexAll {
+            return;
+        }
+        if self.sharded.is_some() {
+            self.deal_updates_sharded(&replacements, round);
+        } else {
             for rep in replacements {
-                self.start_update(rep.article, rep.new_version, round);
+                self.query_exec().start_update(rep.article, rep.new_version, round);
             }
+        }
+    }
+
+    /// Sharded update kickoff: the entry peer is picked serially on the
+    /// engine's overlay stream (deterministic regardless of lane progress),
+    /// then the propagation context is dealt — through the barrier outbox,
+    /// stamped at the phase instant — to the lane owning the first key's
+    /// replica group, which adopts and drives it with its own streams.
+    fn deal_updates_sharded(&mut self, replacements: &[Replacement], round: u64) {
+        let Some(o) = self.overlay.as_deref() else { return };
+        let st = self.sharded.as_mut().expect("sharded update deal needs sharded state");
+        let t_updates = Round(round).start() + SimTime::from_micros(3 * PHASE_SPACING_US);
+        for rep in replacements {
+            let Some(entry) = o.entry_peer(self.churn.liveness(), &mut self.rng_overlay) else {
+                continue;
+            };
+            let ki = self.keys_by_article[rep.article as usize][0];
+            let key = self.keys[ki as usize];
+            let dest = u32::from(st.group_shard[o.group_of_key(key)]);
+            let ctx = UpdateCtx {
+                id: 0, // assigned by the destination lane at delivery
+                article: rep.article,
+                new_version: rep.new_version,
+                entry,
+                pos: 0,
+                steps: 0,
+                stage: UpdateStage::Route { lookup: o.begin_lookup(entry, key) },
+            };
+            st.deal.push(dest, t_updates, LaneMsg::Update(ctx));
         }
     }
 
@@ -139,28 +210,66 @@ impl PdhtNetwork {
         }
     }
 
+    /// Advances the update propagation whose wave just landed (legacy
+    /// single-lane dispatch).
+    pub(crate) fn on_gossip_push(&mut self, id: UpdateId, round: u64) {
+        self.query_exec().on_gossip_push(id, round);
+    }
+}
+
+impl QueryExec<'_> {
     /// Advances the update propagation whose wave just landed. Arrivals for
     /// propagations no longer in flight are ignored.
     pub(crate) fn on_gossip_push(&mut self, id: UpdateId, round: u64) {
-        if let Some(ctx) = self.updates_inflight.take(id) {
+        if let Some(ctx) = self.lane.updates_inflight.take(id) {
             self.drive_update(ctx, round);
         }
+    }
+
+    /// One peer's maintenance tick on a sharded lane: *plan* its repairs —
+    /// probes and replacement draws on the lane's overlay stream against
+    /// the shared (immutable during the pass) routing tables — queue them
+    /// for the serial barrier, and reschedule the tick.
+    pub(crate) fn on_lane_maintenance(&mut self, peer: PeerId) {
+        if let Some(o) = self.world.overlay {
+            o.maintenance_plan(
+                peer,
+                self.world.probe_rate,
+                self.world.live,
+                self.lane.rng_overlay,
+                self.lane.metrics,
+                self.lane.plan,
+                self.lane.repairs,
+            );
+        }
+        self.lane.events.schedule_in(SimTime::from_secs(1), NetEvent::PeerMaintenance { peer });
+    }
+
+    /// One peer's TTL eviction sweep on a sharded lane (the event lives on
+    /// the shard owning the peer's store, so the purge is lane-local).
+    pub(crate) fn on_lane_ttl_sweep(&mut self, peer: PeerId, round: u64) {
+        self.lane.stores.purge_expired(peer, round);
+        self.lane
+            .events
+            .schedule_in(SimTime::from_secs(self.world.purge_stride), NetEvent::TtlSweep { peer });
+    }
+
+    /// Adopts a dealt (or handed-off) propagation context into this lane's
+    /// slab and drives it.
+    pub(crate) fn deliver_update(&mut self, mut ctx: UpdateCtx, round: u64) {
+        ctx.id = self.lane.updates_inflight.reserve();
+        self.drive_update(ctx, round);
     }
 
     /// Issues one update propagation (IndexAll, Eq. 9): picks the entry
     /// peer, starts routing the article's first key, and drives the state
     /// machine until it completes or a wave goes in flight.
-    fn start_update(&mut self, article: u32, new_version: u64, round: u64) {
-        let entry = {
-            let Some(o) = self.overlay.as_deref() else { return };
-            let live = self.churn.liveness();
-            o.entry_peer(live, &mut self.rng_overlay)
-        };
-        let Some(entry) = entry else { return };
-        let ki = self.keys_by_article[article as usize][0];
-        let key = self.keys[ki as usize];
-        let o = self.overlay.as_deref().expect("checked above");
-        let id = self.updates_inflight.reserve();
+    pub(crate) fn start_update(&mut self, article: u32, new_version: u64, round: u64) {
+        let Some(o) = self.world.overlay else { return };
+        let Some(entry) = o.entry_peer(self.world.live, self.lane.rng_overlay) else { return };
+        let ki = self.world.keys_by_article[article as usize][0];
+        let key = self.world.keys[ki as usize];
+        let id = self.lane.updates_inflight.reserve();
         let ctx = UpdateCtx {
             id,
             article,
@@ -173,28 +282,39 @@ impl PdhtNetwork {
         self.drive_update(ctx, round);
     }
 
-    /// Steps `ctx` until it resolves or a wave with a non-zero delay goes
-    /// in flight (zero delays advance inline — under
-    /// [`crate::LatencyConfig::Zero`] a whole propagation completes at its
-    /// issue instant, consuming the RNG streams in exactly the order the
-    /// phase-sweep pipeline did).
+    /// Steps `ctx` until it resolves, hands off to another shard, or a wave
+    /// with a non-zero delay goes in flight (zero delays advance inline —
+    /// under [`crate::LatencyConfig::Zero`] a whole propagation completes
+    /// at its issue instant, consuming the RNG streams in exactly the order
+    /// the phase-sweep pipeline did).
     fn drive_update(&mut self, mut ctx: UpdateCtx, round: u64) {
         loop {
             match self.step_update(&mut ctx, round) {
-                StepFate::Done => {
-                    self.updates_inflight.free(ctx.id);
+                UpdateFate::Done => {
+                    self.lane.updates_inflight.free(ctx.id);
                     return;
                 }
-                StepFate::Next => {
+                UpdateFate::Next => {
                     ctx.steps += 1;
-                    let delay = self.latency.sample(&mut self.rng_latency);
+                    let delay = self.world.latency.sample(self.lane.rng_latency);
                     if delay == SimTime::ZERO {
                         continue;
                     }
                     let event = NetEvent::GossipPush { update: ctx.id, step: ctx.steps };
-                    self.events.schedule_in(delay, event);
+                    self.lane.events.schedule_in(delay, event);
                     let id = ctx.id;
-                    self.updates_inflight.park(id, ctx);
+                    self.lane.updates_inflight.park(id, ctx);
+                    return;
+                }
+                UpdateFate::Handoff(dest) => {
+                    // The hop to the next key's shard replaces this
+                    // transition's latency draw: the destination lane
+                    // adopts the context at the next pass barrier.
+                    self.lane.updates_inflight.free(ctx.id);
+                    ctx.id = 0;
+                    ctx.steps += 1;
+                    let now = self.lane.events.now();
+                    self.lane.outbox.push(dest, now, LaneMsg::Update(ctx));
                     return;
                 }
             }
@@ -203,9 +323,9 @@ impl PdhtNetwork {
 
     /// One step of the propagation state machine, at the current virtual
     /// instant inside round `round`.
-    fn step_update(&mut self, ctx: &mut UpdateCtx, round: u64) -> StepFate {
-        let ki = self.keys_by_article[ctx.article as usize][ctx.pos];
-        let key = self.keys[ki as usize];
+    fn step_update(&mut self, ctx: &mut UpdateCtx, round: u64) -> UpdateFate {
+        let ki = self.world.keys_by_article[ctx.article as usize][ctx.pos];
+        let key = self.world.keys[ki as usize];
         let new_version = ctx.new_version;
         match ctx.stage {
             UpdateStage::Route { lookup } => {
@@ -213,23 +333,29 @@ impl PdhtNetwork {
                 // Route hops are update traffic (the cSIndx part of cUpd).
                 let mut scratch = Metrics::new();
                 let outcome = {
-                    let o = self.overlay.as_deref().expect("update implies overlay");
-                    let live = self.churn.liveness();
-                    o.next_hop(key, &mut lookup, live, &mut self.rng_overlay, &mut scratch)
+                    let o = self.world.overlay.expect("update implies overlay");
+                    o.next_hop(
+                        key,
+                        &mut lookup,
+                        self.world.live,
+                        self.lane.rng_overlay,
+                        &mut scratch,
+                    )
                 };
-                self.metrics
+                self.lane
+                    .metrics
                     .record_n(MessageKind::GossipPush, scratch.totals()[MessageKind::RouteHop]);
                 match outcome {
                     Ok(HopOutcome::Forwarded(_)) => {
                         ctx.stage = UpdateStage::Route { lookup };
-                        StepFate::Next
+                        UpdateFate::Next
                     }
                     Ok(HopOutcome::Arrived(at)) => {
                         let value = VersionedValue { version: new_version, data: u64::from(ki) };
                         let wave = {
-                            let o = self.overlay.as_deref().expect("update implies overlay");
-                            let group = &self.groups[o.group_of_key(key)];
-                            let peers = &mut self.peers;
+                            let o = self.world.overlay.expect("update implies overlay");
+                            let group = &self.world.groups[o.group_of_key(key)];
+                            let stores = &mut self.lane.stores;
                             group.push_begin(
                                 at,
                                 |member_local| {
@@ -240,15 +366,15 @@ impl PdhtNetwork {
                                     // current" instead would keep spreaders
                                     // alive forever once everyone
                                     // converged.)
-                                    let prior = peers.peek(member, ki, round).map(|v| v.version);
-                                    peers.insert(member, ki, key, value, round, Ttl::Infinite);
+                                    let prior = stores.peek(member, ki, round).map(|v| v.version);
+                                    stores.insert(member, ki, key, value, round, Ttl::Infinite);
                                     prior.is_none_or(|pv| pv < new_version)
                                 },
-                                self.churn.liveness(),
+                                self.world.live,
                             )
                         };
                         ctx.stage = UpdateStage::Gossip { wave };
-                        StepFate::Next
+                        UpdateFate::Next
                     }
                     // Route dead-ended: this key stays unpropagated this
                     // time (same as the phase-sweep pipeline); move on.
@@ -259,42 +385,50 @@ impl PdhtNetwork {
             UpdateStage::Gossip { ref mut wave } => {
                 let value = VersionedValue { version: new_version, data: u64::from(ki) };
                 let done = {
-                    let o = self.overlay.as_deref().expect("update implies overlay");
-                    let group = &self.groups[o.group_of_key(key)];
-                    let peers = &mut self.peers;
+                    let o = self.world.overlay.expect("update implies overlay");
+                    let group = &self.world.groups[o.group_of_key(key)];
+                    let stores = &mut self.lane.stores;
                     group.push_wave(
                         wave,
                         |member_local| {
                             let member = group.members()[member_local];
-                            let prior = peers.peek(member, ki, round).map(|v| v.version);
-                            peers.insert(member, ki, key, value, round, Ttl::Infinite);
+                            let prior = stores.peek(member, ki, round).map(|v| v.version);
+                            stores.insert(member, ki, key, value, round, Ttl::Infinite);
                             prior.is_none_or(|pv| pv < new_version)
                         },
-                        self.churn.liveness(),
-                        &mut self.rng_overlay,
-                        &mut self.metrics,
+                        self.world.live,
+                        self.lane.rng_overlay,
+                        self.lane.metrics,
                     )
                 };
                 if done {
                     self.next_update_key(ctx)
                 } else {
-                    StepFate::Next
+                    UpdateFate::Next
                 }
             }
         }
     }
 
     /// Moves `ctx` to its article's next key (routing from the same entry
-    /// peer), or finishes the propagation when every key is done.
-    fn next_update_key(&mut self, ctx: &mut UpdateCtx) -> StepFate {
+    /// peer), finishes the propagation when every key is done, or — on
+    /// sharded engines — hands the context to the shard owning the next
+    /// key's replica group.
+    fn next_update_key(&mut self, ctx: &mut UpdateCtx) -> UpdateFate {
         ctx.pos += 1;
-        let keys = &self.keys_by_article[ctx.article as usize];
+        let keys = &self.world.keys_by_article[ctx.article as usize];
         if ctx.pos >= keys.len() {
-            return StepFate::Done;
+            return UpdateFate::Done;
         }
-        let key = self.keys[keys[ctx.pos] as usize];
-        let o = self.overlay.as_deref().expect("update implies overlay");
+        let key = self.world.keys[keys[ctx.pos] as usize];
+        let o = self.world.overlay.expect("update implies overlay");
         ctx.stage = UpdateStage::Route { lookup: o.begin_lookup(ctx.entry, key) };
-        StepFate::Next
+        if !self.world.group_shard.is_empty() {
+            let dest = u32::from(self.world.group_shard[o.group_of_key(key)]);
+            if dest != u32::from(self.lane.stores.shard_id) {
+                return UpdateFate::Handoff(dest);
+            }
+        }
+        UpdateFate::Next
     }
 }

@@ -63,6 +63,6 @@ pub(crate) mod routing;
 pub(crate) mod shard;
 
 pub use engine::{
-    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, QueryId, RoundPhase, SimReport,
-    UpdateId,
+    EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, PhaseBreakdown, QueryId, RoundPhase,
+    SimReport, UpdateId,
 };

@@ -214,7 +214,10 @@ impl PeerStores {
         self.shards[s].insert_local(l, idx, key, value, now, ttl)
     }
 
-    /// Non-refreshing visibility check at `peer`.
+    /// Non-refreshing visibility check at `peer`. The simulation paths all
+    /// go through [`ShardStores::peek`] now; the facade form remains for
+    /// the unit tests exercising store semantics peer-by-peer.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn peek(&self, peer: PeerId, idx: u32, now: u64) -> Option<VersionedValue> {
         let (s, l) = self.local(peer);
         self.shards[s].peek_local(l, idx, now)
@@ -284,6 +287,13 @@ impl ShardStores<'_> {
     /// See [`PeerStores::peek`].
     pub(crate) fn peek(&self, peer: PeerId, idx: u32, now: u64) -> Option<VersionedValue> {
         self.shard.peek_local(self.local(peer), idx, now)
+    }
+
+    /// See [`PeerStores::purge_expired`] (lane-local TTL sweeps dispatch
+    /// here: the sweep event lives on the shard owning the peer's store).
+    pub(crate) fn purge_expired(&mut self, peer: PeerId, now: u64) {
+        let l = self.local(peer);
+        self.shard.purge_expired_local(l, now);
     }
 }
 

@@ -35,13 +35,15 @@
 //! wrapping that shard's lane state, and runs them on worker threads.
 
 use super::engine::{Counters, NetEvent, PdhtNetwork, QueryId};
+use super::maintenance::UpdateCtx;
 use super::peer::ShardStores;
+use super::shard::LaneMsg;
 use crate::admission::AdmissionFilter;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
 use pdht_gossip::{FloodWave, ReplicaGroup, VersionedValue};
-use pdht_overlay::{HopOutcome, LookupState, Overlay};
-use pdht_sim::{EventQueue, LatencyModel, Metrics, Slab, VisitSet};
+use pdht_overlay::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
+use pdht_sim::{EventQueue, LatencyModel, Metrics, Outbox, Slab, VisitSet};
 use pdht_types::{Key, Liveness, MessageKind, PeerId, SimTime};
 use pdht_unstructured::{RandomWalk, Replication, SearchOutcome, Topology, WalkWave};
 use pdht_workload::{Query, UpdateProcess};
@@ -150,12 +152,22 @@ pub(crate) struct QueryWorld<'a> {
     pub(crate) keys: &'a [Key],
     pub(crate) article_of: &'a [u32],
     pub(crate) latency: &'a dyn LatencyModel,
+    /// Article → its key indices (update propagations walk this list).
+    pub(crate) keys_by_article: &'a [Vec<u32>],
+    /// Replica group → owning shard. **Empty on the legacy single-lane
+    /// path**, which disables cross-shard update handoffs — the distinction
+    /// that keeps `shards = 1` runs bit-identical.
+    pub(crate) group_shard: &'a [u16],
     pub(crate) strategy: Strategy,
     pub(crate) walkers: usize,
     /// `walk_budget_factor × num_peers`, precomputed.
     pub(crate) walk_budget: u64,
     pub(crate) nap: usize,
     pub(crate) ttl_rounds: u64,
+    /// Per-entry probe rate (lane-local maintenance ticks).
+    pub(crate) probe_rate: f64,
+    /// TTL-sweep reschedule period in rounds.
+    pub(crate) purge_stride: u64,
     pub(crate) query_timeout_secs: Option<f64>,
 }
 
@@ -173,7 +185,17 @@ pub(crate) struct QueryLane<'a> {
     pub(crate) rng_latency: &'a mut SmallRng,
     pub(crate) scratch: &'a mut VisitSet,
     pub(crate) inflight: &'a mut Slab<QueryCtx>,
+    /// In-flight update propagations owned by this lane.
+    pub(crate) updates_inflight: &'a mut Slab<UpdateCtx>,
     pub(crate) events: &'a mut EventQueue<NetEvent>,
+    /// Cross-lane traffic produced while draining (update handoffs),
+    /// merged at the next pass barrier. Never written on the legacy path.
+    pub(crate) outbox: &'a mut Outbox<LaneMsg>,
+    /// Routing-table repairs planned by this lane's maintenance ticks,
+    /// applied serially (in lane order) at the pass barrier.
+    pub(crate) repairs: &'a mut Vec<Repair>,
+    /// Reusable scratch for [`pdht_overlay::Overlay::maintenance_plan`].
+    pub(crate) plan: &'a mut PlanScratch,
 }
 
 /// A world/lane pair: the complete capability set of the query pipeline.
@@ -227,12 +249,18 @@ impl PdhtNetwork {
                 keys: &self.keys,
                 article_of: &self.article_of,
                 latency: self.latency.as_ref(),
+                keys_by_article: &self.keys_by_article,
+                // Empty on purpose: the legacy lane owns every group, so
+                // update handoffs must never fire.
+                group_shard: &[],
                 strategy: self.cfg.strategy,
                 walkers: self.cfg.walkers,
                 walk_budget: u64::from(self.cfg.walk_budget_factor)
                     * u64::from(self.cfg.scenario.num_peers),
                 nap: self.nap,
                 ttl_rounds: self.ttl_rounds,
+                probe_rate: self.probe_rate,
+                purge_stride: self.cfg.purge_stride,
                 query_timeout_secs: self.cfg.query_timeout_secs,
             },
             lane: QueryLane {
@@ -245,7 +273,11 @@ impl PdhtNetwork {
                 rng_latency: &mut self.rng_latency,
                 scratch: &mut self.walk_scratch,
                 inflight: &mut self.inflight,
+                updates_inflight: &mut self.updates_inflight,
                 events: &mut self.events,
+                outbox: &mut self.lane_outbox,
+                repairs: &mut self.lane_repairs,
+                plan: &mut self.plan_scratch,
             },
         }
     }
@@ -253,8 +285,14 @@ impl PdhtNetwork {
 
 impl QueryExec<'_> {
     /// Pops and dispatches every lane event due by `deadline` (inclusive) —
-    /// message arrivals and timeouts of this lane's in-flight queries — in
+    /// message arrivals and timeouts of this lane's in-flight queries, plus
+    /// (sharded engines only) the lane's background events: maintenance
+    /// ticks, TTL sweeps, and update-propagation waves — in
     /// `(time, insertion)` order. Returns the number of events dispatched.
+    ///
+    /// The legacy single-lane path keeps its background events on the
+    /// engine's global queue, so the three background arms are unreachable
+    /// there — new dispatch work here cannot perturb `shards = 1` runs.
     pub(crate) fn drain_until(&mut self, deadline: SimTime) -> u64 {
         let mut dispatched = 0;
         while let Some(scheduled) = self.lane.events.pop_until(deadline) {
@@ -263,10 +301,23 @@ impl QueryExec<'_> {
             match scheduled.event {
                 NetEvent::MessageArrival { query, .. } => self.on_message_arrival(query, round),
                 NetEvent::QueryTimeout { query } => self.on_query_timeout(query),
-                other => unreachable!("query lanes carry only message events, got {other:?}"),
+                NetEvent::GossipPush { update, .. } => self.on_gossip_push(update, round),
+                NetEvent::PeerMaintenance { peer } => self.on_lane_maintenance(peer),
+                NetEvent::TtlSweep { peer } => self.on_lane_ttl_sweep(peer, round),
+                NetEvent::Phase(phase) => {
+                    unreachable!("phase markers live on the global queue, got {phase:?}")
+                }
             }
         }
         dispatched
+    }
+
+    /// Delivers one merged cross-lane message at the current lane instant.
+    pub(crate) fn deliver(&mut self, msg: LaneMsg, round: u64) {
+        match msg {
+            LaneMsg::Query(q) => self.start_query(q, round),
+            LaneMsg::Update(ctx) => self.deliver_update(ctx, round),
+        }
     }
 
     /// Advances the query whose message just landed. Arrivals for queries

@@ -3,75 +3,106 @@
 //! With [`crate::PdhtConfig::shards`] `S > 1` the peer population is
 //! partitioned into `S` contiguous origin ranges and the replica groups
 //! into `S` group ranges; each shard owns a [`LaneState`] — its slice of
-//! the peer stores, its own RNG streams, admission filter, in-flight slab,
-//! and virtual-time event queue — and the query phase runs shard-parallel
-//! on a [`pdht_sim::ShardPool`] of scoped threads:
+//! the peer stores, its own RNG streams, admission filter, in-flight
+//! slabs, and virtual-time event queue — and the *whole round* (not just
+//! the query phase) runs shard-parallel on a persistent
+//! [`pdht_sim::ShardPool`]:
 //!
-//! 1. **Generate** (parallel): shard `s` draws the workload of its origin
-//!    range on its own `("workload", s)` stream and deals each query into
-//!    its outbox, addressed to the shard owning the key's replica group
-//!    (queries only mutate stores at that group, so execution there is
-//!    entirely shard-local).
-//! 2. **Merge** (serial barrier): outboxes are merged in fixed shard order
-//!    and each destination's batch sorted by `(time, src, seq)` — a total
-//!    order independent of which thread produced what when.
-//! 3. **Execute** (parallel): each shard drains its due message events,
-//!    advances its lane clock to the phase instant, issues its merged
-//!    batch, and drains the remainder of the round.
+//! * The engine's global queue carries only the six phase markers; every
+//!   background event (maintenance tick, TTL sweep, gossip wave) and every
+//!   in-flight message lives on the owning lane's queue.
+//! * After each phase's serial work, [`PdhtNetwork::lane_pass`] drains the
+//!   lanes in parallel up to the next phase instant: maintenance ticks
+//!   fire after the `OverlayMaintenance` marker, TTL sweeps after
+//!   `PurgeExpired`, dealt update propagations after `ContentUpdates`, and
+//!   the merged query batches after `Queries` — preserving the
+//!   [`super::engine::HookPoint::BeforePhase`] seams.
+//! * Cross-lane traffic (queries addressed to another shard's replica
+//!   group, update propagations advancing to a key another shard owns)
+//!   rides per-lane outboxes merged at an allocation-free barrier into the
+//!   `(time, src, seq)` total order — deterministic regardless of which
+//!   thread produced what when. A pass loops merge → drain until every
+//!   outbox is quiescent.
+//! * Maintenance ticks *plan* repairs against the shared routing tables
+//!   ([`pdht_overlay::Overlay::maintenance_plan`]); the barrier applies
+//!   each lane's plan serially in lane order, so the tables stay immutable
+//!   while workers route through them.
 //!
 //! Results depend only on `S` — the thread count just decides how many
 //! workers pull lane tasks off the pool — so any `--threads` value yields
 //! bit-identical output for a fixed configuration. Cross-shard reads
 //! (overlay routing tables, liveness, topology, content placement) are
-//! immutable during the phase; cross-shard *writes* cannot occur because
-//! store shard = replica-group shard at every insert site.
+//! immutable during a pass; cross-shard *writes* cannot occur because
+//! store shard = replica-group shard at every insert site and everything
+//! else rides the outboxes.
 
 use super::engine::{Counters, NetEvent, PdhtNetwork, QUERIES_OFFSET_US};
+use super::maintenance::UpdateCtx;
 use super::peer::{ShardStores, StoreShard};
 use super::routing::{QueryCtx, QueryExec, QueryLane, QueryWorld};
 use crate::admission::{AdmissionFilter, AdmissionPolicy};
-use pdht_overlay::Overlay;
-use pdht_sim::{merge_outboxes, EventQueue, Metrics, OutMsg, Outbox, ShardPool, Slab, VisitSet};
+use pdht_overlay::{Overlay, PlanScratch, Repair};
+use pdht_sim::{
+    merge_outboxes_into, EventQueue, MergeBuffers, Metrics, Outbox, ShardPool, Slab, VisitSet,
+};
 use pdht_types::{RngStreams, Round, SimTime};
 use pdht_workload::Query;
 use rand::rngs::SmallRng;
+use std::time::Instant;
+
+/// A unit of cross-lane traffic: a freshly generated query dealt to the
+/// shard owning its key's replica group, or an update-propagation context
+/// handed to the shard owning its next key.
+pub(crate) enum LaneMsg {
+    Query(Query),
+    Update(UpdateCtx),
+}
 
 /// One shard's exclusively-owned execution state. Everything a
-/// [`QueryLane`] borrows, plus the workload stream and outbox used by the
-/// generate pass.
+/// [`QueryLane`] borrows, plus the workload stream used by the generate
+/// pass.
 pub(crate) struct LaneState {
     pub(crate) rng_workload: SmallRng,
     pub(crate) rng_overlay: SmallRng,
     pub(crate) rng_search: SmallRng,
     pub(crate) rng_latency: SmallRng,
-    /// Lane-private metrics, merged into the engine at the round barrier.
+    /// Lane-private metrics, merged into the engine at the bookkeeping
+    /// barrier.
     pub(crate) metrics: Metrics,
-    /// Lane-private outcome counters, merged at the round barrier.
+    /// Lane-private outcome counters, merged at the bookkeeping barrier.
     pub(crate) counters: Counters,
     pub(crate) admission: AdmissionFilter,
     pub(crate) scratch: VisitSet,
     pub(crate) inflight: Slab<QueryCtx>,
-    /// Lane-local virtual-time queue carrying this shard's in-flight
-    /// message arrivals and timeouts.
+    /// In-flight update propagations whose current key this shard owns.
+    pub(crate) updates_inflight: Slab<UpdateCtx>,
+    /// Lane-local virtual-time queue carrying this shard's background
+    /// events and in-flight message arrivals/timeouts.
     pub(crate) events: EventQueue<NetEvent>,
-    /// Queries generated by this shard, awaiting the merge barrier.
-    pub(crate) outbox: Outbox<Query>,
+    /// Cross-lane traffic produced by this shard, awaiting the merge
+    /// barrier.
+    pub(crate) outbox: Outbox<LaneMsg>,
+    /// Routing-table repairs planned by this lane's maintenance ticks,
+    /// applied serially at the pass barrier.
+    pub(crate) repairs: Vec<Repair>,
+    /// Reusable maintenance-plan scratch.
+    pub(crate) plan: PlanScratch,
     /// Lane events dispatched, folded into the engine's global counter at
-    /// the barrier.
+    /// the bookkeeping barrier.
     pub(crate) dispatched: u64,
 }
 
 /// The engine's shard-parallel state: the partition maps, one
-/// [`LaneState`] per shard, the per-shard churn streams, and the worker
-/// pool.
+/// [`LaneState`] per shard, the per-shard churn streams, the reusable
+/// merge buffers, and the persistent worker pool.
 pub(crate) struct ShardedState {
     /// Number of shards `S` (fixed at build; `>= 2`).
     pub(crate) shards: usize,
     /// Replica group → owning shard (`g * S / group_count`; empty without
     /// an overlay).
     pub(crate) group_shard: Vec<u16>,
-    /// Peer → origin shard (contiguous ranges; drives workload generation
-    /// and the churn calendar split).
+    /// Peer → origin shard (contiguous ranges; drives workload generation,
+    /// the churn calendar split, and maintenance-event placement).
     pub(crate) peer_shard: Vec<u16>,
     /// Shard → its origin range `[lo, hi)`.
     pub(crate) ranges: Vec<(u32, u32)>,
@@ -79,8 +110,13 @@ pub(crate) struct ShardedState {
     /// Per-shard churn streams (`("churn-run", s)`), drained serially in
     /// shard order each churn phase.
     pub(crate) churn_rngs: Vec<SmallRng>,
-    /// The scoped-thread worker pool (thread count is a pure executor
-    /// knob).
+    /// Engine-side outbox (src = `S`) dealing serially created work — one
+    /// update context per replaced article — into the lanes.
+    pub(crate) deal: Outbox<LaneMsg>,
+    /// Caller-owned merge buffers: the barrier is allocation-free at
+    /// steady state.
+    pub(crate) merge: MergeBuffers<LaneMsg>,
+    /// The persistent worker pool (thread count is a pure executor knob).
     pub(crate) pool: ShardPool,
 }
 
@@ -125,8 +161,11 @@ impl ShardedState {
                 admission: AdmissionFilter::new(admission),
                 scratch: VisitSet::new(n),
                 inflight: Slab::with_capacity(16),
+                updates_inflight: Slab::with_capacity(8),
                 events: EventQueue::new(),
                 outbox: Outbox::new(s as u32),
+                repairs: Vec::new(),
+                plan: PlanScratch::new(),
                 dispatched: 0,
             })
             .collect();
@@ -139,33 +178,37 @@ impl ShardedState {
             ranges,
             lanes,
             churn_rngs,
+            deal: Outbox::new(shards as u32),
+            merge: MergeBuffers::new(shards),
             pool: ShardPool::new(1),
         }
     }
 }
 
-/// A pass-2 work unit: one lane zipped with its store shard and merged
-/// query batch.
+/// A drain-pass work unit: one lane zipped with its store shard and merged
+/// message batch.
 struct LaneTask<'a> {
     lane: &'a mut LaneState,
     store: &'a mut StoreShard,
-    batch: Vec<OutMsg<Query>>,
+    batch: &'a mut Vec<pdht_sim::OutMsg<LaneMsg>>,
 }
 
 impl PdhtNetwork {
-    /// The shard-parallel query phase (see the module docs for the
-    /// generate → merge → execute structure).
+    /// The shard-parallel query phase: a parallel generate pass deals the
+    /// round's workload into the outboxes, then a [`PdhtNetwork::lane_pass`]
+    /// issues the merged batches at the phase instant and drains the rest
+    /// of the round, parking every lane clock at the boundary.
     pub(crate) fn phase_queries_sharded(&mut self, round: u64) {
         let mut st = self.sharded.take().expect("sharded query phase needs sharded state");
         let r = Round(round);
         let t_q = r.start() + SimTime::from_micros(QUERIES_OFFSET_US);
         let in_round = r.end() - SimTime::from_micros(1);
-        let round_end = r.end();
 
-        // Pass 1 — generate: each shard draws its origin range's workload
+        // Generate (parallel): each shard draws its origin range's workload
         // and deals queries to the shard owning the key's replica group
         // (its own shard without an overlay: NoIndex broadcasts are
         // origin-local).
+        let t0 = self.phase_timers.is_some().then(Instant::now);
         {
             let workload = &self.workload;
             let keys = &self.keys;
@@ -180,82 +223,176 @@ impl PdhtNetwork {
                         Some(o) => u32::from(group_shard[o.group_of_key(keys[q.key_index])]),
                         None => s as u32,
                     };
-                    lane.outbox.push(dest, t_q, q);
+                    lane.outbox.push(dest, t_q, LaneMsg::Query(q));
                 }
             });
         }
+        if let (Some(t0), Some(tm)) = (t0, self.phase_timers.as_mut()) {
+            tm.queries += t0.elapsed();
+        }
 
-        // Barrier — merge outboxes into per-destination batches in the
-        // `(time, src, seq)` total order.
-        let batches = merge_outboxes(st.lanes.iter_mut().map(|l| &mut l.outbox), st.shards);
+        self.lane_pass(&mut st, in_round, Some(r.end()), true);
+        self.sharded = Some(st);
+    }
 
-        // Pass 2 — execute: each shard drains its due lane events, issues
-        // its merged batch at the phase instant, then drains the rest of
-        // the round and parks its clock at the boundary.
-        {
-            let (slot, store_shards) = self.peers.split_mut();
-            let world = QueryWorld {
-                overlay: self.overlay.as_deref(),
-                live: self.churn.liveness(),
-                topo: &self.topo,
-                content: &self.content,
-                updates: &self.updates,
-                groups: &self.groups,
-                keys: &self.keys,
-                article_of: &self.article_of,
-                latency: self.latency.as_ref(),
-                strategy: self.cfg.strategy,
-                walkers: self.cfg.walkers,
-                walk_budget: u64::from(self.cfg.walk_budget_factor)
-                    * u64::from(self.cfg.scenario.num_peers),
-                nap: self.nap,
-                ttl_rounds: self.ttl_rounds,
-                query_timeout_secs: self.cfg.query_timeout_secs,
-            };
-            let mut tasks: Vec<LaneTask<'_>> = st
-                .lanes
-                .iter_mut()
-                .zip(store_shards.iter_mut())
-                .zip(batches)
-                .map(|((lane, store), batch)| LaneTask { lane, store, batch })
-                .collect();
-            let pool = &st.pool;
-            pool.run(&mut tasks, |s, task| {
-                let mut dispatched = 0;
-                {
-                    let lane = &mut *task.lane;
-                    let mut exec = QueryExec {
-                        world,
-                        lane: QueryLane {
-                            stores: ShardStores {
-                                slot,
-                                shard_id: s as u16,
-                                shard: &mut *task.store,
+    /// Runs one parallel drain pass over every lane: merge the outboxes
+    /// (and the engine's deal box) into the `(time, src, seq)` total
+    /// order, deliver each shard's batch with per-message clock clamping
+    /// (`max(msg.time, lane now)`), drain lane events due by `deadline`,
+    /// then apply the planned routing-table repairs serially in lane
+    /// order. Loops until every outbox is quiescent — cross-lane waves
+    /// (update handoffs) settle within the pass. `advance` parks every
+    /// lane clock afterwards (the round boundary on the final pass).
+    pub(crate) fn lane_pass(
+        &mut self,
+        st: &mut ShardedState,
+        deadline: SimTime,
+        advance: Option<SimTime>,
+        queries_bucket: bool,
+    ) {
+        let timing = self.phase_timers.is_some();
+        let mut pool_time = std::time::Duration::ZERO;
+        let mut barrier_time = std::time::Duration::ZERO;
+        let mut first = true;
+        loop {
+            let t0 = timing.then(Instant::now);
+            {
+                let ShardedState { lanes, deal, merge, .. } = &mut *st;
+                // The deal box is chained unconditionally: it is only
+                // non-empty on the first iteration after the content-update
+                // phase and drains like any lane outbox.
+                merge_outboxes_into(
+                    lanes.iter_mut().map(|l| &mut l.outbox).chain(std::iter::once(deal)),
+                    merge,
+                );
+            }
+            if let Some(t0) = t0 {
+                barrier_time += t0.elapsed();
+            }
+            let have_msgs = st.merge.total() > 0;
+            if !have_msgs && !first {
+                break;
+            }
+            let work = have_msgs
+                || st.lanes.iter().any(|l| l.events.peek_time().is_some_and(|t| t <= deadline));
+            if work {
+                let (slot, store_shards) = self.peers.split_mut();
+                let world = QueryWorld {
+                    overlay: self.overlay.as_deref(),
+                    live: self.churn.liveness(),
+                    topo: &self.topo,
+                    content: &self.content,
+                    updates: &self.updates,
+                    groups: &self.groups,
+                    keys: &self.keys,
+                    article_of: &self.article_of,
+                    latency: self.latency.as_ref(),
+                    keys_by_article: &self.keys_by_article,
+                    group_shard: &st.group_shard,
+                    strategy: self.cfg.strategy,
+                    walkers: self.cfg.walkers,
+                    walk_budget: u64::from(self.cfg.walk_budget_factor)
+                        * u64::from(self.cfg.scenario.num_peers),
+                    nap: self.nap,
+                    ttl_rounds: self.ttl_rounds,
+                    probe_rate: self.probe_rate,
+                    purge_stride: self.cfg.purge_stride,
+                    query_timeout_secs: self.cfg.query_timeout_secs,
+                };
+                let mut tasks: Vec<LaneTask<'_>> = st
+                    .lanes
+                    .iter_mut()
+                    .zip(store_shards.iter_mut())
+                    .zip(st.merge.batches_mut().iter_mut())
+                    .map(|((lane, store), batch)| LaneTask { lane, store, batch })
+                    .collect();
+                let pool = &st.pool;
+                let t0 = timing.then(Instant::now);
+                pool.run(&mut tasks, |s, task| {
+                    let mut dispatched = 0;
+                    {
+                        let lane = &mut *task.lane;
+                        let mut exec = QueryExec {
+                            world,
+                            lane: QueryLane {
+                                stores: ShardStores {
+                                    slot,
+                                    shard_id: s as u16,
+                                    shard: &mut *task.store,
+                                },
+                                admission: &mut lane.admission,
+                                metrics: &mut lane.metrics,
+                                counters: &mut lane.counters,
+                                rng_overlay: &mut lane.rng_overlay,
+                                rng_search: &mut lane.rng_search,
+                                rng_latency: &mut lane.rng_latency,
+                                scratch: &mut lane.scratch,
+                                inflight: &mut lane.inflight,
+                                updates_inflight: &mut lane.updates_inflight,
+                                events: &mut lane.events,
+                                outbox: &mut lane.outbox,
+                                repairs: &mut lane.repairs,
+                                plan: &mut lane.plan,
                             },
-                            admission: &mut lane.admission,
-                            metrics: &mut lane.metrics,
-                            counters: &mut lane.counters,
-                            rng_overlay: &mut lane.rng_overlay,
-                            rng_search: &mut lane.rng_search,
-                            rng_latency: &mut lane.rng_latency,
-                            scratch: &mut lane.scratch,
-                            inflight: &mut lane.inflight,
-                            events: &mut lane.events,
-                        },
-                    };
-                    dispatched += exec.drain_until(t_q);
-                    exec.lane.events.advance_to(t_q);
-                    for msg in &task.batch {
-                        exec.start_query(msg.payload, round);
+                        };
+                        for msg in task.batch.drain(..) {
+                            // A handed-off context can carry a timestamp
+                            // behind this lane's clock; deliveries clamp
+                            // forward (never backward — the merge order is
+                            // already fixed).
+                            let at = msg.time.max(exec.lane.events.now());
+                            dispatched += exec.drain_until(at);
+                            exec.lane.events.advance_to(at);
+                            exec.deliver(msg.payload, at.round().0);
+                        }
+                        dispatched += exec.drain_until(deadline);
                     }
-                    dispatched += exec.drain_until(in_round);
-                    exec.lane.events.advance_to(round_end);
+                    task.lane.dispatched += dispatched;
+                });
+                if let Some(t0) = t0 {
+                    pool_time += t0.elapsed();
                 }
-                task.lane.dispatched += dispatched;
-            });
+            }
+            // Serial barrier: apply each lane's planned repairs in lane
+            // order — the only routing-table mutation between phases.
+            if st.lanes.iter().any(|l| !l.repairs.is_empty()) {
+                let t0 = timing.then(Instant::now);
+                let live = self.churn.liveness();
+                let o = self.overlay.as_deref_mut().expect("maintenance repairs imply an overlay");
+                for lane in &mut st.lanes {
+                    if !lane.repairs.is_empty() {
+                        o.maintenance_apply(&lane.repairs, live);
+                        lane.repairs.clear();
+                    }
+                }
+                if let Some(t0) = t0 {
+                    barrier_time += t0.elapsed();
+                }
+            }
+            if !work {
+                break;
+            }
+            first = false;
         }
+        if let Some(at) = advance {
+            for lane in &mut st.lanes {
+                lane.events.advance_to(at);
+            }
+        }
+        if let Some(tm) = self.phase_timers.as_mut() {
+            if queries_bucket {
+                tm.queries += pool_time;
+            } else {
+                tm.background += pool_time;
+            }
+            tm.barriers += barrier_time;
+        }
+    }
 
-        // Barrier — fold lane accounting into the engine, in shard order.
+    /// The bookkeeping barrier: folds every lane's accounting into the
+    /// engine, in shard order. No-op on unsharded engines.
+    pub(crate) fn fold_lanes(&mut self) {
+        let Some(st) = &mut self.sharded else { return };
         for lane in &mut st.lanes {
             let lane_metrics = std::mem::replace(&mut lane.metrics, Metrics::new());
             self.metrics.merge_from(&lane_metrics);
@@ -264,6 +401,5 @@ impl PdhtNetwork {
             self.events_dispatched += lane.dispatched;
             lane.dispatched = 0;
         }
-        self.sharded = Some(st);
     }
 }

@@ -181,6 +181,25 @@ fn ttl_sweeps_still_evict_under_jitter() {
 }
 
 #[test]
+fn sharded_busy_config_is_thread_invariant() {
+    // The busy scenario with everything on at once — churn, jittered
+    // maintenance and TTL sweeps, update waves riding non-zero latency —
+    // run at shards = 4. `run_totals` asserts the per-kind accounting is
+    // bit-identical across thread counts {1, 2, 4, 8}; this is the
+    // whole-round-lanes analogue of the golden vectors above (which pin
+    // the `shards = 1` legacy path).
+    for strategy in [Strategy::Partial, Strategy::IndexAll] {
+        let mut cfg = busy_cfg(OverlayKind::Trie, strategy);
+        cfg.shards = 4;
+        cfg.latency = LatencyConfig::Uniform { lo_ms: 300.0, hi_ms: 900.0 };
+        cfg.background =
+            BackgroundSchedule { maintenance_jitter_us: 900_000, ttl_jitter_us: 900_000 };
+        let totals = run_totals(cfg, 30);
+        assert!(totals.iter().sum::<u64>() > 0, "busy run must produce traffic");
+    }
+}
+
+#[test]
 fn nonzero_latency_leaves_updates_in_flight() {
     // With hop delays comparable to the round length, update propagations
     // must actually ride the queue (and still drain deterministically).

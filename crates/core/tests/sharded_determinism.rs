@@ -105,6 +105,41 @@ fn every_overlay_is_thread_invariant() {
 }
 
 #[test]
+fn updates_in_flight_gauge_is_thread_invariant() {
+    // With hop delays comparable to the round length, update waves park in
+    // the per-lane slabs between rounds. The gauge must (a) actually go
+    // nonzero — the sharded path keeps updates in flight, not silently
+    // dropped at the barrier — and (b) trace identically at every thread
+    // count, since it sums engine + lane slabs whose contents are fixed by
+    // the deterministic lane schedule.
+    let mut cfg = sharded_cfg(Strategy::IndexAll, 4, 0xf1e7);
+    cfg.scenario.f_upd = 0.01;
+    cfg.latency = LatencyConfig::Uniform { lo_ms: 300.0, hi_ms: 900.0 };
+    let gauge_trace = |threads: usize| {
+        let mut net = PdhtNetwork::new(cfg.clone()).expect("network builds");
+        net.set_threads(threads);
+        let mut trace = Vec::with_capacity(20);
+        for _ in 0..20 {
+            net.step_round();
+            trace.push(net.updates_in_flight());
+        }
+        trace
+    };
+    let baseline = gauge_trace(1);
+    assert!(
+        baseline.iter().any(|&g| g > 0),
+        "sub-second waves at 1s rounds must span rounds: {baseline:?}"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            gauge_trace(threads),
+            baseline,
+            "threads={threads} changed the updates_in_flight trace"
+        );
+    }
+}
+
+#[test]
 fn sharded_run_still_does_real_work() {
     // Guard against the invariance tests passing vacuously on an engine
     // that stopped issuing queries.

@@ -7,7 +7,7 @@
 //! the remaining clockwise distance — the same `O(log n)` hop and table
 //! asymptotics as the trie, with different constants.
 
-use crate::traits::{HopOutcome, LookupState, Overlay};
+use crate::traits::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result};
 use rand::rngs::SmallRng;
@@ -332,6 +332,91 @@ impl Overlay for ChordOverlay {
             }
             if !fresh.is_empty() {
                 self.nodes[i].successors = fresh;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors maintenance_step plus plan outputs
+    fn maintenance_plan(
+        &self,
+        peer: PeerId,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        _scratch: &mut PlanScratch,
+        out: &mut Vec<Repair>,
+    ) {
+        // Read-only mirror of `maintenance_step`: identical probe draws,
+        // identical finger walks (rng-free), repairs recorded instead of
+        // applied. Nothing here reads another peer's mutable state (only
+        // immutable ids and the ring oracle), so batched plans replay
+        // exactly.
+        if !live.is_online(peer) {
+            return;
+        }
+        let i = peer.idx();
+        for (fi, &f) in self.nodes[i].fingers.iter().enumerate() {
+            if rng.random::<f64>() < env {
+                metrics.record(MessageKind::Probe);
+                if !live.is_online(f) {
+                    let old_id = self.nodes[f.idx()].id;
+                    let mut probe_point = old_id.wrapping_add(1);
+                    let mut replacement = Self::successor_on(&self.ring, probe_point);
+                    let mut guard = 0;
+                    while !live.is_online(replacement) && guard < self.ring.len() {
+                        probe_point = self.nodes[replacement.idx()].id.wrapping_add(1);
+                        replacement = Self::successor_on(&self.ring, probe_point);
+                        guard += 1;
+                    }
+                    if live.is_online(replacement) {
+                        out.push(Repair::ChordFinger { peer, slot: fi as u32, to: replacement });
+                    }
+                }
+            }
+        }
+        let mut any_stale = false;
+        for &s in &self.nodes[i].successors {
+            if rng.random::<f64>() < env {
+                metrics.record(MessageKind::Probe);
+                if !live.is_online(s) {
+                    any_stale = true;
+                }
+            }
+        }
+        if any_stale {
+            // The fresh successor list is a pure function of the ring and
+            // liveness, both stable until the apply barrier — record a
+            // marker and re-derive there.
+            out.push(Repair::ChordSuccessors { peer });
+        }
+    }
+
+    fn maintenance_apply(&mut self, repairs: &[Repair], live: &Liveness) {
+        for &r in repairs {
+            match r {
+                Repair::ChordFinger { peer, slot, to } => {
+                    self.nodes[peer.idx()].fingers[slot as usize] = to;
+                }
+                Repair::ChordSuccessors { peer } => {
+                    let i = peer.idx();
+                    let my_id = self.nodes[i].id;
+                    let n_ring = self.ring.len();
+                    let start = self.ring.partition_point(|&(id, _)| id <= my_id) % n_ring;
+                    let mut fresh = Vec::with_capacity(SUCCESSORS);
+                    let mut off = 0usize;
+                    while fresh.len() < SUCCESSORS.min(n_ring - 1) && off < n_ring - 1 {
+                        let cand = self.ring[(start + off) % n_ring].1;
+                        if live.is_online(cand) {
+                            fresh.push(cand);
+                        }
+                        off += 1;
+                    }
+                    if !fresh.is_empty() {
+                        self.nodes[i].successors = fresh;
+                    }
+                }
+                other => unreachable!("non-Chord repair {other:?} handed to ChordOverlay"),
             }
         }
     }

@@ -188,7 +188,16 @@ impl ChurnModel {
     /// ascending peer index, the old full scan's order), so the cost is
     /// O(transitions log transitions), not O(population).
     pub fn step_second(&mut self, rng: &mut SmallRng) -> Vec<(PeerId, bool)> {
-        self.step_second_sharded(std::slice::from_mut(rng))
+        let mut transitions = Vec::new();
+        self.step_second_into(rng, &mut transitions);
+        transitions
+    }
+
+    /// [`ChurnModel::step_second`] appending into a caller-owned buffer, so
+    /// per-round drivers reuse one allocation instead of returning a fresh
+    /// `Vec` every second.
+    pub fn step_second_into(&mut self, rng: &mut SmallRng, out: &mut Vec<(PeerId, bool)>) {
+        self.step_second_sharded_into(std::slice::from_mut(rng), out);
     }
 
     /// The sharded form of [`ChurnModel::step_second`]: shard `s`'s due
@@ -202,14 +211,30 @@ impl ChurnModel {
     /// Panics if `rngs.len()` differs from the shard count the model was
     /// built with.
     pub fn step_second_sharded(&mut self, rngs: &mut [SmallRng]) -> Vec<(PeerId, bool)> {
+        let mut transitions = Vec::new();
+        self.step_second_sharded_into(rngs, &mut transitions);
+        transitions
+    }
+
+    /// [`ChurnModel::step_second_sharded`] appending into a caller-owned
+    /// buffer (not cleared first; transitions are pushed in the same order
+    /// the returning form produces).
+    ///
+    /// # Panics
+    /// Panics if `rngs.len()` differs from the shard count the model was
+    /// built with.
+    pub fn step_second_sharded_into(
+        &mut self,
+        rngs: &mut [SmallRng],
+        transitions: &mut Vec<(PeerId, bool)>,
+    ) {
         assert_eq!(rngs.len(), self.calendars.len(), "one rng stream per churn shard");
         if self.cfg.is_static() {
             self.now_secs += 1.0;
             self.round += 1;
-            return Vec::new();
+            return;
         }
         let end = self.now_secs + 1.0;
-        let mut transitions = Vec::new();
         for s in 0..self.calendars.len() {
             let Some(mut due) = self.calendars[s].remove(&self.round) else {
                 continue;
@@ -245,7 +270,6 @@ impl ChurnModel {
         }
         self.now_secs = end;
         self.round += 1;
-        transitions
     }
 
     /// Forces a specific status (used by failure-injection tests).

@@ -359,6 +359,106 @@ pub fn check_maintenance_step_matches_round(factory: Factory) {
     }
 }
 
+/// `maintenance_plan` + `maintenance_apply` is exactly `maintenance_step`:
+/// with identically seeded rngs, planning **every** peer first and replaying
+/// the batched repairs afterwards must charge the same probes, leave the rng
+/// in the same state (draw-for-draw parity), and produce identically-behaving
+/// routing tables as stepping each peer in turn. This is the contract that
+/// lets shard lanes plan their peers on worker threads and apply repairs at
+/// the serial pass barrier without perturbing the stepping path's results.
+pub fn check_maintenance_plan_apply_matches_step(factory: Factory) {
+    use crate::traits::PlanScratch;
+    for (n, g, seed) in SHAPES {
+        let mut stepped = build(factory, n, g, seed);
+        let mut planned = build(factory, n, g, seed);
+        let mut live = Liveness::all_online(n);
+        let mut churn_rng = SmallRng::seed_from_u64(seed ^ 0xF0F0);
+        for i in 1..n {
+            if churn_rng.random::<f64>() < 0.25 {
+                live.set(PeerId::from_idx(i), false);
+            }
+        }
+        assert!(live.is_online(PeerId(0)));
+        let maint_seed = seed ^ 0xF3;
+        let mut m_stepped = Metrics::new();
+        let mut m_planned = Metrics::new();
+        let mut rng_stepped = SmallRng::seed_from_u64(maint_seed);
+        let mut rng_planned = SmallRng::seed_from_u64(maint_seed);
+        let mut scratch = PlanScratch::new();
+        let mut repairs = Vec::new();
+        for _ in 0..5 {
+            for p in 0..n {
+                stepped.maintenance_step(
+                    PeerId::from_idx(p),
+                    0.3,
+                    &live,
+                    &mut rng_stepped,
+                    &mut m_stepped,
+                );
+            }
+            // Plan ALL peers before applying ANY repair — the batched shape
+            // shard lanes use (plans collected on workers, applied at the
+            // barrier).
+            repairs.clear();
+            for p in 0..n {
+                planned.maintenance_plan(
+                    PeerId::from_idx(p),
+                    0.3,
+                    &live,
+                    &mut rng_planned,
+                    &mut m_planned,
+                    &mut scratch,
+                    &mut repairs,
+                );
+            }
+            planned.maintenance_apply(&repairs, &live);
+            // Draw-for-draw parity, checked every round so a divergence is
+            // caught at the pass that introduced it.
+            assert_eq!(
+                rng_planned.random::<u64>(),
+                rng_stepped.random::<u64>(),
+                "plan must consume rng exactly like step (n={n}, g={g})"
+            );
+        }
+        assert_eq!(
+            m_planned.totals()[MessageKind::Probe],
+            m_stepped.totals()[MessageKind::Probe],
+            "planning must charge exactly the stepping probes (n={n}, g={g})"
+        );
+        // Structural equality of the repaired tables, peer by peer.
+        for p in (0..n).map(PeerId::from_idx) {
+            assert_eq!(
+                planned.routing_entries(p),
+                stepped.routing_entries(p),
+                "table sizes diverged at peer {p} (n={n}, g={g})"
+            );
+        }
+        // And behavioural equality: identical lookup traces from identical
+        // rng states.
+        let mut r1 = SmallRng::seed_from_u64(seed ^ 0xF4);
+        let mut r2 = SmallRng::seed_from_u64(seed ^ 0xF4);
+        for key in keys_for(seed ^ 3, 25) {
+            let from = loop {
+                let c = PeerId::from_idx(r1.random_range(0..n));
+                let c2 = PeerId::from_idx(r2.random_range(0..n));
+                assert_eq!(c, c2);
+                if live.is_online(c) {
+                    break c;
+                }
+            };
+            let a = stepped.lookup(from, key, &live, &mut r1, &mut m_stepped);
+            let b = planned.lookup(from, key, &live, &mut r2, &mut m_planned);
+            match (a, b) {
+                (Ok(oa), Ok(ob)) => {
+                    assert_eq!((oa.peer, oa.hops), (ob.peer, ob.hops), "repaired tables diverged");
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("repaired tables diverged: {a:?} vs {b:?} (n={n}, g={g})"),
+            }
+        }
+    }
+}
+
 /// Runs every conformance check (the one-call entry point; the
 /// [`conformance_suite!`](crate::conformance_suite) macro exposes them as
 /// individual named tests instead).
@@ -371,6 +471,7 @@ pub fn check_all(factory: Factory) {
     check_determinism_under_fixed_seeds(factory);
     check_liveness_under_churn(factory);
     check_maintenance_step_matches_round(factory);
+    check_maintenance_plan_apply_matches_step(factory);
 }
 
 /// Expands to a module of `#[test]`s — one per conformance invariant — for
@@ -422,6 +523,11 @@ macro_rules! conformance_suite {
             #[test]
             fn maintenance_step_matches_round() {
                 $crate::conformance::check_maintenance_step_matches_round(FACTORY);
+            }
+
+            #[test]
+            fn maintenance_plan_apply_matches_step() {
+                $crate::conformance::check_maintenance_plan_apply_matches_step(FACTORY);
             }
         }
     };

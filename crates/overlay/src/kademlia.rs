@@ -20,7 +20,7 @@
 //! is the *balanced* outcome: peers are dealt round-robin over the `2^d`
 //! prefixes (so no group is empty) and draw the remaining id bits randomly.
 
-use crate::traits::{HopOutcome, LookupState, Overlay};
+use crate::traits::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result, KEY_BITS};
 use rand::rngs::SmallRng;
@@ -345,6 +345,110 @@ impl Overlay for KademliaOverlay {
                 if let Some(fresh) = revived {
                     self.nodes[p].kbuckets[j].push(fresh);
                 }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors maintenance_step plus plan outputs
+    fn maintenance_plan(
+        &self,
+        peer: PeerId,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        scratch: &mut PlanScratch,
+        out: &mut Vec<Repair>,
+    ) {
+        // Read-only mirror of `maintenance_step` — with one twist: refresh
+        // acceptance (`!bucket.contains(&cand)`) and the empty-bucket check
+        // read the bucket *mid-mutation*, so the plan replays each bucket's
+        // mutations in `scratch.buf` to keep the candidate draws
+        // draw-for-draw identical to the stepping path.
+        if !live.is_online(peer) {
+            return;
+        }
+        let p = peer.idx();
+        for j in 0..self.nodes[p].kbuckets.len() {
+            scratch.buf.clear();
+            scratch.buf.extend_from_slice(&self.nodes[p].kbuckets[j]);
+            scratch.stale.clear();
+            for &c in &scratch.buf {
+                if rng.random::<f64>() < env {
+                    metrics.record(MessageKind::Probe);
+                    if !live.is_online(c) {
+                        scratch.stale.push(c);
+                    }
+                }
+            }
+            let x = self.nodes[p].id;
+            for si in 0..scratch.stale.len() {
+                let s = scratch.stale[si];
+                if let Some(pos) = scratch.buf.iter().position(|&c| c == s) {
+                    // Simulated `refresh_entry` against the scratch bucket.
+                    let range = self.bucket_range(x, j as u32);
+                    let mut replacement = None;
+                    for _ in 0..8 {
+                        if range.is_empty() {
+                            break;
+                        }
+                        let (_, cand) = range[rng.random_range(0..range.len())];
+                        if live.is_online(cand) && !scratch.buf.contains(&cand) {
+                            replacement = Some(cand);
+                            break;
+                        }
+                    }
+                    match replacement {
+                        Some(fresh) => scratch.buf[pos] = fresh,
+                        None => {
+                            scratch.buf.swap_remove(pos);
+                        }
+                    }
+                    out.push(Repair::KadRefresh { peer, bucket: j as u32, stale: s, replacement });
+                }
+            }
+            if scratch.buf.is_empty() {
+                let mut revived = None;
+                let range = self.bucket_range(x, j as u32);
+                for _ in 0..8 {
+                    if range.is_empty() {
+                        break;
+                    }
+                    let (_, cand) = range[rng.random_range(0..range.len())];
+                    if live.is_online(cand) {
+                        revived = Some(cand);
+                        break;
+                    }
+                }
+                if let Some(fresh) = revived {
+                    out.push(Repair::KadRevive { peer, bucket: j as u32, fresh });
+                }
+            }
+        }
+    }
+
+    fn maintenance_apply(&mut self, repairs: &[Repair], _live: &Liveness) {
+        for &r in repairs {
+            match r {
+                Repair::KadRefresh { peer, bucket, stale, replacement } => {
+                    let b = &mut self.nodes[peer.idx()].kbuckets[bucket as usize];
+                    // The plan only records a refresh when the stale entry
+                    // was still present in its simulated bucket, and the
+                    // real bucket replays the same mutation sequence, so
+                    // the position lookup matches the planned one.
+                    if let Some(pos) = b.iter().position(|&c| c == stale) {
+                        match replacement {
+                            Some(fresh) => b[pos] = fresh,
+                            None => {
+                                b.swap_remove(pos);
+                            }
+                        }
+                    }
+                }
+                Repair::KadRevive { peer, bucket, fresh } => {
+                    self.nodes[peer.idx()].kbuckets[bucket as usize].push(fresh);
+                }
+                other => unreachable!("non-Kademlia repair {other:?} handed to KademliaOverlay"),
             }
         }
     }

@@ -33,5 +33,5 @@ pub mod trie;
 pub use chord::ChordOverlay;
 pub use churn::{ChurnConfig, ChurnModel};
 pub use kademlia::KademliaOverlay;
-pub use traits::{HopOutcome, LookupOutcome, LookupState, Overlay};
+pub use traits::{HopOutcome, LookupOutcome, LookupState, Overlay, PlanScratch, Repair};
 pub use trie::TrieOverlay;

@@ -40,6 +40,83 @@ pub enum HopOutcome {
     Forwarded(PeerId),
 }
 
+/// One routing-table mutation recorded by [`Overlay::maintenance_plan`]
+/// and replayed by [`Overlay::maintenance_apply`].
+///
+/// Each variant names the substrate it belongs to; an overlay applies its
+/// own variants and panics on foreign ones (a plan is never handed to a
+/// different substrate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repair {
+    /// Chord: re-target finger `slot` of `peer` to `to`.
+    ChordFinger {
+        /// The peer whose finger table is repaired.
+        peer: PeerId,
+        /// Finger-table slot index.
+        slot: u32,
+        /// The fresh online target.
+        to: PeerId,
+    },
+    /// Chord: rebuild `peer`'s successor list from the ring (the walk is
+    /// rng-free, so the fresh list is re-derived at apply time).
+    ChordSuccessors {
+        /// The peer whose successor list went stale.
+        peer: PeerId,
+    },
+    /// Trie: replace `stale` in `peer`'s level-`level` references with
+    /// `replacement` (`None`, or an already-present pick, evicts instead).
+    TrieRef {
+        /// The peer whose reference list is repaired.
+        peer: PeerId,
+        /// Trie level of the reference list.
+        level: u32,
+        /// The stale reference found by probing.
+        stale: PeerId,
+        /// The sampled replacement, if the sibling leaf offered one.
+        replacement: Option<PeerId>,
+    },
+    /// Kademlia: refresh the `stale` contact in bucket `bucket` of `peer`
+    /// with `replacement` (`None` evicts).
+    KadRefresh {
+        /// The peer whose k-bucket is refreshed.
+        peer: PeerId,
+        /// K-bucket index.
+        bucket: u32,
+        /// The stale contact found by probing.
+        stale: PeerId,
+        /// The sampled online replacement, if any.
+        replacement: Option<PeerId>,
+    },
+    /// Kademlia: revive the drained bucket `bucket` of `peer` with `fresh`.
+    KadRevive {
+        /// The peer whose k-bucket drained empty.
+        peer: PeerId,
+        /// K-bucket index.
+        bucket: u32,
+        /// The sampled online contact seeding the bucket again.
+        fresh: PeerId,
+    },
+}
+
+/// Reusable scratch for [`Overlay::maintenance_plan`]: plan passes run on
+/// worker threads every round, so their temporaries live in one
+/// caller-owned buffer set instead of per-call allocations.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// A simulated routing-bucket copy (Kademlia's refresh acceptance
+    /// reads the bucket mid-mutation, so planning replays it here).
+    pub(crate) buf: Vec<PeerId>,
+    /// Stale entries collected by the probe sweep of one level/bucket.
+    pub(crate) stale: Vec<PeerId>,
+}
+
+impl PlanScratch {
+    /// Empty scratch buffers.
+    pub fn new() -> PlanScratch {
+        PlanScratch::default()
+    }
+}
+
 /// A structured overlay ("traditional DHT").
 ///
 /// Implementations must:
@@ -66,9 +143,11 @@ pub enum HopOutcome {
 ///   (routing terminates exactly when it reaches the key's group).
 ///
 /// `Send + Sync` is a supertrait: the shard-parallel engine routes lookups
-/// through a shared `&dyn Overlay` from multiple worker threads (all
-/// routing methods take `&self`; mutation happens only in the serial
-/// maintenance phase).
+/// — and plans maintenance repairs — through a shared `&dyn Overlay` from
+/// multiple worker threads (routing and [`Overlay::maintenance_plan`] take
+/// `&self`; mutation happens only at serial barriers, via
+/// [`Overlay::maintenance_apply`] or the single-shard
+/// [`Overlay::maintenance_step`] path).
 pub trait Overlay: Send + Sync {
     /// Number of peers participating in the overlay (`numActivePeers`).
     fn num_active(&self) -> usize;
@@ -162,6 +241,38 @@ pub trait Overlay: Send + Sync {
         rng: &mut SmallRng,
         metrics: &mut Metrics,
     );
+
+    /// The read-only half of [`Overlay::maintenance_step`]: probes `peer`'s
+    /// routing entries with probability `env`, drawing from `rng` in
+    /// **exactly** the order `maintenance_step` would, and records the
+    /// resulting table mutations into `out` instead of applying them.
+    ///
+    /// Contract (the conformance kit enforces it): planning peers
+    /// `0..num_active` and then replaying every recorded repair with
+    /// [`Overlay::maintenance_apply`] must leave the overlay — and the rng
+    /// and `metrics` — in the same state as stepping each peer in turn,
+    /// provided `live` is unchanged between plan and apply. This holds
+    /// because no peer's step reads another peer's *mutable* routing state;
+    /// it is what lets shard lanes plan their peers on worker threads and
+    /// apply at the serial pass barrier.
+    #[allow(clippy::too_many_arguments)] // mirrors maintenance_step plus plan outputs
+    fn maintenance_plan(
+        &self,
+        peer: PeerId,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        scratch: &mut PlanScratch,
+        out: &mut Vec<Repair>,
+    );
+
+    /// Replays repairs recorded by [`Overlay::maintenance_plan`], in order.
+    ///
+    /// # Panics
+    /// Panics if handed a [`Repair`] variant belonging to a different
+    /// substrate.
+    fn maintenance_apply(&mut self, repairs: &[Repair], live: &Liveness);
 
     /// One second of routing-table maintenance for every peer: the
     /// per-peer [`Overlay::maintenance_step`] swept in peer order.

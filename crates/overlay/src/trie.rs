@@ -12,7 +12,7 @@
 //! across leaves. The paper's own analysis likewise assumes a balanced
 //! binary key space (Section 3.2, footnote 3).
 
-use crate::traits::{HopOutcome, LookupState, Overlay};
+use crate::traits::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Prefix, Result};
 use rand::rngs::SmallRng;
@@ -180,6 +180,14 @@ impl TrieOverlay {
     /// from the correct sibling subtree (message-free repair; the paper
     /// assumes repair information piggybacks on regular traffic).
     fn repair_ref(&mut self, peer: PeerId, level: u32, stale: PeerId, rng: &mut SmallRng) {
+        let replacement = self.sample_replacement(peer, level, rng);
+        self.apply_ref_repair(peer, level, stale, replacement);
+    }
+
+    /// The rng half of [`TrieOverlay::repair_ref`]: samples a sibling-leaf
+    /// replacement without touching the reference lists (draws depend only
+    /// on the immutable leaf partition, so plan and step draw identically).
+    fn sample_replacement(&self, peer: PeerId, level: u32, rng: &mut SmallRng) -> Option<PeerId> {
         let num_leaves = self.leaves.len();
         let my_leaf = self.leaf_of_peer(peer);
         let block = num_leaves >> (level + 1);
@@ -188,7 +196,17 @@ impl TrieOverlay {
         let my_side = (my_leaf >> half) & 1;
         let sibling_start = if my_side == 0 { my_block_start + block } else { my_block_start };
         let leaf = sibling_start + rng.random_range(0..block);
-        let replacement = self.leaves[leaf].as_slice().choose(rng).copied();
+        self.leaves[leaf].as_slice().choose(rng).copied()
+    }
+
+    /// The mutation half of [`TrieOverlay::repair_ref`].
+    fn apply_ref_repair(
+        &mut self,
+        peer: PeerId,
+        level: u32,
+        stale: PeerId,
+        replacement: Option<PeerId>,
+    ) {
         let level_refs = &mut self.refs[peer.idx()][level as usize];
         if let Some(pos) = level_refs.iter().position(|&r| r == stale) {
             match replacement {
@@ -301,6 +319,53 @@ impl Overlay for TrieOverlay {
             }
             for s in stale {
                 self.repair_ref(peer, level, s, rng);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors maintenance_step plus plan outputs
+    fn maintenance_plan(
+        &self,
+        peer: PeerId,
+        env: f64,
+        live: &Liveness,
+        rng: &mut SmallRng,
+        metrics: &mut Metrics,
+        scratch: &mut PlanScratch,
+        out: &mut Vec<Repair>,
+    ) {
+        // Read-only mirror of `maintenance_step`: the probe sweep and the
+        // replacement sampling read only the immutable leaf partition and
+        // this peer's own pre-step references, so recording repairs and
+        // replaying them later is draw-for-draw identical.
+        if !live.is_online(peer) {
+            return;
+        }
+        let p = peer.idx();
+        for level in 0..self.depth {
+            scratch.stale.clear();
+            for &r in &self.refs[p][level as usize] {
+                if rng.random::<f64>() < env {
+                    metrics.record(MessageKind::Probe);
+                    if !live.is_online(r) {
+                        scratch.stale.push(r);
+                    }
+                }
+            }
+            for &s in &scratch.stale {
+                let replacement = self.sample_replacement(peer, level, rng);
+                out.push(Repair::TrieRef { peer, level, stale: s, replacement });
+            }
+        }
+    }
+
+    fn maintenance_apply(&mut self, repairs: &[Repair], _live: &Liveness) {
+        for &r in repairs {
+            match r {
+                Repair::TrieRef { peer, level, stale, replacement } => {
+                    self.apply_ref_repair(peer, level, stale, replacement);
+                }
+                other => unreachable!("non-trie repair {other:?} handed to TrieOverlay"),
             }
         }
     }

@@ -16,9 +16,11 @@
 //!   `rand` (the offline set has no `rand_distr`),
 //! * [`RoundDriver`] — a helper that advances simulations round-by-round
 //!   and snapshots metrics at each boundary,
-//! * [`shard`] — shard-parallel execution primitives: a scoped-thread
-//!   [`ShardPool`] plus deterministic cross-shard [`Outbox`]es merged by
-//!   `(time, src, seq)`, so parallel rounds stay bit-reproducible,
+//! * [`shard`] — shard-parallel execution primitives: a [`ShardPool`] of
+//!   persistent parked workers plus deterministic cross-shard [`Outbox`]es
+//!   merged by `(time, src, seq)` into caller-owned [`MergeBuffers`], so
+//!   parallel rounds stay bit-reproducible and the barriers
+//!   allocation-free,
 //! * [`Slab`] — a generational slab for in-flight per-query/per-update
 //!   contexts, so event dispatch parks and resumes state allocation-free,
 //! * [`VisitSet`] — a generation-stamped membership set, so per-query
@@ -37,5 +39,7 @@ pub use event::{EventQueue, HeapEventQueue, Scheduled};
 pub use latency::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
 pub use metrics::{Histogram, HistogramSummary, Metrics, RoundDriver};
 pub use scratch::VisitSet;
-pub use shard::{merge_outboxes, OutMsg, Outbox, ShardPool};
+pub use shard::{
+    merge_outboxes, merge_outboxes_into, MergeBuffers, OutMsg, Outbox, RespawnPool, ShardPool,
+};
 pub use slab::{Slab, SlabKey};
