@@ -18,10 +18,13 @@ fn main() {
     let args = parse_sim_args();
     reject_peers_override(&args, "sim_adaptivity");
     println!(
-        "S3 configuration: overlay = {:?}, latency = {:?}, threads = {}{}",
+        "S3 configuration: overlay = {:?}, latency = {:?}, threads = {}, shards = {}, \
+         gossip codec = {:?}{}",
         args.overlay,
         args.latency,
         args.threads,
+        args.effective_shards(),
+        args.gossip_codec,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario = Scenario::table1_scaled(20); // 1 000 peers, 2 000 keys
@@ -75,6 +78,7 @@ fn main() {
             f3(rep.p_indexed),
             f1(rep.indexed_keys),
             f1(rep.msgs_per_round),
+            f3(rep.wasted_bandwidth),
         ]);
         if end < shift_round && end + window >= shift_round {
             hit_before = rep.p_indexed;
@@ -109,7 +113,7 @@ fn main() {
 
     let path = write_csv(
         "sim_adaptivity",
-        &["window_start", "p_indexed", "indexed_keys", "msgs_per_round"],
+        &["window_start", "p_indexed", "indexed_keys", "msgs_per_round", "wasted_bandwidth"],
         &csv_rows,
     )
     .expect("write results CSV");

@@ -90,7 +90,13 @@ fn main() {
                 ]
             })
             .collect();
-        let unit = if display_us { " (ms)" } else { " (steps)" };
+        let unit = if display_us {
+            " (ms)"
+        } else if metric.starts_with("gossip_wave") {
+            " (receives/wave)"
+        } else {
+            " (steps)"
+        };
         print_table(
             &format!("{metric}{unit} across runs"),
             &["source", "run", "count", "p50", "p95", "p99", "max"],

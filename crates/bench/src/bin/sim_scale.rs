@@ -115,10 +115,12 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "S4 configuration: {num_peers} peers, overlay = {:?}, latency = {:?}, \
-         threads = {} ({host_cpus} host cpus){}",
+         threads = {}, shards = {}, gossip codec = {:?} ({host_cpus} host cpus){}",
         args.overlay,
         args.latency,
         args.threads,
+        args.effective_shards(),
+        args.gossip_codec,
         if args.smoke { ", smoke mode" } else { "" }
     );
 
@@ -126,9 +128,13 @@ fn main() {
     let baseline_ms = read_json_number("BENCH_sim_scale", "ms_per_round");
     let baseline_peers = read_json_number("BENCH_sim_scale", "peers");
 
-    let mut cfg = scale_cfg(num_peers, args.threads);
+    // `effective_shards()` (not `args.threads`): the shard count is the
+    // semantic knob and only *defaults* to the thread count — an explicit
+    // `--shards` decouples the workload from the executor width.
+    let mut cfg = scale_cfg(num_peers, args.effective_shards());
     cfg.overlay = args.overlay;
     cfg.latency = args.latency;
+    cfg.gossip_codec = args.gossip_codec;
 
     let t0 = Instant::now();
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
@@ -164,6 +170,7 @@ fn main() {
         f1(report.msgs_per_round),
         f3(report.p_indexed),
         f1(report.indexed_keys),
+        f3(report.wasted_bandwidth),
         f1(events_per_round),
         format!("{build_secs:.2}"),
         format!("{per_round_ms:.1}"),
@@ -178,6 +185,7 @@ fn main() {
             "msg/round",
             "pIndxd",
             "keys",
+            "wasted",
             "ev/round",
             "build s",
             "ms/round",
@@ -223,6 +231,7 @@ fn main() {
         let mut cfg = scale_cfg(sweep_peers, SWEEP_SHARDS);
         cfg.overlay = args.overlay;
         cfg.latency = args.latency;
+        cfg.gossip_codec = args.gossip_codec;
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.run(1);
     }
@@ -231,6 +240,10 @@ fn main() {
         let mut cfg = scale_cfg(sweep_peers, SWEEP_SHARDS);
         cfg.overlay = args.overlay;
         cfg.latency = args.latency;
+        // The sweep inherits the codec so a `--gossip-codec rlnc` run also
+        // proves the coded waves thread-invariant (the msg/round equality
+        // gate below would trip on any divergence).
+        cfg.gossip_codec = args.gossip_codec;
         let t0 = Instant::now();
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.set_threads(threads as usize);
@@ -296,6 +309,7 @@ fn main() {
             "msgs_per_round",
             "p_indexed",
             "indexed_keys",
+            "wasted_bandwidth",
             "events_per_round",
             "build_secs",
             "ms_per_round",
@@ -332,12 +346,22 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let engine_shards = net.shards();
+    let codec_label = format!("{:?}", args.gossip_codec).to_lowercase();
+    let gossip_innovative = report.gossip_innovative;
+    let gossip_redundant = report.gossip_redundant;
+    let wasted_bandwidth = report.wasted_bandwidth;
     let json = write_json(
         "BENCH_sim_scale",
         &format!(
             "{{\n  \"bench\": \"sim_scale\",\n  \"peers\": {num_peers},\n  \
              \"active_peers\": {nap},\n  \"rounds\": {rounds},\n  \
-             \"threads\": {},\n  \"host_cpus\": {host_cpus},\n  \
+             \"threads\": {},\n  \"shards\": {engine_shards},\n  \
+             \"host_cpus\": {host_cpus},\n  \
+             \"gossip_codec\": \"{codec_label}\",\n  \
+             \"gossip_innovative\": {gossip_innovative},\n  \
+             \"gossip_redundant\": {gossip_redundant},\n  \
+             \"wasted_bandwidth\": {wasted_bandwidth:.6},\n  \
              \"build_secs\": {build_secs:.4},\n  \"wall_clock_secs\": {run_secs:.4},\n  \
              \"ms_per_round\": {per_round_ms:.3},\n  \
              \"events_dispatched\": {events_dispatched},\n  \

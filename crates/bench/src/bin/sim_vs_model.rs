@@ -26,6 +26,7 @@ struct RunResult {
     sim_msgs: f64,
     sim_p_indexed: f64,
     sim_indexed_keys: f64,
+    wasted_bandwidth: f64,
 }
 
 fn run_strategy(
@@ -63,10 +64,13 @@ fn main() {
     let args = parse_sim_args();
     reject_peers_override(&args, "sim_vs_model");
     println!(
-        "S2 configuration: overlay = {:?}, latency = {:?}, threads = {}{}",
+        "S2 configuration: overlay = {:?}, latency = {:?}, threads = {}, shards = {}, \
+         gossip codec = {:?}{}",
         args.overlay,
         args.latency,
         args.threads,
+        args.effective_shards(),
+        args.gossip_codec,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario =
@@ -95,6 +99,7 @@ fn main() {
         ] {
             let (sim_msgs, p_indexed, indexed, rep) =
                 run_strategy(&scenario, f_qry, strategy, rounds, warmup, &args);
+            let wasted_bandwidth = rep.wasted_bandwidth;
             hist_reports.push((format!("{name}@{}", freq_label(f_qry)), rep));
             results.push(RunResult {
                 strategy: name,
@@ -102,6 +107,7 @@ fn main() {
                 sim_msgs,
                 sim_p_indexed: p_indexed,
                 sim_indexed_keys: indexed,
+                wasted_bandwidth,
             });
         }
 
@@ -115,6 +121,7 @@ fn main() {
                     f3(r.sim_msgs / r.model_msgs),
                     f3(r.sim_p_indexed),
                     f1(r.sim_indexed_keys),
+                    f3(r.wasted_bandwidth),
                 ]
             })
             .collect();
@@ -126,7 +133,7 @@ fn main() {
                 rounds,
                 sel.key_ttl
             ),
-            &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys"],
+            &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys", "wasted"],
             &rows,
         );
 
@@ -160,6 +167,7 @@ fn main() {
                 f1(r.sim_msgs),
                 f3(r.sim_p_indexed),
                 f1(r.sim_indexed_keys),
+                f3(r.wasted_bandwidth),
             ]);
         }
     }
@@ -167,7 +175,15 @@ fn main() {
     if args.smoke {
         let path = write_csv(
             "sim_vs_model",
-            &["f_qry", "strategy", "model_msgs", "sim_msgs", "sim_p_indexed", "sim_indexed_keys"],
+            &[
+                "f_qry",
+                "strategy",
+                "model_msgs",
+                "sim_msgs",
+                "sim_p_indexed",
+                "sim_indexed_keys",
+                "wasted_bandwidth",
+            ],
             &csv_rows,
         )
         .expect("write results CSV");
@@ -218,6 +234,7 @@ fn main() {
             sim_msgs: rep.msgs_per_round_model_view(),
             sim_p_indexed: rep.p_indexed,
             sim_indexed_keys: rep.indexed_keys,
+            wasted_bandwidth: rep.wasted_bandwidth,
         });
         hist_reports.push((format!("{name}@full_scale_1_300"), rep));
     }
@@ -231,12 +248,13 @@ fn main() {
                 f3(r.sim_msgs / r.model_msgs),
                 f3(r.sim_p_indexed),
                 f1(r.sim_indexed_keys),
+                f3(r.wasted_bandwidth),
             ]
         })
         .collect();
     print_table(
         &format!("S2 full Table-1 scale at fQry = 1/300 (keyTtl = {ttl}, {rounds} rounds)"),
-        &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys"],
+        &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys", "wasted"],
         &rows,
     );
     let partial = results.iter().find(|r| r.strategy == "partial").unwrap();
@@ -263,12 +281,21 @@ fn main() {
             f1(r.sim_msgs),
             f3(r.sim_p_indexed),
             f1(r.sim_indexed_keys),
+            f3(r.wasted_bandwidth),
         ]);
     }
 
     let path = write_csv(
         "sim_vs_model",
-        &["f_qry", "strategy", "model_msgs", "sim_msgs", "sim_p_indexed", "sim_indexed_keys"],
+        &[
+            "f_qry",
+            "strategy",
+            "model_msgs",
+            "sim_msgs",
+            "sim_p_indexed",
+            "sim_indexed_keys",
+            "wasted_bandwidth",
+        ],
         &csv_rows,
     )
     .expect("write results CSV");

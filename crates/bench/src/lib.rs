@@ -159,20 +159,36 @@ pub struct SimArgs {
     /// `--peers N`: override the scenario's total population (the S4 scale
     /// knob; `None` keeps each bin's default).
     pub peers: Option<u32>,
-    /// `--threads N`: shards + worker threads for the shard-parallel query
-    /// phase (default 1 = the single-threaded legacy engine). Bins set
-    /// `PdhtConfig::shards = N` and `set_threads(N)` together, so the
-    /// semantic universe and the executor scale in lockstep.
+    /// `--threads N`: worker threads for the shard-parallel query phase
+    /// (default 1 = the single-threaded legacy engine). A purely
+    /// *executor* knob: results never depend on it.
     pub threads: u32,
+    /// `--shards N`: the engine's shard count — the *semantic* knob
+    /// (`PdhtConfig::shards`). `None` (the default) follows `--threads`
+    /// for back-compat with the old coupled flag, with a warning once
+    /// that coupling starts changing semantics (threads > 1).
+    pub shards: Option<u32>,
+    /// `--gossip-codec plain|chunked|rlnc`: how update-gossip packets are
+    /// encoded (`PdhtConfig::gossip_codec`; default plain, the legacy
+    /// accounting).
+    pub gossip_codec: pdht_core::GossipCodec,
     /// `--smoke`: shrink rounds/scale so CI can exercise the bin quickly.
     pub smoke: bool,
 }
 
 impl SimArgs {
-    /// Applies the `--threads` knob to a configuration (shard count) —
-    /// pair with [`SimArgs::apply_threads`] on the built network.
+    /// The effective shard count: `--shards` when given, else the
+    /// back-compat fallback to `--threads`.
+    pub fn effective_shards(&self) -> u32 {
+        self.shards.unwrap_or_else(|| self.threads.max(1))
+    }
+
+    /// Applies the semantic knobs to a configuration (shard count and
+    /// gossip codec) — pair with [`SimArgs::apply_threads`] on the built
+    /// network.
     pub fn apply_shards(&self, cfg: &mut pdht_core::PdhtConfig) {
-        cfg.shards = self.threads.max(1);
+        cfg.shards = self.effective_shards();
+        cfg.gossip_codec = self.gossip_codec;
     }
 
     /// Applies the `--threads` knob to a built network (worker count).
@@ -181,17 +197,49 @@ impl SimArgs {
     }
 }
 
+/// Parses a `u32` flag value inside `[lo, hi]`.
+///
+/// # Errors
+/// Returns a human-readable description of the rejected spelling.
+pub fn parse_count_flag(flag: &str, value: &str, lo: u32, hi: u32) -> Result<u32, String> {
+    match value.parse::<u32>() {
+        Ok(n) if n >= lo && n <= hi => Ok(n),
+        _ if hi == u32::MAX => Err(format!("{flag} needs an integer >= {lo}, got {value:?}")),
+        _ => Err(format!("{flag} needs an integer in {lo}..={hi}, got {value:?}")),
+    }
+}
+
+/// Parses a gossip-codec spec (`plain`, `chunked`, `rlnc`).
+///
+/// # Errors
+/// Returns a human-readable description of the rejected spelling.
+pub fn parse_gossip_codec(spec: &str) -> Result<pdht_core::GossipCodec, String> {
+    use pdht_core::GossipCodec;
+    match spec {
+        "plain" => Ok(GossipCodec::Plain),
+        "chunked" => Ok(GossipCodec::Chunked),
+        "rlnc" => Ok(GossipCodec::Rlnc),
+        other => Err(format!("unknown gossip codec {other:?} (want plain|chunked|rlnc)")),
+    }
+}
+
 /// Parses the shared simulation flags from `std::env::args`, exiting with a
-/// usage message on anything unrecognized.
+/// usage message on anything unrecognized. Partial output already printed
+/// by the bin is flushed before the error exit, so it is never lost.
 pub fn parse_sim_args() -> SimArgs {
-    use pdht_core::{LatencyConfig, OverlayKind};
+    use pdht_core::{GossipCodec, LatencyConfig, OverlayKind};
     let usage = |msg: &str| -> ! {
+        // Flush whatever the bin printed before the bad flag was hit —
+        // `process::exit` skips the stdout destructor.
+        let _ = std::io::stdout().flush();
         eprintln!("error: {msg}");
         eprintln!(
             "usage: [--overlay trie|chord|kademlia] \
              [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] \
-             [--peers N] [--threads N] [--smoke]"
+             [--peers N] [--threads N] [--shards N] \
+             [--gossip-codec plain|chunked|rlnc] [--smoke]"
         );
+        let _ = std::io::stderr().flush();
         std::process::exit(2);
     };
     let mut args = SimArgs {
@@ -199,6 +247,8 @@ pub fn parse_sim_args() -> SimArgs {
         latency: LatencyConfig::Zero,
         peers: None,
         threads: 1,
+        shards: None,
+        gossip_codec: GossipCodec::Plain,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -219,21 +269,37 @@ pub fn parse_sim_args() -> SimArgs {
             }
             "--peers" => {
                 let v = it.next().unwrap_or_else(|| usage("--peers needs a value"));
-                match v.parse::<u32>() {
-                    Ok(n) if n >= 2 => args.peers = Some(n),
-                    _ => usage(&format!("--peers needs an integer >= 2, got {v:?}")),
-                }
+                args.peers = Some(
+                    parse_count_flag("--peers", &v, 2, u32::MAX).unwrap_or_else(|e| usage(&e)),
+                );
             }
             "--threads" => {
                 let v = it.next().unwrap_or_else(|| usage("--threads needs a value"));
-                match v.parse::<u32>() {
-                    Ok(n) if (1..=256).contains(&n) => args.threads = n,
-                    _ => usage(&format!("--threads needs an integer in 1..=256, got {v:?}")),
-                }
+                args.threads =
+                    parse_count_flag("--threads", &v, 1, 256).unwrap_or_else(|e| usage(&e));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage("--shards needs a value"));
+                args.shards =
+                    Some(parse_count_flag("--shards", &v, 1, 256).unwrap_or_else(|e| usage(&e)));
+            }
+            "--gossip-codec" => {
+                let v = it.next().unwrap_or_else(|| usage("--gossip-codec needs a value"));
+                args.gossip_codec = parse_gossip_codec(&v).unwrap_or_else(|e| usage(&e));
             }
             "--smoke" => args.smoke = true,
             other => usage(&format!("unknown flag {other:?}")),
         }
+    }
+    if args.shards.is_none() && args.threads > 1 {
+        // The historical flag coupled executor and semantics; keep that
+        // default but say so, since shard count changes results.
+        eprintln!(
+            "note: --shards not given; following --threads ({}) for back-compat. \
+             Shard count is a semantic knob (results depend on it) — pass \
+             --shards to pin it independently of the worker count.",
+            args.threads
+        );
     }
     args
 }
@@ -331,10 +397,11 @@ pub fn parse_histogram_csv_row(row: &str) -> Result<(String, String, HistogramSu
     ))
 }
 
-/// Writes the per-query hop and latency histograms of labelled
-/// [`pdht_core::SimReport`]s to `results/<name>.csv` (one row per populated
-/// histogram), returning the path. Reports without histograms (e.g. a run
-/// that answered no queries) contribute no rows.
+/// Writes the per-query hop/latency and per-wave wasted-bandwidth
+/// histograms of labelled [`pdht_core::SimReport`]s to
+/// `results/<name>.csv` (one row per populated histogram), returning the
+/// path. Reports without histograms (e.g. a run that answered no queries,
+/// or ran no update gossip) contribute no rows.
 ///
 /// # Errors
 /// Propagates I/O failures.
@@ -349,6 +416,9 @@ pub fn write_histograms_csv(
         }
         if let Some(h) = &report.query_latency_us {
             rows.push(histogram_csv_row(label, "query_latency_us", h));
+        }
+        if let Some(h) = &report.gossip_wave_redundant {
+            rows.push(histogram_csv_row(label, "gossip_wave_redundant", h));
         }
     }
     write_csv(name, &HISTOGRAM_CSV_HEADER, &rows)
@@ -434,5 +504,79 @@ mod latency_spec_tests {
         assert!(parse_latency("gaussian:1,2").is_err());
         assert!(parse_latency("uniform:5").is_err());
         assert!(parse_latency("lognormal:a,b").is_err());
+    }
+}
+
+#[cfg(test)]
+mod flag_spec_tests {
+    use super::{parse_count_flag, parse_gossip_codec};
+    use pdht_core::GossipCodec;
+
+    #[test]
+    fn count_flags_accept_their_domains() {
+        assert_eq!(parse_count_flag("--peers", "2", 2, u32::MAX), Ok(2));
+        assert_eq!(parse_count_flag("--peers", "1000000", 2, u32::MAX), Ok(1_000_000));
+        assert_eq!(parse_count_flag("--threads", "1", 1, 256), Ok(1));
+        assert_eq!(parse_count_flag("--threads", "256", 1, 256), Ok(256));
+        assert_eq!(parse_count_flag("--shards", "8", 1, 256), Ok(8));
+    }
+
+    #[test]
+    fn peers_rejections_name_the_spelling() {
+        for bad in ["1", "0", "abc", "-3", "2.5", ""] {
+            let err = parse_count_flag("--peers", bad, 2, u32::MAX).unwrap_err();
+            assert!(err.contains("--peers") && err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn threads_rejections_name_the_spelling() {
+        for bad in ["0", "257", "x", "-1", "1e2", ""] {
+            let err = parse_count_flag("--threads", bad, 1, 256).unwrap_err();
+            assert!(err.contains("--threads") && err.contains("1..=256"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn shards_rejections_name_the_spelling() {
+        for bad in ["0", "1000", "four", ""] {
+            let err = parse_count_flag("--shards", bad, 1, 256).unwrap_err();
+            assert!(err.contains("--shards") && err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn gossip_codec_specs_parse_and_reject() {
+        assert_eq!(parse_gossip_codec("plain"), Ok(GossipCodec::Plain));
+        assert_eq!(parse_gossip_codec("chunked"), Ok(GossipCodec::Chunked));
+        assert_eq!(parse_gossip_codec("rlnc"), Ok(GossipCodec::Rlnc));
+        for bad in ["Plain", "RLNC", "rlnC", "fountain", "raptor", ""] {
+            let err = parse_gossip_codec(bad).unwrap_err();
+            assert!(err.contains("plain|chunked|rlnc"), "{err}");
+        }
+    }
+
+    #[test]
+    fn default_shards_follow_threads_explicit_shards_win() {
+        use super::SimArgs;
+        use pdht_core::{LatencyConfig, OverlayKind, PdhtConfig, Strategy};
+        let mut args = SimArgs {
+            overlay: OverlayKind::Trie,
+            latency: LatencyConfig::Zero,
+            peers: None,
+            threads: 4,
+            shards: None,
+            gossip_codec: GossipCodec::Rlnc,
+            smoke: true,
+        };
+        assert_eq!(args.effective_shards(), 4, "back-compat: follow --threads");
+        args.shards = Some(8);
+        assert_eq!(args.effective_shards(), 8, "--shards decouples semantics");
+        let mut cfg =
+            PdhtConfig::new(pdht_model::Scenario::table1_scaled(20), 1.0 / 30.0, Strategy::Partial);
+        args.apply_shards(&mut cfg);
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.gossip_codec, GossipCodec::Rlnc);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::ttl::TtlPolicy;
+use pdht_gossip::GossipCodec;
 use pdht_model::Scenario;
 use pdht_overlay::ChurnConfig;
 use pdht_sim::{LatencyModel, LogNormalLatency, UniformLatency, ZeroLatency};
@@ -211,6 +212,12 @@ pub struct PdhtConfig {
     /// *semantic* knob: results depend on `S` but never on how many threads
     /// execute the shards (see `PdhtNetwork::set_threads`).
     pub shards: u32,
+    /// How update-gossip packets are encoded ([`GossipCodec::Plain`], the
+    /// default, keeps the legacy whole-update pushes and their accounting
+    /// bit-for-bit; `Chunked`/`Rlnc` cut updates into coded chunks and
+    /// classify every receive innovative vs redundant — the
+    /// wasted-bandwidth columns in `SimReport` and the bench artifacts).
+    pub gossip_codec: GossipCodec,
     /// Master seed; every component derives its own stream from it.
     pub seed: u64,
 }
@@ -237,6 +244,7 @@ impl PdhtConfig {
             mean_degree: 5,
             adaptive_window: 50,
             shards: 1,
+            gossip_codec: GossipCodec::Plain,
             seed: DEFAULT_SEED,
         }
     }

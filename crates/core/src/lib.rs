@@ -48,4 +48,5 @@ pub use network::{
     EventHook, HookAction, HookPoint, NetEvent, PdhtNetwork, PhaseBreakdown, QueryId, RoundPhase,
     SimReport, UpdateId,
 };
+pub use pdht_gossip::GossipCodec;
 pub use ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};

@@ -324,6 +324,11 @@ pub(crate) struct Counters {
     pub(crate) search_failures: u64,
     pub(crate) skipped_offline: u64,
     pub(crate) query_timeouts: u64,
+    /// Gossip receives that taught the receiver something (new version,
+    /// new chunk, or a decoder-rank gain, per [`crate::GossipCodec`]).
+    pub(crate) gossip_innovative: u64,
+    /// Gossip receives that carried nothing new — wasted bandwidth.
+    pub(crate) gossip_redundant: u64,
 }
 
 impl Counters {
@@ -336,6 +341,8 @@ impl Counters {
         self.search_failures += other.search_failures;
         self.skipped_offline += other.skipped_offline;
         self.query_timeouts += other.query_timeouts;
+        self.gossip_innovative += other.gossip_innovative;
+        self.gossip_redundant += other.gossip_redundant;
     }
 }
 
@@ -369,6 +376,18 @@ pub struct SimReport {
     /// In-flight queries abandoned by timeout, within the window (always 0
     /// without a configured `query_timeout_secs`).
     pub query_timeouts: u64,
+    /// Update-gossip receives classified innovative, within the window
+    /// (see [`crate::GossipCodec`]).
+    pub gossip_innovative: u64,
+    /// Update-gossip receives classified redundant, within the window —
+    /// the wave bandwidth that taught nobody anything.
+    pub gossip_redundant: u64,
+    /// Wasted gossip bandwidth: `redundant / (innovative + redundant)`
+    /// over the window, `0.0` when no gossip receive was classified.
+    pub wasted_bandwidth: f64,
+    /// Per-completed-wave redundant-receive counts, cumulative over the
+    /// whole run so far — histograms are not windowed.
+    pub gossip_wave_redundant: Option<HistogramSummary>,
     /// Per-query forwarding steps (message hops/waves), cumulative over the
     /// whole run so far — histograms are not windowed.
     pub query_hops: Option<HistogramSummary>,
@@ -964,6 +983,12 @@ impl PdhtNetwork {
         self.metrics.gauge("stale_hits", Round(round), self.counters.stale_hits as f64);
         self.metrics.gauge("skipped_offline", Round(round), self.counters.skipped_offline as f64);
         self.metrics.gauge("query_timeouts", Round(round), self.counters.query_timeouts as f64);
+        self.metrics.gauge(
+            "gossip_innovative",
+            Round(round),
+            self.counters.gossip_innovative as f64,
+        );
+        self.metrics.gauge("gossip_redundant", Round(round), self.counters.gossip_redundant as f64);
         self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
         self.metrics.mark_round(Round(round));
     }
@@ -984,6 +1009,8 @@ impl PdhtNetwork {
         let hits = Self::gauge_window_delta(&self.metrics, "hits", from, to);
         let misses = Self::gauge_window_delta(&self.metrics, "misses", from, to);
         let answered = hits + misses;
+        let innovative = Self::gauge_window_delta(&self.metrics, "gossip_innovative", from, to);
+        let redundant = Self::gauge_window_delta(&self.metrics, "gossip_redundant", from, to);
         SimReport {
             rounds: (from, to),
             msgs_per_round: counts.total() as f64 / span,
@@ -1006,6 +1033,17 @@ impl PdhtNetwork {
                 as u64,
             query_timeouts: Self::gauge_window_delta(&self.metrics, "query_timeouts", from, to)
                 as u64,
+            gossip_innovative: innovative as u64,
+            gossip_redundant: redundant as u64,
+            wasted_bandwidth: if innovative + redundant > 0.0 {
+                redundant / (innovative + redundant)
+            } else {
+                0.0
+            },
+            gossip_wave_redundant: self
+                .metrics
+                .histogram("gossip_wave_redundant")
+                .map(pdht_sim::Histogram::summary),
             query_hops: self.metrics.histogram("query_hops").map(pdht_sim::Histogram::summary),
             query_latency_us: self
                 .metrics

@@ -358,6 +358,7 @@ impl QueryExec<'_> {
                             let stores = &mut self.lane.stores;
                             group.push_begin(
                                 at,
+                                self.world.gossip_codec,
                                 |member_local| {
                                     let member = group.members()[member_local];
                                     // "Fresh" means this delivery changed
@@ -384,12 +385,14 @@ impl QueryExec<'_> {
 
             UpdateStage::Gossip { ref mut wave } => {
                 let value = VersionedValue { version: new_version, data: u64::from(ki) };
+                let before = (wave.innovative(), wave.redundant());
                 let done = {
                     let o = self.world.overlay.expect("update implies overlay");
                     let group = &self.world.groups[o.group_of_key(key)];
                     let stores = &mut self.lane.stores;
                     group.push_wave(
                         wave,
+                        self.world.gossip_codec,
                         |member_local| {
                             let member = group.members()[member_local];
                             let prior = stores.peek(member, ki, round).map(|v| v.version);
@@ -402,6 +405,36 @@ impl QueryExec<'_> {
                     )
                 };
                 if done {
+                    // Anti-entropy mop-up, inline at the wave's death
+                    // instant (no extra events, so zero-latency dispatch
+                    // counts are untouched): members of a coded wave that
+                    // heard packets but never reached full rank pull a
+                    // known donor's space. A no-op for Plain waves.
+                    let o = self.world.overlay.expect("update implies overlay");
+                    let group = &self.world.groups[o.group_of_key(key)];
+                    let stores = &mut self.lane.stores;
+                    group.pull_missing(
+                        wave,
+                        |member_local| {
+                            let member = group.members()[member_local];
+                            let prior = stores.peek(member, ki, round).map(|v| v.version);
+                            stores.insert(member, ki, key, value, round, Ttl::Infinite);
+                            prior.is_none_or(|pv| pv < new_version)
+                        },
+                        self.world.live,
+                        self.lane.rng_overlay,
+                        self.lane.metrics,
+                    );
+                }
+                // Fold this step's innovative/redundant classifications
+                // into the lane counters (incremental: handoffs and parked
+                // waves never double-count).
+                self.lane.counters.gossip_innovative += wave.innovative() - before.0;
+                self.lane.counters.gossip_redundant += wave.redundant() - before.1;
+                if done {
+                    // One sample per completed wave: its total wasted
+                    // receives (the sim_hist_report wasted-bandwidth row).
+                    self.lane.metrics.observe("gossip_wave_redundant", wave.redundant());
                     self.next_update_key(ctx)
                 } else {
                     UpdateFate::Next

@@ -41,7 +41,7 @@ use super::shard::LaneMsg;
 use crate::admission::AdmissionFilter;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
-use pdht_gossip::{FloodWave, ReplicaGroup, VersionedValue};
+use pdht_gossip::{FloodWave, GossipCodec, ReplicaGroup, VersionedValue};
 use pdht_overlay::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
 use pdht_sim::{EventQueue, LatencyModel, Metrics, Outbox, Slab, VisitSet};
 use pdht_types::{Key, Liveness, MessageKind, PeerId, SimTime};
@@ -169,6 +169,8 @@ pub(crate) struct QueryWorld<'a> {
     /// TTL-sweep reschedule period in rounds.
     pub(crate) purge_stride: u64,
     pub(crate) query_timeout_secs: Option<f64>,
+    /// How update-gossip packets are encoded (see [`crate::GossipCodec`]).
+    pub(crate) gossip_codec: GossipCodec,
 }
 
 /// The exclusively-owned, mutable side of query execution: one lane's
@@ -262,6 +264,7 @@ impl PdhtNetwork {
                 probe_rate: self.probe_rate,
                 purge_stride: self.cfg.purge_stride,
                 query_timeout_secs: self.cfg.query_timeout_secs,
+                gossip_codec: self.cfg.gossip_codec,
             },
             lane: QueryLane {
                 stores: ShardStores { slot, shard_id: 0, shard: &mut shards[0] },

@@ -298,6 +298,7 @@ impl PdhtNetwork {
                     probe_rate: self.probe_rate,
                     purge_stride: self.cfg.purge_stride,
                     query_timeout_secs: self.cfg.query_timeout_secs,
+                    gossip_codec: self.cfg.gossip_codec,
                 };
                 let mut tasks: Vec<LaneTask<'_>> = st
                     .lanes

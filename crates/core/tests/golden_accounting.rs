@@ -123,3 +123,42 @@ fn zero_latency_reproduces_seed_accounting_kademlia_no_index() {
         [0, 0, 0, 47280, 0, 0, 0, 0, 0, 0]
     );
 }
+
+/// The coded-gossip PR's Plain-parity golden: with `f_upd` cranked three
+/// orders of magnitude above Table 1 the same 40-round window carries
+/// hundreds of update waves, so this vector actually exercises the rumor
+/// spreading path the vectors above never reach (GossipPush ≈ 413k). The
+/// wave driver's codec dispatch must leave the uncoded path bit-for-bit:
+/// same RNG draws, same push counts, at every thread count — and the new
+/// innovative/redundant split must classify every wave receive without
+/// moving a single message. (GossipPush exceeds the two classes by the
+/// route-stage traffic that precedes each wave.)
+#[test]
+fn zero_latency_reproduces_seed_accounting_with_gossip_waves() {
+    let mut golden: Option<([u64; MessageKind::COUNT], u64, u64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let scenario = Scenario { f_upd: 0.01, ..Scenario::table1_scaled(20) };
+        let mut cfg = PdhtConfig::new(scenario, 1.0 / 30.0, Strategy::IndexAll);
+        cfg.seed = 0x601d;
+        cfg.latency = LatencyConfig::Zero;
+        let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        net.set_threads(threads);
+        net.run(40);
+        let totals = net.metrics().totals();
+        let mut vec = [0u64; MessageKind::COUNT];
+        for (i, &k) in MessageKind::ALL.iter().enumerate() {
+            vec[i] = totals[k];
+        }
+        let report = net.report(0, 39);
+        let sample = (vec, report.gossip_innovative, report.gossip_redundant);
+        match &golden {
+            None => golden = Some(sample),
+            Some(g) => assert_eq!(&sample, g, "thread count {threads} changed the accounting"),
+        }
+    }
+    assert_eq!(
+        golden.unwrap(),
+        ([2652, 28642, 0, 0, 413476, 0, 0, 0, 0, 0], 50204, 361658),
+        "Plain wave accounting drifted from the captured seed vector"
+    );
+}

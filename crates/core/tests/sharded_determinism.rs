@@ -10,7 +10,8 @@
 //! legacy path against its pre-sharding vectors the same way.
 
 use pdht_core::{
-    LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, SimReport, Strategy, TtlPolicy,
+    GossipCodec, LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, SimReport, Strategy,
+    TtlPolicy,
 };
 use pdht_model::Scenario;
 use pdht_overlay::ChurnConfig;
@@ -136,6 +137,28 @@ fn updates_in_flight_gauge_is_thread_invariant() {
             baseline,
             "threads={threads} changed the updates_in_flight trace"
         );
+    }
+}
+
+#[test]
+fn coded_gossip_is_thread_invariant_under_churn_and_latency() {
+    // The coded waves keep per-member decoder state inside the wave (owned
+    // by one lane, handed off whole), so rank tests, coefficient draws and
+    // the innovative/redundant split must replay identically at any worker
+    // count — even with Gnutella churn flipping members offline mid-wave
+    // and non-zero hop latency parking waves across rounds. `f_upd` is
+    // cranked so the 15-round window actually carries waves.
+    for codec in [GossipCodec::Chunked, GossipCodec::Rlnc] {
+        let mut cfg = sharded_cfg(Strategy::IndexAll, 4, 0xc0dec);
+        cfg.scenario.f_upd = 0.01;
+        cfg.gossip_codec = codec;
+        cfg.latency = LatencyConfig::Uniform { lo_ms: 50.0, hi_ms: 400.0 };
+        let (report, ..) = run(cfg.clone(), 1, 15);
+        assert!(
+            report.gossip_innovative > 0,
+            "{codec:?}: run must classify receives, not pass vacuously: {report:?}"
+        );
+        assert_thread_invariant(cfg, 15);
     }
 }
 

@@ -1,0 +1,328 @@
+//! Gossip payload codecs: how an update's payload is cut into packets.
+//!
+//! The rumor-spreading layer ([`crate::ReplicaGroup`]) decides *who* talks
+//! to whom; the codec decides *what* a push carries and therefore whether a
+//! receive is **innovative** (taught the receiver something) or
+//! **redundant** (wasted bandwidth):
+//!
+//! * [`GossipCodec::Plain`] — the whole update in one packet. A receive is
+//!   innovative iff the receiver did not already hold the version. This is
+//!   the legacy behaviour; accounting is bit-for-bit identical to engines
+//!   predating the codec knob.
+//! * [`GossipCodec::Chunked`] — the update split into [`GENERATION_SIZE`]
+//!   chunks; a sender forwards one random chunk it holds. Innovative iff
+//!   the receiver lacked that chunk.
+//! * [`GossipCodec::Rlnc`] — random linear network coding over GF(256): a
+//!   sender emits a random combination of its received coefficient space.
+//!   Innovative iff the packet raises the receiver's decoder rank. RLNC
+//!   absorbs mid-wave duplicates as rank (two different combinations of
+//!   the same generation are both useful), so at large replication factors
+//!   the redundant-receive count drops well below `Plain`.
+//!
+//! Everything here is pure GF(256) arithmetic over coefficient vectors —
+//! no payload bytes move in the simulator, so a "packet" is just its
+//! coefficient vector and decoding succeeds exactly when the receiver's
+//! matrix reaches full rank.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Chunks per generation: every update is cut into this many coded chunks.
+/// Small enough that a degree-4 subnet can feed a member to full rank
+/// before coin death, large enough that mid-wave duplicate pushes carry
+/// fresh combinations instead of repeats.
+pub const GENERATION_SIZE: usize = 8;
+
+/// How gossip packets are encoded (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GossipCodec {
+    /// One packet carries the whole update (legacy accounting).
+    #[default]
+    Plain,
+    /// Fixed chunks forwarded verbatim (unit coefficient vectors).
+    Chunked,
+    /// Random linear combinations over GF(256).
+    Rlnc,
+}
+
+impl GossipCodec {
+    /// `true` for the codecs that track per-member decoder state.
+    pub fn is_coded(self) -> bool {
+        self != GossipCodec::Plain
+    }
+}
+
+/// GF(256) multiply, reduction polynomial `x^8 + x^4 + x^3 + x + 1` (0x1b,
+/// the AES field). Russian-peasant loop — no tables, constant 8 rounds.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// GF(256) multiplicative inverse via `a^254` (Fermat: `a^255 = 1`).
+/// `gf_inv(0)` is 0 by convention; callers never invert zero pivots.
+pub fn gf_inv(a: u8) -> u8 {
+    // Square-and-multiply over the fixed exponent 254 = 0b1111_1110.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// A coefficient vector: one gossip packet's coordinates over the
+/// generation's chunks.
+pub type CoeffVec = [u8; GENERATION_SIZE];
+
+/// Per-member decoding state: a row-echelon GF(256) matrix. Row `c`, when
+/// present, has its pivot (leading 1) in column `c`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decoder {
+    rows: [CoeffVec; GENERATION_SIZE],
+    present: [bool; GENERATION_SIZE],
+    rank: u8,
+}
+
+impl Decoder {
+    /// A decoder that has seen nothing.
+    pub fn empty() -> Decoder {
+        Decoder {
+            rows: [[0; GENERATION_SIZE]; GENERATION_SIZE],
+            present: [false; GENERATION_SIZE],
+            rank: 0,
+        }
+    }
+
+    /// A full-rank decoder (the update's origin, which holds the payload).
+    pub fn full() -> Decoder {
+        let mut d = Decoder::empty();
+        for c in 0..GENERATION_SIZE {
+            d.rows[c][c] = 1;
+            d.present[c] = true;
+        }
+        d.rank = GENERATION_SIZE as u8;
+        d
+    }
+
+    /// Independent packets received so far.
+    pub fn rank(&self) -> usize {
+        usize::from(self.rank)
+    }
+
+    /// `true` once every chunk can be recovered.
+    pub fn is_complete(&self) -> bool {
+        self.rank() == GENERATION_SIZE
+    }
+
+    /// Folds one packet in. Returns `true` iff it was innovative (raised
+    /// the rank). Gaussian elimination against the stored echelon rows;
+    /// the reduced vector becomes a new normalized pivot row or vanishes.
+    pub fn insert(&mut self, mut v: CoeffVec) -> bool {
+        for c in 0..GENERATION_SIZE {
+            if v[c] == 0 {
+                continue;
+            }
+            if self.present[c] {
+                let f = v[c];
+                for k in c..GENERATION_SIZE {
+                    v[k] ^= gf_mul(f, self.rows[c][k]);
+                }
+            } else {
+                let inv = gf_inv(v[c]);
+                for k in c..GENERATION_SIZE {
+                    v[k] = gf_mul(v[k], inv);
+                }
+                self.rows[c] = v;
+                self.present[c] = true;
+                self.rank += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A fresh random combination of everything this decoder holds
+    /// ([`GossipCodec::Rlnc`] send path). Draws one GF(256) coefficient per
+    /// held row; the zero vector at rank 0 (receivers count it redundant).
+    pub fn encode(&self, rng: &mut SmallRng) -> CoeffVec {
+        let mut out = [0u8; GENERATION_SIZE];
+        for c in 0..GENERATION_SIZE {
+            if !self.present[c] {
+                continue;
+            }
+            let coeff: u8 = rng.random();
+            if coeff == 0 {
+                continue;
+            }
+            for k in 0..GENERATION_SIZE {
+                out[k] ^= gf_mul(coeff, self.rows[c][k]);
+            }
+        }
+        out
+    }
+
+    /// `true` if the decoder can already produce chunk `c` on its own
+    /// (under [`GossipCodec::Chunked`], where rows stay unit vectors,
+    /// this is simply "holds chunk `c`").
+    pub fn holds(&self, c: usize) -> bool {
+        self.present[c]
+    }
+
+    /// One chunk this decoder holds, uniformly at random
+    /// ([`GossipCodec::Chunked`] send path, where rows are always unit
+    /// vectors). `None` at rank 0.
+    pub fn pick_chunk(&self, rng: &mut SmallRng) -> Option<CoeffVec> {
+        if self.rank == 0 {
+            return None;
+        }
+        let pick = rng.random_range(0..self.rank());
+        let c = (0..GENERATION_SIZE).filter(|&c| self.present[c]).nth(pick)?;
+        let mut v = [0u8; GENERATION_SIZE];
+        v[c] = 1;
+        Some(v)
+    }
+
+    /// Anti-entropy: folds every row of `donor` in. Returns the rank
+    /// gained (a pull transfers the donor's whole received space).
+    pub fn absorb(&mut self, donor: &Decoder) -> usize {
+        let before = self.rank();
+        for c in 0..GENERATION_SIZE {
+            if donor.present[c] {
+                self.insert(donor.rows[c]);
+            }
+        }
+        self.rank() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gf_field_axioms_hold() {
+        // Spot-check associativity/commutativity/distributivity on a grid,
+        // and the identity/annihilator.
+        for a in [0u8, 1, 2, 3, 0x53, 0x80, 0xca, 0xff] {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(1, a), a);
+            assert_eq!(gf_mul(a, 0), 0);
+            for b in [0u8, 1, 7, 0x53, 0xca, 0xff] {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+                for c in [1u8, 5, 0x1b, 0xfe] {
+                    assert_eq!(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)));
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+        // AES S-box anchor value: 0x53 · 0xca = 1.
+        assert_eq!(gf_mul(0x53, 0xca), 1);
+    }
+
+    #[test]
+    fn gf_inverse_is_exact_for_every_nonzero_element() {
+        assert_eq!(gf_inv(0), 0);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a:#x}");
+        }
+    }
+
+    #[test]
+    fn unit_vectors_reach_full_rank_exactly_once_each() {
+        let mut d = Decoder::empty();
+        for c in 0..GENERATION_SIZE {
+            let mut v = [0u8; GENERATION_SIZE];
+            v[c] = 1;
+            assert!(d.insert(v), "first copy of chunk {c} must be innovative");
+            assert!(!d.insert(v), "second copy of chunk {c} must be redundant");
+        }
+        assert!(d.is_complete());
+    }
+
+    #[test]
+    fn dependent_combinations_are_redundant() {
+        let mut d = Decoder::empty();
+        assert!(d.insert([1, 2, 0, 0, 0, 0, 0, 0]));
+        assert!(d.insert([0, 0, 3, 0, 0, 0, 0, 0]));
+        // 5·(1,2,0,..) + 7·(0,0,3,..) is in the span.
+        let mut dep = [0u8; GENERATION_SIZE];
+        for k in 0..GENERATION_SIZE {
+            dep[k] =
+                gf_mul(5, [1, 2, 0, 0, 0, 0, 0, 0][k]) ^ gf_mul(7, [0, 0, 3, 0, 0, 0, 0, 0][k]);
+        }
+        assert!(!d.insert(dep));
+        assert_eq!(d.rank(), 2);
+        // Something outside the span is still innovative.
+        assert!(d.insert([0, 1, 0, 4, 0, 0, 0, 0]));
+        assert_eq!(d.rank(), 3);
+    }
+
+    #[test]
+    fn zero_vector_is_never_innovative() {
+        let mut d = Decoder::empty();
+        assert!(!d.insert([0u8; GENERATION_SIZE]));
+        assert_eq!(d.rank(), 0);
+    }
+
+    #[test]
+    fn random_encodes_from_a_full_decoder_decode_quickly() {
+        // A receiver fed random combinations of a full-rank sender reaches
+        // full rank in GENERATION_SIZE innovative receives with high
+        // probability per packet (255/256 per draw over GF(256)).
+        let mut rng = SmallRng::seed_from_u64(7);
+        let src = Decoder::full();
+        let mut dst = Decoder::empty();
+        let mut receives = 0;
+        while !dst.is_complete() {
+            dst.insert(src.encode(&mut rng));
+            receives += 1;
+            assert!(receives < 64, "decoder failed to converge");
+        }
+        assert!(receives <= GENERATION_SIZE + 2, "took {receives} receives");
+    }
+
+    #[test]
+    fn absorb_transfers_the_donor_space() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let full = Decoder::full();
+        let mut donor = Decoder::empty();
+        for _ in 0..4 {
+            donor.insert(full.encode(&mut rng));
+        }
+        let mut me = Decoder::empty();
+        let gained = me.absorb(&donor);
+        assert_eq!(gained, donor.rank());
+        assert_eq!(me.absorb(&donor), 0, "second absorb must be redundant");
+    }
+
+    #[test]
+    fn chunked_picks_only_held_chunks() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut d = Decoder::empty();
+        assert_eq!(d.pick_chunk(&mut rng), None);
+        let mut v = [0u8; GENERATION_SIZE];
+        v[3] = 1;
+        d.insert(v);
+        for _ in 0..8 {
+            assert_eq!(d.pick_chunk(&mut rng), Some(v));
+        }
+    }
+}

@@ -15,8 +15,10 @@
 //! accounting; [`VersionedStore`] is the per-member versioned key-value
 //! state used to measure update consistency.
 
+pub mod codec;
 pub mod group;
 pub mod store;
 
+pub use codec::{Decoder, GossipCodec, GENERATION_SIZE};
 pub use group::{FloodWave, ReplicaGroup, RumorWave};
 pub use store::{VersionedStore, VersionedValue};

@@ -287,8 +287,11 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q ∈ [0, 1]`: exact below 64, bucket upper
-    /// bound above.
+    /// Approximate quantile `q ∈ [0, 1]`: exact below 64; above, the
+    /// *inclusive* upper bound of the hit bucket (`2^(i+7) - 1` for
+    /// `coarse[i]`, which covers `[2^(i+6), 2^(i+7))`), clamped to the
+    /// observed max so the reported value is always attainable. The
+    /// clamped top bucket is open-ended and reports the observed max.
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         if self.count == 0 {
@@ -305,7 +308,10 @@ impl Histogram {
         for (i, &c) in self.coarse.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return 1u64 << (i + 7); // bucket upper bound
+                if i == self.coarse.len() - 1 {
+                    return self.max; // clamped top bucket: open-ended
+                }
+                return ((1u64 << (i + 7)) - 1).min(self.max);
             }
         }
         self.max
@@ -459,6 +465,52 @@ mod tests {
         // and boundedness.
         assert!(h.quantile(0.34) >= 100);
         assert!(h.quantile(1.0) <= 1 << 33);
+    }
+
+    #[test]
+    fn histogram_exact_to_coarse_crossover_is_pinned() {
+        // 63 is the last exact value: reported verbatim.
+        let mut h = Histogram::new();
+        h.record(63);
+        assert_eq!(h.quantile(1.0), 63);
+
+        // 64 is the first coarse value (coarse[0] covers [64, 128)); the
+        // bucket bound must clamp to the observed max, never overshoot.
+        let mut h = Histogram::new();
+        h.record(64);
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(1.0), 64);
+
+        // 127 is coarse[0]'s largest attainable value; the pre-fix code
+        // reported the exclusive bound 128 here.
+        let mut h = Histogram::new();
+        h.record(127);
+        assert_eq!(h.quantile(1.0), 127);
+        assert!(h.quantile(1.0) <= h.max());
+
+        // 128 starts coarse[1] ([128, 256)).
+        let mut h = Histogram::new();
+        h.record(128);
+        assert_eq!(h.quantile(1.0), 128);
+
+        // A full coarse[0] bucket under a larger max: the inclusive bound
+        // 127, not 128.
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), 127);
+    }
+
+    #[test]
+    fn histogram_clamped_top_bucket_reports_observed_max() {
+        // Values at/above 2^32 all clamp into the last coarse bucket; its
+        // quantile is the observed max (the bucket has no upper bound).
+        let mut h = Histogram::new();
+        h.record(1 << 40);
+        h.record(1 << 50);
+        assert_eq!(h.quantile(0.5), 1 << 50);
+        assert_eq!(h.quantile(1.0), 1 << 50);
+        assert_eq!(h.max(), 1 << 50);
     }
 
     #[test]
