@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the bit-packed [`Liveness`] map — the structure
+//! behind every `is_online` probe on the query hot path (~8 probes per
+//! walk step, one per neighbor per flood transmission). The probe bench
+//! uses a pre-drawn random index sequence so it prices the word-test
+//! itself, not the RNG.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pdht_types::{Liveness, PeerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 100_000;
+
+fn mixed_liveness() -> Liveness {
+    let mut rng = SmallRng::seed_from_u64(0xb17);
+    let mut live = Liveness::all_online(N);
+    for i in 0..N {
+        if rng.random::<f64>() < 0.4 {
+            live.set(PeerId(i as u32), false);
+        }
+    }
+    live
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let live = mixed_liveness();
+    let mut rng = SmallRng::seed_from_u64(0xcafe);
+    let probes: Vec<PeerId> = (0..1024).map(|_| PeerId(rng.random_range(0..N as u32))).collect();
+    c.bench_function("liveness/is_online_1024_random_probes", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &p in &probes {
+                hits += u32::from(live.is_online(p));
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_iter_online(c: &mut Criterion) {
+    let live = mixed_liveness();
+    c.bench_function("liveness/iter_online_100k", |b| {
+        b.iter(|| black_box(live.iter_online().map(|p| p.idx()).sum::<usize>()))
+    });
+}
+
+fn bench_churn_flips(c: &mut Criterion) {
+    let mut live = mixed_liveness();
+    c.bench_function("liveness/set_flip_1024", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i = (i.wrapping_mul(2654435761)) % N as u32;
+                live.set(PeerId(i), i & 1 == 0);
+            }
+            black_box(live.online_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_probes, bench_iter_online, bench_churn_flips);
+criterion_main!(benches);

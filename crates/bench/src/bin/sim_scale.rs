@@ -351,6 +351,13 @@ fn main() {
     let gossip_innovative = report.gossip_innovative;
     let gossip_redundant = report.gossip_redundant;
     let wasted_bandwidth = report.wasted_bandwidth;
+    // The sweep times SWEEP_SHARDS-shard rounds at up to SWEEP_SHARDS
+    // worker threads; on hosts with fewer hardware cpus the workers
+    // timeshare and every timing row is oversubscription noise. Recording
+    // the verdict in the artifact lets downstream consumers (the CI soft
+    // events/sec guard, plotting) key off it instead of re-deriving the
+    // host condition.
+    let sweep_valid = host_cpus >= SWEEP_SHARDS as usize;
     let json = write_json(
         "BENCH_sim_scale",
         &format!(
@@ -377,7 +384,8 @@ fn main() {
              threads_sweep rows time every bucket at 8 shards\"\n  }},\n  \
              \"threads_sweep\": {{\n    \"peers\": {sweep_peers},\n    \
              \"shards\": {SWEEP_SHARDS},\n    \
-             \"rounds\": {SWEEP_ROUNDS},\n    \"rows\": [\n{sweep_rows}\n    ]\n  }},\n  \
+             \"rounds\": {SWEEP_ROUNDS},\n    \
+             \"sweep_valid\": {sweep_valid},\n    \"rows\": [\n{sweep_rows}\n    ]\n  }},\n  \
              \"scheduler\": {{\n    \"inflight_events\": {SCHED_INFLIGHT},\n    \
              \"cycles\": {SCHED_CYCLES},\n    \
              \"heap_events_per_sec\": {heap_eps:.0},\n    \

@@ -25,7 +25,7 @@ use crate::network::peer::PeerStores;
 use crate::network::routing::QueryCtx;
 use crate::network::shard::{LaneMsg, ShardedState};
 use crate::ttl::{model_key_ttl, AdaptiveTtl, Ttl, TtlPolicy};
-use pdht_gossip::{ReplicaGroup, VersionedValue};
+use pdht_gossip::{ReplicaGroup, VersionedValue, WavePool};
 use pdht_model::{CostModel, SelectionModel};
 use pdht_overlay::{
     ChordOverlay, ChurnModel, KademliaOverlay, Overlay, PlanScratch, Repair, TrieOverlay,
@@ -241,6 +241,9 @@ pub struct PdhtNetwork {
     /// starting a broadcast search is O(walkers) instead of allocating an
     /// O(num_peers) map per query.
     pub(crate) walk_scratch: VisitSet,
+    /// Recyclable flood/rumor wave scratch for the legacy lane (sharded
+    /// engines give each lane its own pool).
+    pub(crate) wave_pool: WavePool,
     /// Experiment hook observing phase/message boundaries.
     pub(crate) hook: Option<EventHook>,
     /// Events popped off the queue over the whole run (the O(active-work)
@@ -605,6 +608,7 @@ impl PdhtNetwork {
             inflight: Slab::with_capacity(64),
             updates_inflight: Slab::with_capacity(16),
             walk_scratch: VisitSet::new(num_peers),
+            wave_pool: WavePool::new(),
             hook: None,
             events_dispatched: 0,
             counters: Counters::default(),
@@ -817,6 +821,23 @@ impl PdhtNetwork {
     /// with the total population.
     pub fn events_dispatched(&self) -> u64 {
         self.events_dispatched
+    }
+
+    /// `(slots, acquires)` summed over every lane's wave pool: the arena
+    /// high-water mark versus the number of waves that ran. Test hook for
+    /// the no-per-query-allocation invariant — `slots` must stay O(max
+    /// concurrent waves) while `acquires` grows with every flood/rumor.
+    #[doc(hidden)]
+    pub fn wave_pool_stats(&self) -> (usize, u64) {
+        let mut slots = self.wave_pool.slots();
+        let mut acquires = self.wave_pool.acquires();
+        if let Some(sharded) = &self.sharded {
+            for lane in &sharded.lanes {
+                slots += lane.waves.slots();
+                acquires += lane.waves.acquires();
+            }
+        }
+        (slots, acquires)
     }
 
     /// Runs `n` rounds.

@@ -372,6 +372,7 @@ impl QueryExec<'_> {
                                     prior.is_none_or(|pv| pv < new_version)
                                 },
                                 self.world.live,
+                                self.lane.waves,
                             )
                         };
                         ctx.stage = UpdateStage::Gossip { wave };
@@ -402,6 +403,7 @@ impl QueryExec<'_> {
                         self.world.live,
                         self.lane.rng_overlay,
                         self.lane.metrics,
+                        self.lane.waves,
                     )
                 };
                 if done {
@@ -424,7 +426,13 @@ impl QueryExec<'_> {
                         self.world.live,
                         self.lane.rng_overlay,
                         self.lane.metrics,
+                        self.lane.waves,
                     );
+                    // The pull was the last reader of the slot's decoder
+                    // state; recycle it. (Waves never cross lanes in the
+                    // Gossip stage — handoffs happen stage=Route — so the
+                    // slot is always lane-local here.)
+                    wave.release(self.lane.waves);
                 }
                 // Fold this step's innovative/redundant classifications
                 // into the lane counters (incremental: handoffs and parked

@@ -41,7 +41,7 @@ use super::shard::LaneMsg;
 use crate::admission::AdmissionFilter;
 use crate::config::Strategy;
 use crate::ttl::Ttl;
-use pdht_gossip::{FloodWave, GossipCodec, ReplicaGroup, VersionedValue};
+use pdht_gossip::{FloodWave, GossipCodec, ReplicaGroup, VersionedValue, WavePool};
 use pdht_overlay::{HopOutcome, LookupState, Overlay, PlanScratch, Repair};
 use pdht_sim::{EventQueue, LatencyModel, Metrics, Outbox, Slab, VisitSet};
 use pdht_types::{Key, Liveness, MessageKind, PeerId, SimTime};
@@ -186,6 +186,9 @@ pub(crate) struct QueryLane<'a> {
     pub(crate) rng_search: &'a mut SmallRng,
     pub(crate) rng_latency: &'a mut SmallRng,
     pub(crate) scratch: &'a mut VisitSet,
+    /// Recyclable flood/rumor wave scratch (visited bitmaps, frontier
+    /// double-buffers, decoder matrices) owned by this lane.
+    pub(crate) waves: &'a mut WavePool,
     pub(crate) inflight: &'a mut Slab<QueryCtx>,
     /// In-flight update propagations owned by this lane.
     pub(crate) updates_inflight: &'a mut Slab<UpdateCtx>,
@@ -275,6 +278,7 @@ impl PdhtNetwork {
                 rng_search: &mut self.rng_search,
                 rng_latency: &mut self.rng_latency,
                 scratch: &mut self.walk_scratch,
+                waves: &mut self.wave_pool,
                 inflight: &mut self.inflight,
                 updates_inflight: &mut self.updates_inflight,
                 events: &mut self.events,
@@ -338,6 +342,13 @@ impl QueryExec<'_> {
     /// toward the survivors.
     pub(crate) fn on_query_timeout(&mut self, id: QueryId) {
         if let Some(ctx) = self.lane.inflight.free(id) {
+            // A query abandoned mid-flood still holds a pooled scratch
+            // slot; hand it back so the next wave can reuse it.
+            if let QueryStage::Flood { mut flood } | QueryStage::InsertFlood { mut flood, .. } =
+                ctx.stage
+            {
+                flood.release(self.lane.waves);
+            }
             self.lane.counters.query_timeouts += 1;
             self.record_outcome(false, ctx.article, None);
             self.observe_query_done(ctx.steps, ctx.issued_at);
@@ -497,6 +508,7 @@ impl QueryExec<'_> {
                                 stores.peek(group.members()[member_local], ki, round).is_some()
                             },
                             self.world.live,
+                            self.lane.waves,
                         );
                         ctx.stage = QueryStage::Flood { flood };
                         StepFate::Next
@@ -520,6 +532,7 @@ impl QueryExec<'_> {
                         },
                         self.world.live,
                         self.lane.metrics,
+                        self.lane.waves,
                     )
                 };
                 if !done {
@@ -605,6 +618,7 @@ impl QueryExec<'_> {
                                     false
                                 },
                                 self.world.live,
+                                self.lane.waves,
                             )
                         };
                         ctx.stage = QueryStage::InsertFlood { flood, value };
@@ -641,6 +655,7 @@ impl QueryExec<'_> {
                         },
                         self.world.live,
                         self.lane.metrics,
+                        self.lane.waves,
                     )
                 };
                 if done {

@@ -41,6 +41,7 @@ use super::maintenance::UpdateCtx;
 use super::peer::{ShardStores, StoreShard};
 use super::routing::{QueryCtx, QueryExec, QueryLane, QueryWorld};
 use crate::admission::{AdmissionFilter, AdmissionPolicy};
+use pdht_gossip::WavePool;
 use pdht_overlay::{Overlay, PlanScratch, Repair};
 use pdht_sim::{
     merge_outboxes_into, EventQueue, MergeBuffers, Metrics, Outbox, ShardPool, Slab, VisitSet,
@@ -73,6 +74,8 @@ pub(crate) struct LaneState {
     pub(crate) counters: Counters,
     pub(crate) admission: AdmissionFilter,
     pub(crate) scratch: VisitSet,
+    /// Recyclable flood/rumor wave scratch owned by this lane.
+    pub(crate) waves: WavePool,
     pub(crate) inflight: Slab<QueryCtx>,
     /// In-flight update propagations whose current key this shard owns.
     pub(crate) updates_inflight: Slab<UpdateCtx>,
@@ -160,6 +163,7 @@ impl ShardedState {
                 counters: Counters::default(),
                 admission: AdmissionFilter::new(admission),
                 scratch: VisitSet::new(n),
+                waves: WavePool::new(),
                 inflight: Slab::with_capacity(16),
                 updates_inflight: Slab::with_capacity(8),
                 events: EventQueue::new(),
@@ -328,6 +332,7 @@ impl PdhtNetwork {
                                 rng_search: &mut lane.rng_search,
                                 rng_latency: &mut lane.rng_latency,
                                 scratch: &mut lane.scratch,
+                                waves: &mut lane.waves,
                                 inflight: &mut lane.inflight,
                                 updates_inflight: &mut lane.updates_inflight,
                                 events: &mut lane.events,

@@ -1,0 +1,77 @@
+//! Flood-heavy golden accounting vectors.
+//!
+//! The bit-packed-liveness/pooled-scratch rewrite of the query-wave hot
+//! path promises to leave accounting untouched: same RNG draw order, same
+//! per-kind message totals, at every thread count. The vectors below were
+//! captured from the engine *before* that rewrite, with the query rate
+//! cranked to `fQry = 1/10` (three times the standard golden vectors) so
+//! the Eq. 16 replica floods — the message class the rewrite squeezes —
+//! dominate the totals. Partial strategy on all three overlays: every
+//! index miss runs `flood_begin`/`flood_wave` over a repl-50 subnet, every
+//! broadcast runs the walk scratch, and the insert path runs the
+//! insert-flood, so a single bit of drift in the visited/online tests or
+//! the frontier ordering breaks these equalities.
+
+use pdht_core::{LatencyConfig, OverlayKind, PdhtConfig, PdhtNetwork, Strategy};
+use pdht_model::Scenario;
+use pdht_types::MessageKind;
+
+/// Per-kind cumulative totals in [`MessageKind::ALL`] order, checked
+/// identical at threads {1, 2, 4, 8} (the worker count is a pure executor
+/// knob and can never move a message count).
+fn run_totals(kind: OverlayKind) -> [u64; MessageKind::COUNT] {
+    let mut out = [0u64; MessageKind::COUNT];
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = PdhtConfig::new(Scenario::table1_scaled(20), 1.0 / 10.0, Strategy::Partial);
+        cfg.overlay = kind;
+        cfg.seed = 0x601d;
+        cfg.latency = LatencyConfig::Zero;
+        let mut net = PdhtNetwork::new(cfg).expect("network builds");
+        net.set_threads(threads);
+        net.run(40);
+        let totals = net.metrics().totals();
+        let mut vec = [0u64; MessageKind::COUNT];
+        for (i, &k) in MessageKind::ALL.iter().enumerate() {
+            vec[i] = totals[k];
+        }
+        if threads == 1 {
+            out = vec;
+        } else {
+            assert_eq!(vec, out, "thread count {threads} changed the accounting");
+        }
+    }
+    out
+}
+
+// Golden vectors, in MessageKind::ALL order:
+// [RouteHop, Probe, FloodStep, WalkStep, GossipPush, GossipPull,
+//  ReplicaFlood, IndexInsert, QueryEntry, Membership]
+
+#[test]
+#[ignore = "capture helper: prints the vectors to bake into the tests below"]
+fn print_flood_heavy_vectors() {
+    for kind in [OverlayKind::Trie, OverlayKind::Chord, OverlayKind::Kademlia] {
+        println!("{kind:?}: {:?}", run_totals(kind));
+    }
+}
+
+#[test]
+fn flood_heavy_accounting_trie_partial() {
+    assert_eq!(run_totals(OverlayKind::Trie), [6135, 13861, 0, 21452, 0, 0, 325104, 924, 1932, 0]);
+}
+
+#[test]
+fn flood_heavy_accounting_chord_partial() {
+    assert_eq!(
+        run_totals(OverlayKind::Chord),
+        [8889, 13935, 0, 21089, 0, 0, 271072, 1352, 1932, 0]
+    );
+}
+
+#[test]
+fn flood_heavy_accounting_kademlia_partial() {
+    assert_eq!(
+        run_totals(OverlayKind::Kademlia),
+        [3746, 13813, 0, 22790, 0, 0, 325104, 539, 1932, 0]
+    );
+}

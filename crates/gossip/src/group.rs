@@ -4,8 +4,17 @@
 //! [`MessageKind::GossipPush`], rejoin pulls are
 //! [`MessageKind::GossipPull`], and intra-group query floods (Eq. 16) are
 //! [`MessageKind::ReplicaFlood`].
+//!
+//! Wave state lives in a lane-owned [`WavePool`]: a wave holds only a slot
+//! index plus its counters, and the visited/infected bitmaps, frontier
+//! double-buffers and decoder matrices are recycled across waves instead
+//! of allocated per query. Visited and online tests run word-masked over
+//! u64 bitmaps; accounting is split from state transitions so the message
+//! totals (duplicates and offline targets included) and the RNG draw
+//! order stay bit-for-bit identical to the per-query-`Vec` implementation.
 
 use crate::codec::{Decoder, GossipCodec};
+use crate::scratch::{words, FloodScratch, RumorScratch, WavePool, NO_SLOT};
 use crate::store::{VersionedStore, VersionedValue};
 use pdht_sim::Metrics;
 use pdht_types::{Key, Liveness, MessageKind, PdhtError, PeerId, Result};
@@ -24,23 +33,31 @@ const PUSH_FANOUT: usize = 2;
 /// (feedback/"coin death" from the rumor-spreading literature).
 const DEATH_THRESHOLD: u32 = 3;
 
+/// Bits per bitmap word (mirrors the scratch layout).
+const WORD_BITS: usize = 64;
+
 /// A replica group: the set of peers jointly responsible for a key region,
 /// plus the random subnetwork they gossip over.
 pub struct ReplicaGroup {
     members: Vec<PeerId>,
-    /// Subnetwork over *local* indices `0..members.len()`.
+    /// Subnetwork over *local* indices `0..members.len()`. Holds exactly
+    /// the members: the 1-member special case builds a 2-node graph for
+    /// the generator's sake, then truncates the padding node away, so wave
+    /// loops never see an out-of-range neighbor.
     subnet: Topology,
 }
 
 /// Resumable state of an intra-group BFS flood, advanced one frontier level
 /// (= one parallel message wave) per [`ReplicaGroup::flood_wave`] call.
-/// Message-granular engines park this between waves.
-#[derive(Clone, Debug)]
+/// Message-granular engines park this between waves. The BFS buffers live
+/// in the [`WavePool`] slot named by `slot`; completed waves return it
+/// automatically, abandoned waves must call [`FloodWave::release`].
+#[derive(Debug)]
 pub struct FloodWave {
-    /// Members already reached (local indices).
-    visited: Vec<bool>,
-    /// The current frontier (local indices), in BFS discovery order.
-    frontier: Vec<usize>,
+    /// Pool slot holding the visited bitmap and frontier buffers;
+    /// `NO_SLOT` for inert (non-member/offline/origin-answered) or
+    /// completed waves.
+    slot: u32,
     /// Transmissions so far, duplicates included.
     messages: u64,
     /// First answering member, if any.
@@ -48,6 +65,10 @@ pub struct FloodWave {
 }
 
 impl FloodWave {
+    fn inert(found: Option<PeerId>) -> FloodWave {
+        FloodWave { slot: NO_SLOT, messages: 0, found }
+    }
+
     /// Transmissions so far, duplicates included.
     pub fn messages(&self) -> u64 {
         self.messages
@@ -57,18 +78,33 @@ impl FloodWave {
     pub fn found(&self) -> Option<PeerId> {
         self.found
     }
+
+    /// Returns the wave's scratch slot to the pool. Completed waves do
+    /// this themselves inside [`ReplicaGroup::flood_wave`]; call it only
+    /// when abandoning a wave mid-flood (e.g. query timeout). Idempotent.
+    pub fn release(&mut self, pool: &mut WavePool) {
+        if self.slot != NO_SLOT {
+            pool.release_flood(self.slot);
+            self.slot = NO_SLOT;
+        }
+    }
 }
 
 /// Resumable state of a rumor push, advanced one gossip round (= one
 /// parallel message wave) per [`ReplicaGroup::push_wave`] call.
 /// Message-granular engines park this between waves;
-/// [`ReplicaGroup::push_rumor`] just drives it in a loop.
-#[derive(Clone, Debug)]
+/// [`ReplicaGroup::push_rumor`] just drives it in a loop. The infection
+/// bitmap, spreader buffers and (for coded codecs) decoder state live in
+/// the [`WavePool`] slot named by `slot`; the slot outlives the rumor's
+/// death because [`ReplicaGroup::pull_missing`] still reads the decoders,
+/// so the driver releases it via [`RumorWave::release`] after the pull.
+#[derive(Debug)]
 pub struct RumorWave {
-    /// Members already infected (local indices).
-    infected: Vec<bool>,
-    /// Live spreaders with their consecutive-fruitless-push counters.
-    active: Vec<(usize, u32)>,
+    /// Pool slot holding the wave's buffers; `NO_SLOT` when the wave never
+    /// started (non-member/offline origin) or was released.
+    slot: u32,
+    /// `false` once the rumor died out (all spreaders retired).
+    alive: bool,
     /// Members reached so far (origin included).
     reached: usize,
     /// Receives that taught the receiver something (new version / new
@@ -76,23 +112,22 @@ pub struct RumorWave {
     innovative: u64,
     /// Receives that carried nothing new — the wave's wasted bandwidth.
     redundant: u64,
-    /// Per-member decoding state; `None` under [`GossipCodec::Plain`].
-    coding: Option<CodingState>,
-}
-
-/// Decoder matrices and the per-member knowledge map for coded waves.
-#[derive(Clone, Debug)]
-struct CodingState {
-    /// One decoder per member; the origin starts at full rank.
-    decoders: Vec<Decoder>,
-    /// Members whose deliver closure already fired (decoded the update).
-    delivered: Vec<bool>,
-    /// Anti-entropy knowledge map: for each member, the neighbors it has
-    /// heard packets from (candidate pull donors).
-    heard_from: Vec<Vec<u16>>,
+    /// Whether the slot carries decoder state (coded codec).
+    coded: bool,
 }
 
 impl RumorWave {
+    fn dead() -> RumorWave {
+        RumorWave {
+            slot: NO_SLOT,
+            alive: false,
+            reached: 0,
+            innovative: 0,
+            redundant: 0,
+            coded: false,
+        }
+    }
+
     /// Members reached so far (origin included). Under coded codecs this
     /// counts members that *decoded* the update, not merely heard packets.
     pub fn reached(&self) -> usize {
@@ -101,7 +136,7 @@ impl RumorWave {
 
     /// `true` once the rumor has died out.
     pub fn is_dead(&self) -> bool {
-        self.active.is_empty()
+        !self.alive
     }
 
     /// Receives classified as innovative so far.
@@ -112,6 +147,16 @@ impl RumorWave {
     /// Receives classified as redundant so far (wasted bandwidth).
     pub fn redundant(&self) -> u64 {
         self.redundant
+    }
+
+    /// Returns the wave's scratch slot to the pool; call after the wave is
+    /// fully processed ([`ReplicaGroup::pull_missing`] included — the pull
+    /// round reads the slot's decoder state). Idempotent.
+    pub fn release(&mut self, pool: &mut WavePool) {
+        if self.slot != NO_SLOT {
+            pool.release_rumor(self.slot);
+            self.slot = NO_SLOT;
+        }
     }
 }
 
@@ -131,8 +176,13 @@ impl ReplicaGroup {
         let subnet = if n >= 3 {
             Topology::random(n, SUBNET_DEGREE.min(n - 1).max(2), rng)?
         } else {
-            // 1–2 members: a trivial/linked topology.
-            Topology::random(n.max(2), 2, rng)?
+            // 1–2 members: the generator needs ≥2 nodes, so a 1-member
+            // group borrows a padding node and drops it again. Draw-order
+            // is untouched (truncation draws nothing) and wave loops are
+            // spared the per-neighbor range check.
+            let mut t = Topology::random(n.max(2), 2, rng)?;
+            t.truncate(n);
+            t
         };
         Ok(ReplicaGroup { members, subnet })
     }
@@ -157,47 +207,35 @@ impl ReplicaGroup {
         self.members.iter().position(|&m| m == peer)
     }
 
-    fn online_locals(&self, live: &Liveness) -> Vec<usize> {
-        (0..self.members.len()).filter(|&i| live.is_online(self.members[i])).collect()
-    }
-
     /// Starts a resumable BFS flood from `origin` over the replica
     /// subnetwork. `visit(local_idx)` fires for every member reached
     /// (origin included, before any message is sent) and reports whether
     /// that member answers the flood; once someone answers, `visit` is not
     /// consulted again. Advance with [`ReplicaGroup::flood_wave`].
-    pub fn flood_begin<F>(&self, origin: PeerId, mut visit: F, live: &Liveness) -> FloodWave
+    pub fn flood_begin<F>(
+        &self,
+        origin: PeerId,
+        mut visit: F,
+        live: &Liveness,
+        pool: &mut WavePool,
+    ) -> FloodWave
     where
         F: FnMut(usize) -> bool,
     {
-        let n = self.members.len();
         let Some(start) = self.local_index(origin) else {
-            return FloodWave {
-                visited: Vec::new(),
-                frontier: Vec::new(),
-                messages: 0,
-                found: None,
-            };
+            return FloodWave::inert(None);
         };
         if !live.is_online(origin) {
-            return FloodWave {
-                visited: Vec::new(),
-                frontier: Vec::new(),
-                messages: 0,
-                found: None,
-            };
+            return FloodWave::inert(None);
         }
-        let mut visited = vec![false; n];
-        visited[start] = true;
         if visit(start) {
-            return FloodWave {
-                visited,
-                frontier: Vec::new(),
-                messages: 0,
-                found: Some(self.members[start]),
-            };
+            return FloodWave::inert(Some(self.members[start]));
         }
-        FloodWave { visited, frontier: vec![start], messages: 0, found: None }
+        let slot = pool.acquire_flood(self.members.len());
+        let s = pool.flood_mut(slot);
+        s.visited[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
+        s.frontier.push(start);
+        FloodWave { slot, messages: 0, found: None }
     }
 
     /// One frontier level of an in-progress flood: every frontier member
@@ -206,38 +244,62 @@ impl ReplicaGroup {
     /// `true` when the flood has swept its reachable component — floods do
     /// not stop early on an answer (no global stop signal; the full-sweep
     /// cost is Eq. 16's `repl·dup2`).
+    ///
+    /// Accounting is bulk (a frontier member's whole neighbor list is one
+    /// `record_n`), then state transitions run per neighbor against a
+    /// `visited ∨ ¬online` word mask rebuilt at the top of each wave
+    /// (liveness may change while a wave is parked under non-zero
+    /// latency). Totals and visit order match the per-message original.
     pub fn flood_wave<F>(
         &self,
         wave: &mut FloodWave,
         mut visit: F,
         live: &Liveness,
         metrics: &mut Metrics,
+        pool: &mut WavePool,
     ) -> bool
     where
         F: FnMut(usize) -> bool,
     {
+        if wave.slot == NO_SLOT {
+            return true;
+        }
         let n = self.members.len();
-        let mut next = Vec::new();
-        for &cur in &wave.frontier {
-            for &nb in self.subnet.neighbors(PeerId::from_idx(cur)) {
+        let FloodScratch { visited, blocked, frontier, next } = pool.flood_mut(wave.slot);
+        for (wi, b) in blocked[..words(n)].iter_mut().enumerate() {
+            let base = wi * WORD_BITS;
+            let mut online = 0u64;
+            for (bit, &m) in self.members[base..(base + WORD_BITS).min(n)].iter().enumerate() {
+                online |= u64::from(live.is_online(m)) << bit;
+            }
+            *b = visited[wi] | !online;
+        }
+        for &cur in frontier.iter() {
+            let nbs = self.subnet.neighbors(PeerId::from_idx(cur));
+            wave.messages += nbs.len() as u64;
+            metrics.record_n(MessageKind::ReplicaFlood, nbs.len() as u64);
+            for &nb in nbs {
                 let nb = nb.idx();
-                if nb >= n {
-                    continue; // padding node from the 2-member special case
-                }
-                wave.messages += 1;
-                metrics.record(MessageKind::ReplicaFlood);
-                if wave.visited[nb] || !live.is_online(self.members[nb]) {
+                let (wi, bit) = (nb / WORD_BITS, 1u64 << (nb % WORD_BITS));
+                if blocked[wi] & bit != 0 {
                     continue;
                 }
-                wave.visited[nb] = true;
+                blocked[wi] |= bit;
+                visited[wi] |= bit;
                 if wave.found.is_none() && visit(nb) {
                     wave.found = Some(self.members[nb]);
                 }
                 next.push(nb);
             }
         }
-        wave.frontier = next;
-        wave.frontier.is_empty()
+        std::mem::swap(frontier, next);
+        next.clear();
+        if frontier.is_empty() {
+            wave.release(pool);
+            true
+        } else {
+            false
+        }
     }
 
     /// Floods a query through the replica subnetwork from `origin` (Eq. 16):
@@ -245,7 +307,8 @@ impl ReplicaGroup {
     /// whether that member can answer. Returns `(first answering peer,
     /// messages spent)`. Messages are counted as
     /// [`MessageKind::ReplicaFlood`]. This is [`ReplicaGroup::flood_begin`]
-    /// driven to completion with no inter-level delay.
+    /// driven to completion with no inter-level delay, on throwaway
+    /// scratch — engines with a lane pool drive the waves themselves.
     pub fn flood_query<F>(
         &self,
         origin: PeerId,
@@ -256,8 +319,9 @@ impl ReplicaGroup {
     where
         F: Fn(usize) -> bool,
     {
-        let mut wave = self.flood_begin(origin, &answers, live);
-        while !self.flood_wave(&mut wave, &answers, live, metrics) {}
+        let mut pool = WavePool::new();
+        let mut wave = self.flood_begin(origin, &answers, live, &mut pool);
+        while !self.flood_wave(&mut wave, &answers, live, metrics, &mut pool) {}
         (wave.found, wave.messages)
     }
 
@@ -281,20 +345,10 @@ impl ReplicaGroup {
             deliver(local);
             false
         };
-        let mut wave = self.flood_begin(origin, &mut visit, live);
-        while !self.flood_wave(&mut wave, &mut visit, live, metrics) {}
+        let mut pool = WavePool::new();
+        let mut wave = self.flood_begin(origin, &mut visit, live, &mut pool);
+        while !self.flood_wave(&mut wave, &mut visit, live, metrics, &mut pool) {}
         wave.messages
-    }
-
-    fn dead_wave() -> RumorWave {
-        RumorWave {
-            infected: Vec::new(),
-            active: Vec::new(),
-            reached: 0,
-            innovative: 0,
-            redundant: 0,
-            coding: None,
-        }
     }
 
     /// Starts a resumable rumor push from `origin`: delivers to the origin
@@ -308,35 +362,28 @@ impl ReplicaGroup {
         codec: GossipCodec,
         mut deliver: F,
         live: &Liveness,
+        pool: &mut WavePool,
     ) -> RumorWave
     where
         F: FnMut(usize) -> bool,
     {
         let Some(start) = self.local_index(origin) else {
-            return Self::dead_wave();
+            return RumorWave::dead();
         };
         if !live.is_online(origin) {
-            return Self::dead_wave();
+            return RumorWave::dead();
         }
         deliver(start);
-        let n = self.members.len();
-        let mut infected = vec![false; n];
-        infected[start] = true;
-        let coding = codec.is_coded().then(|| {
-            let mut decoders = vec![Decoder::empty(); n];
-            decoders[start] = Decoder::full();
-            let mut delivered = vec![false; n];
-            delivered[start] = true;
-            CodingState { decoders, delivered, heard_from: vec![Vec::new(); n] }
-        });
-        RumorWave {
-            infected,
-            active: vec![(start, 0)],
-            reached: 1,
-            innovative: 0,
-            redundant: 0,
-            coding,
+        let coded = codec.is_coded();
+        let slot = pool.acquire_rumor(self.members.len(), coded);
+        let s = pool.rumor_mut(slot);
+        s.infected[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
+        s.active.push((start, 0));
+        if coded {
+            s.decoders[start] = Decoder::full();
+            s.delivered[start] = true;
         }
+        RumorWave { slot, alive: true, reached: 1, innovative: 0, redundant: 0, coded }
     }
 
     /// One gossip round of an in-progress rumor push: every active spreader
@@ -351,6 +398,7 @@ impl ReplicaGroup {
     /// fresh) or redundant. Coded codecs push packets instead: "fresh"
     /// means the packet raised the receiver's decoder rank, and `deliver`
     /// fires once per member, on decode completion.
+    #[allow(clippy::too_many_arguments)]
     pub fn push_wave<F>(
         &self,
         wave: &mut RumorWave,
@@ -359,20 +407,23 @@ impl ReplicaGroup {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
+        pool: &mut WavePool,
     ) -> bool
     where
         F: FnMut(usize) -> bool,
     {
         if codec.is_coded() {
-            self.push_wave_coded(wave, codec, deliver, live, rng, metrics)
+            self.push_wave_coded(wave, codec, deliver, live, rng, metrics, pool)
         } else {
-            self.push_wave_plain(wave, deliver, live, rng, metrics)
+            self.push_wave_plain(wave, deliver, live, rng, metrics, pool)
         }
     }
 
     /// The legacy push round, bit-for-bit: same neighbor draws, same
     /// message recording, same infection/death bookkeeping. The counter
-    /// increments are the only addition.
+    /// increments are the only addition. After the padding fix the subnet
+    /// adjacency list *is* the draw population, so the fanout draws run
+    /// straight off the topology slice.
     fn push_wave_plain<F>(
         &self,
         wave: &mut RumorWave,
@@ -380,30 +431,26 @@ impl ReplicaGroup {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
+        pool: &mut WavePool,
     ) -> bool
     where
         F: FnMut(usize) -> bool,
     {
-        if wave.active.is_empty() {
+        if !wave.alive {
             return true;
         }
-        let n = self.members.len();
-        let active = std::mem::take(&mut wave.active);
-        let mut next_active: Vec<(usize, u32)> = Vec::with_capacity(active.len());
-        for (spreader, mut fruitless) in active {
-            let neighbors: Vec<usize> = self
-                .subnet
-                .neighbors(PeerId::from_idx(spreader))
-                .iter()
-                .map(|p| p.idx())
-                .filter(|&i| i < n)
-                .collect();
-            if neighbors.is_empty() {
+        let RumorScratch { infected, active, next_active, .. } = pool.rumor_mut(wave.slot);
+        next_active.clear();
+        for &(spreader, fruitless) in active.iter() {
+            let mut fruitless = fruitless;
+            let nbs = self.subnet.neighbors(PeerId::from_idx(spreader));
+            if nbs.is_empty() {
                 continue;
             }
             let mut was_fresh = false;
             for _ in 0..PUSH_FANOUT {
-                let &target = neighbors.as_slice().choose(rng).expect("non-empty");
+                let &target = nbs.choose(rng).expect("non-empty");
+                let target = target.idx();
                 metrics.record(MessageKind::GossipPush);
                 if !live.is_online(self.members[target]) {
                     continue;
@@ -414,8 +461,9 @@ impl ReplicaGroup {
                 } else {
                     wave.redundant += 1;
                 }
-                if !wave.infected[target] {
-                    wave.infected[target] = true;
+                let (wi, bit) = (target / WORD_BITS, 1u64 << (target % WORD_BITS));
+                if infected[wi] & bit == 0 {
+                    infected[wi] |= bit;
                     wave.reached += 1;
                     next_active.push((target, 0));
                 }
@@ -429,8 +477,9 @@ impl ReplicaGroup {
                 next_active.push((spreader, fruitless));
             }
         }
-        wave.active = next_active;
-        wave.active.is_empty()
+        std::mem::swap(active, next_active);
+        wave.alive = !active.is_empty();
+        !wave.alive
     }
 
     /// One push round under a coded codec. Each push carries one packet
@@ -444,7 +493,10 @@ impl ReplicaGroup {
     /// Coded generations carry completion feedback: a member that decodes
     /// announces it to its subnet neighbors, so spreaders stop aiming at
     /// it (the waste Plain cannot avoid). A spreader whose whole
-    /// neighborhood has decoded retires on the spot.
+    /// neighborhood has decoded retires on the spot. The eligible-neighbor
+    /// snapshot is frozen per spreader (into pooled scratch — `delivered`
+    /// changes mid-round, so the draw population must not).
+    #[allow(clippy::too_many_arguments)]
     fn push_wave_coded<F>(
         &self,
         wave: &mut RumorWave,
@@ -453,32 +505,34 @@ impl ReplicaGroup {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
+        pool: &mut WavePool,
     ) -> bool
     where
         F: FnMut(usize) -> bool,
     {
-        if wave.active.is_empty() {
+        if !wave.alive {
             return true;
         }
-        let cs = wave.coding.as_mut().expect("coded wave carries coding state");
-        let n = self.members.len();
-        let active = std::mem::take(&mut wave.active);
-        let mut next_active: Vec<(usize, u32)> = Vec::with_capacity(active.len());
-        for (spreader, mut fruitless) in active {
-            let neighbors: Vec<usize> = self
-                .subnet
-                .neighbors(PeerId::from_idx(spreader))
-                .iter()
-                .map(|p| p.idx())
-                .filter(|&i| i < n && !cs.delivered[i])
-                .collect();
-            if neighbors.is_empty() {
+        let RumorScratch { infected, active, next_active, nbrs, decoders, delivered, heard_from } =
+            pool.rumor_mut(wave.slot);
+        next_active.clear();
+        for &(spreader, fruitless) in active.iter() {
+            let mut fruitless = fruitless;
+            nbrs.clear();
+            nbrs.extend(
+                self.subnet
+                    .neighbors(PeerId::from_idx(spreader))
+                    .iter()
+                    .map(|p| p.idx())
+                    .filter(|&i| !delivered[i]),
+            );
+            if nbrs.is_empty() {
                 continue; // whole neighborhood decoded: retire this spreader
             }
             let mut was_fresh = false;
             for _ in 0..PUSH_FANOUT {
-                let &target = neighbors.as_slice().choose(rng).expect("non-empty");
-                if cs.delivered[target] {
+                let &target = nbrs.as_slice().choose(rng).expect("non-empty");
+                if delivered[target] {
                     // Decoded mid-round and announced it; skip, no send.
                     continue;
                 }
@@ -492,8 +546,8 @@ impl ReplicaGroup {
                         // sender's chunk bitmap, so the receiver asks for
                         // a chunk it lacks; only a subset sender wastes
                         // the transmission.
-                        let sender = &cs.decoders[spreader];
-                        let receiver = &cs.decoders[target];
+                        let sender = &decoders[spreader];
+                        let receiver = &decoders[target];
                         let mut wanted = [0usize; crate::codec::GENERATION_SIZE];
                         let mut m = 0;
                         for c in 0..crate::codec::GENERATION_SIZE {
@@ -511,21 +565,22 @@ impl ReplicaGroup {
                             sender.pick_chunk(rng)
                         }
                     }
-                    _ => Some(cs.decoders[spreader].encode(rng)),
+                    _ => Some(decoders[spreader].encode(rng)),
                 };
-                if !cs.heard_from[target].contains(&(spreader as u16)) {
-                    cs.heard_from[target].push(spreader as u16);
+                if !heard_from[target].contains(&(spreader as u16)) {
+                    heard_from[target].push(spreader as u16);
                 }
-                let innovative = packet.is_some_and(|p| cs.decoders[target].insert(p));
+                let innovative = packet.is_some_and(|p| decoders[target].insert(p));
                 if innovative {
                     was_fresh = true;
                     wave.innovative += 1;
-                    if !wave.infected[target] {
-                        wave.infected[target] = true;
+                    let (wi, bit) = (target / WORD_BITS, 1u64 << (target % WORD_BITS));
+                    if infected[wi] & bit == 0 {
+                        infected[wi] |= bit;
                         next_active.push((target, 0));
                     }
-                    if cs.decoders[target].is_complete() && !cs.delivered[target] {
-                        cs.delivered[target] = true;
+                    if decoders[target].is_complete() && !delivered[target] {
+                        delivered[target] = true;
                         wave.reached += 1;
                         deliver(target);
                     }
@@ -542,8 +597,9 @@ impl ReplicaGroup {
                 next_active.push((spreader, fruitless));
             }
         }
-        wave.active = next_active;
-        wave.active.is_empty()
+        std::mem::swap(active, next_active);
+        wave.alive = !active.is_empty();
+        !wave.alive
     }
 
     /// Anti-entropy pull round for a finished coded wave: every online
@@ -553,6 +609,10 @@ impl ReplicaGroup {
     /// gained counts as innovative receives; a fruitless pull counts one
     /// redundant. A no-op for [`GossipCodec::Plain`] waves (no decoder
     /// state, no RNG draws). Returns the number of members completed.
+    ///
+    /// The donor draw is count-then-pick over the knowledge map — one
+    /// `random_range` over the online-donor count, exactly the draw the
+    /// collected donor `Vec` used to make.
     pub fn pull_missing<F>(
         &self,
         wave: &mut RumorWave,
@@ -560,36 +620,41 @@ impl ReplicaGroup {
         live: &Liveness,
         rng: &mut SmallRng,
         metrics: &mut Metrics,
+        pool: &mut WavePool,
     ) -> usize
     where
         F: FnMut(usize) -> bool,
     {
-        let Some(cs) = wave.coding.as_mut() else {
+        if !wave.coded || wave.slot == NO_SLOT {
             return 0;
-        };
+        }
+        let RumorScratch { decoders, delivered, heard_from, .. } = pool.rumor_mut(wave.slot);
         let mut completed = 0usize;
         for me in 0..self.members.len() {
-            if cs.delivered[me] || !live.is_online(self.members[me]) {
+            if delivered[me] || !live.is_online(self.members[me]) {
                 continue;
             }
-            let donors: Vec<u16> = cs.heard_from[me]
-                .iter()
-                .copied()
-                .filter(|&h| live.is_online(self.members[usize::from(h)]))
-                .collect();
-            let Some(&donor) = donors.as_slice().choose(rng) else {
+            let online_donor = |h: &u16| live.is_online(self.members[usize::from(*h)]);
+            let count = heard_from[me].iter().filter(|h| online_donor(h)).count();
+            if count == 0 {
                 continue;
-            };
+            }
+            let pick = rng.random_range(0..count);
+            let donor = *heard_from[me]
+                .iter()
+                .filter(|h| online_donor(h))
+                .nth(pick)
+                .expect("pick is in range");
             metrics.record_n(MessageKind::GossipPull, 2);
-            let donor_space = cs.decoders[usize::from(donor)].clone();
-            let gained = cs.decoders[me].absorb(&donor_space);
+            let donor_space = decoders[usize::from(donor)].clone();
+            let gained = decoders[me].absorb(&donor_space);
             if gained == 0 {
                 wave.redundant += 1;
             } else {
                 wave.innovative += gained as u64;
             }
-            if cs.decoders[me].is_complete() {
-                cs.delivered[me] = true;
+            if decoders[me].is_complete() {
+                delivered[me] = true;
                 wave.reached += 1;
                 deliver(me);
                 completed += 1;
@@ -602,7 +667,8 @@ impl ReplicaGroup {
     /// state transition is a caller-supplied closure
     /// (`deliver(local_idx) -> fresh?`), so any store type can ride the
     /// gossip. This is [`ReplicaGroup::push_begin`] driven to completion
-    /// with no inter-round delay. Returns members reached.
+    /// with no inter-round delay, on throwaway scratch. Returns members
+    /// reached.
     pub fn push_rumor<F>(
         &self,
         origin: PeerId,
@@ -614,8 +680,17 @@ impl ReplicaGroup {
     where
         F: FnMut(usize) -> bool,
     {
-        let mut wave = self.push_begin(origin, GossipCodec::Plain, &mut deliver, live);
-        while !self.push_wave(&mut wave, GossipCodec::Plain, &mut deliver, live, rng, metrics) {}
+        let mut pool = WavePool::new();
+        let mut wave = self.push_begin(origin, GossipCodec::Plain, &mut deliver, live, &mut pool);
+        while !self.push_wave(
+            &mut wave,
+            GossipCodec::Plain,
+            &mut deliver,
+            live,
+            rng,
+            metrics,
+            &mut pool,
+        ) {}
         wave.reached
     }
 
@@ -654,11 +729,18 @@ impl ReplicaGroup {
         let Some(me) = self.local_index(member) else {
             return 0;
         };
-        let candidates: Vec<usize> =
-            self.online_locals(live).into_iter().filter(|&i| i != me).collect();
-        let Some(&donor) = candidates.as_slice().choose(rng) else {
+        // Count-then-pick over online members other than `me`: one draw,
+        // no candidate Vec, same donor the collected version chose.
+        let is_candidate = |i: usize| i != me && live.is_online(self.members[i]);
+        let count = (0..self.members.len()).filter(|&i| is_candidate(i)).count();
+        if count == 0 {
             return 0;
-        };
+        }
+        let pick = rng.random_range(0..count);
+        let donor = (0..self.members.len())
+            .filter(|&i| is_candidate(i))
+            .nth(pick)
+            .expect("pick is in range");
         metrics.record_n(MessageKind::GossipPull, 2);
         let mut updated = 0usize;
         for &key in keys {
@@ -843,6 +925,46 @@ mod tests {
         assert_eq!(msgs, 0);
     }
 
+    /// The 2-member special case, pinned: with the padding node filtered
+    /// out at construction there is exactly one subnet edge, so a
+    /// nobody-answers flood costs one forward plus one duplicate-back
+    /// transmission — and nothing for a phantom third node.
+    #[test]
+    fn two_member_flood_accounting_is_exact() {
+        let (g, _s) = group(2);
+        let live = all_online(2);
+        let mut m = Metrics::new();
+        let (found, msgs) = g.flood_query(PeerId(100), |_| false, &live, &mut m);
+        assert_eq!(found, None);
+        assert_eq!(msgs, 2, "one forward + one duplicate back, no padding traffic");
+        assert_eq!(m.totals()[MessageKind::ReplicaFlood], 2);
+    }
+
+    /// 1-member groups keep a padding node only inside the topology
+    /// generator; after truncation the subnet has no edges at all, so
+    /// floods and pushes start and die at the origin.
+    #[test]
+    fn one_member_group_has_no_neighbors() {
+        let (g, mut s) = group(1);
+        let live = all_online(1);
+        let mut r = rng();
+        let mut m = Metrics::new();
+        let (found, msgs) = g.flood_query(PeerId(100), |_| false, &live, &mut m);
+        assert_eq!((found, msgs), (None, 0));
+        let reached = g.push_update(
+            PeerId(100),
+            K,
+            VersionedValue { version: 1, data: 1 },
+            &mut s,
+            &live,
+            &mut r,
+            &mut m,
+        );
+        assert_eq!(reached, 1);
+        assert_eq!(m.totals()[MessageKind::GossipPush], 0);
+        assert_eq!(m.totals()[MessageKind::ReplicaFlood], 0);
+    }
+
     #[test]
     fn pull_with_no_online_donor_is_a_noop() {
         let (g, mut s) = group(5);
@@ -881,6 +1003,36 @@ mod tests {
         assert_eq!(g.pull_on_rejoin(PeerId(1), &[K], &mut s, &live, &mut r, &mut m), 0);
     }
 
+    /// Parked waves release their pooled scratch when they complete (or
+    /// are explicitly released), so sequential waves reuse one slot.
+    #[test]
+    fn sequential_waves_reuse_one_pool_slot() {
+        let (g, _s) = group(40);
+        let live = all_online(40);
+        let mut m = Metrics::new();
+        let mut r = rng();
+        let mut pool = WavePool::new();
+        for _ in 0..10 {
+            let mut wave = g.flood_begin(PeerId(100), |_| false, &live, &mut pool);
+            while !g.flood_wave(&mut wave, |_| false, &live, &mut m, &mut pool) {}
+            let mut rumor =
+                g.push_begin(PeerId(100), GossipCodec::Rlnc, |_| true, &live, &mut pool);
+            while !g.push_wave(
+                &mut rumor,
+                GossipCodec::Rlnc,
+                |_| true,
+                &live,
+                &mut r,
+                &mut m,
+                &mut pool,
+            ) {}
+            g.pull_missing(&mut rumor, |_| true, &live, &mut r, &mut m, &mut pool);
+            rumor.release(&mut pool);
+        }
+        assert_eq!(pool.slots(), 2, "one flood slot + one rumor slot, recycled");
+        assert_eq!(pool.acquires(), 20);
+    }
+
     /// Drives one full wave (push rounds + pull mop-up) under `codec`,
     /// returning the finished wave and the metrics it spent.
     fn run_wave(n: usize, codec: GossipCodec, seed: u64) -> (RumorWave, Metrics, Vec<bool>) {
@@ -889,15 +1041,17 @@ mod tests {
         let live = all_online(n);
         let mut r = SmallRng::seed_from_u64(seed);
         let mut m = Metrics::new();
+        let mut pool = WavePool::new();
         let mut got = vec![false; n];
         let mut deliver = |local: usize| {
             let fresh = !got[local];
             got[local] = true;
             fresh
         };
-        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live);
-        while !g.push_wave(&mut wave, codec, &mut deliver, &live, &mut r, &mut m) {}
-        g.pull_missing(&mut wave, &mut deliver, &live, &mut r, &mut m);
+        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live, &mut pool);
+        while !g.push_wave(&mut wave, codec, &mut deliver, &live, &mut r, &mut m, &mut pool) {}
+        g.pull_missing(&mut wave, &mut deliver, &live, &mut r, &mut m, &mut pool);
+        wave.release(&mut pool);
         (wave, m, got)
     }
 
@@ -953,6 +1107,7 @@ mod tests {
         let live = all_online(64);
         let mut r = SmallRng::seed_from_u64(5);
         let mut m = Metrics::new();
+        let mut pool = WavePool::new();
         let mut got = [false; 64];
         let mut deliver = |local: usize| {
             let fresh = !got[local];
@@ -960,16 +1115,16 @@ mod tests {
             fresh
         };
         let codec = GossipCodec::Rlnc;
-        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live);
+        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live, &mut pool);
         // Only a handful of push rounds: plenty of members hold partial
         // rank when the pull round runs.
         for _ in 0..4 {
-            if g.push_wave(&mut wave, codec, &mut deliver, &live, &mut r, &mut m) {
+            if g.push_wave(&mut wave, codec, &mut deliver, &live, &mut r, &mut m, &mut pool) {
                 break;
             }
         }
         let before = wave.reached();
-        let completed = g.pull_missing(&mut wave, &mut deliver, &live, &mut r, &mut m);
+        let completed = g.pull_missing(&mut wave, &mut deliver, &live, &mut r, &mut m, &mut pool);
         assert_eq!(wave.reached(), before + completed);
         assert!(m.totals()[MessageKind::GossipPull] >= 2 * completed as u64);
     }

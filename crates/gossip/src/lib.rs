@@ -17,8 +17,10 @@
 
 pub mod codec;
 pub mod group;
+pub mod scratch;
 pub mod store;
 
 pub use codec::{Decoder, GossipCodec, GENERATION_SIZE};
 pub use group::{FloodWave, ReplicaGroup, RumorWave};
+pub use scratch::WavePool;
 pub use store::{VersionedStore, VersionedValue};

@@ -22,6 +22,19 @@ use rand::Rng;
 pub trait LatencyModel: Send + Sync {
     /// Delay for one forwarded message (or one parallel wave of messages).
     fn sample(&self, rng: &mut SmallRng) -> SimTime;
+
+    /// Fills `out` with one delay per message, drawing exactly as many
+    /// RNG values, in the same order, as `out.len()` calls to
+    /// [`LatencyModel::sample`] would — batch dispatch of a message wave
+    /// must be indistinguishable from per-message dispatch on the RNG
+    /// stream, or the golden accounting vectors drift. The default loops;
+    /// models with a draw-free answer (e.g. [`ZeroLatency`]) override it
+    /// to skip the virtual dispatch per element.
+    fn sample_batch(&self, rng: &mut SmallRng, out: &mut [SimTime]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
 }
 
 /// No delay: every hop lands instantly, reproducing whole-round dispatch
@@ -34,6 +47,13 @@ impl LatencyModel for ZeroLatency {
     #[inline]
     fn sample(&self, _rng: &mut SmallRng) -> SimTime {
         SimTime::ZERO
+    }
+
+    #[inline]
+    fn sample_batch(&self, _rng: &mut SmallRng, out: &mut [SimTime]) {
+        // `sample` draws nothing, so the batch can fill without touching
+        // the RNG — one memset instead of a virtual call per message.
+        out.fill(SimTime::ZERO);
     }
 }
 
@@ -160,6 +180,35 @@ mod tests {
             (0..50).map(|_| m.sample(&mut r)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_per_message_draws_exactly() {
+        // For every model: a batch fill must produce the same delays AND
+        // leave the RNG in the same state as the equivalent sample loop.
+        let uniform = UniformLatency::new(SimTime::from_micros(10), SimTime::from_micros(90));
+        let lognorm = LogNormalLatency::new(SimTime::from_secs_f64(0.04), 0.7);
+        let models: [&dyn LatencyModel; 3] = [&ZeroLatency, &uniform, &lognorm];
+        for model in models {
+            let mut r_loop = rng();
+            let looped: Vec<SimTime> = (0..257).map(|_| model.sample(&mut r_loop)).collect();
+            let mut r_batch = rng();
+            let mut batched = vec![SimTime::ZERO; 257];
+            model.sample_batch(&mut r_batch, &mut batched);
+            assert_eq!(batched, looped);
+            // Same post-state: the next draw from both streams agrees.
+            assert_eq!(r_loop.random::<u64>(), r_batch.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn zero_batch_draws_nothing() {
+        let mut a = rng();
+        let b = rng().random::<u64>();
+        let mut out = [SimTime::from_micros(99); 32];
+        ZeroLatency.sample_batch(&mut a, &mut out);
+        assert!(out.iter().all(|&t| t == SimTime::ZERO));
+        assert_eq!(a.random::<u64>(), b, "zero-latency batch must not touch the RNG");
     }
 
     #[test]

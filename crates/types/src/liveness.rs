@@ -2,42 +2,63 @@
 //!
 //! Churn produces this; overlays, gossip and search consume it. Kept in the
 //! types crate so all substrates agree on one representation.
+//!
+//! Backed by u64 bitmap words (not a byte-per-peer `Vec<bool>`): the query
+//! pipeline probes `is_online` once per message, so at 100k peers the whole
+//! population's liveness fits in ~12 KB of cache instead of 100 KB, and a
+//! probe is one word load plus a bit test. Iteration order is word-wise
+//! ascending — identical to the old index-order scan — so nothing that
+//! draws RNG values per online peer can observe the representation change.
 
 use crate::peer::PeerId;
+
+/// Bits per bitmap word.
+const WORD_BITS: usize = 64;
 
 /// Online/offline status for a dense peer population.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Liveness {
-    online: Vec<bool>,
+    /// Bit `i % 64` of word `i / 64` is peer `i`'s status. Bits at or
+    /// beyond `len` are always zero (so popcounts never need masking).
+    words: Vec<u64>,
+    len: usize,
     online_count: usize,
 }
 
 impl Liveness {
     /// All `n` peers online.
     pub fn all_online(n: usize) -> Liveness {
-        Liveness { online: vec![true; n], online_count: n }
+        let mut words = vec![u64::MAX; n.div_ceil(WORD_BITS)];
+        if let Some(last) = words.last_mut() {
+            let tail = n % WORD_BITS;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Liveness { words, len: n, online_count: n }
     }
 
     /// All `n` peers offline.
     pub fn all_offline(n: usize) -> Liveness {
-        Liveness { online: vec![false; n], online_count: 0 }
+        Liveness { words: vec![0; n.div_ceil(WORD_BITS)], len: n, online_count: 0 }
     }
 
     /// Population size.
     pub fn len(&self) -> usize {
-        self.online.len()
+        self.len
     }
 
     /// `true` when the population is empty.
     pub fn is_empty(&self) -> bool {
-        self.online.is_empty()
+        self.len == 0
     }
 
     /// Is `peer` online? Out-of-range ids are reported offline rather than
     /// panicking (overlays may hold references to retired peers).
     #[inline]
     pub fn is_online(&self, peer: PeerId) -> bool {
-        self.online.get(peer.idx()).copied().unwrap_or(false)
+        let i = peer.idx();
+        i < self.len && self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
     /// Sets the status of `peer`.
@@ -45,13 +66,21 @@ impl Liveness {
     /// # Panics
     /// Panics if `peer` is out of range.
     pub fn set(&mut self, peer: PeerId, online: bool) {
-        let slot = &mut self.online[peer.idx()];
-        match (*slot, online) {
-            (false, true) => self.online_count += 1,
-            (true, false) => self.online_count -= 1,
+        let i = peer.idx();
+        assert!(i < self.len, "peer {i} out of range for population {}", self.len);
+        let word = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        match (*word & bit != 0, online) {
+            (false, true) => {
+                *word |= bit;
+                self.online_count += 1;
+            }
+            (true, false) => {
+                *word &= !bit;
+                self.online_count -= 1;
+            }
             _ => {}
         }
-        *slot = online;
     }
 
     /// Number of online peers.
@@ -61,22 +90,32 @@ impl Liveness {
 
     /// Fraction of peers online (0 when empty).
     pub fn availability(&self) -> f64 {
-        if self.online.is_empty() {
+        if self.len == 0 {
             0.0
         } else {
-            self.online_count as f64 / self.online.len() as f64
+            self.online_count as f64 / self.len as f64
         }
     }
 
-    /// Iterates ids of online peers in index order.
+    /// Iterates ids of online peers in ascending index order (word-wise:
+    /// each word's set bits are drained lowest-first, which is exactly the
+    /// old per-index scan order).
     pub fn iter_online(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.online.iter().enumerate().filter(|&(_, &on)| on).map(|(i, _)| PeerId::from_idx(i))
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w * WORD_BITS;
+            std::iter::successors((word != 0).then_some(word), |&rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |rest| PeerId::from_idx(base + rest.trailing_zeros() as usize))
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn construction_and_counts() {
@@ -106,6 +145,10 @@ mod tests {
     fn out_of_range_is_offline() {
         let l = Liveness::all_online(3);
         assert!(!l.is_online(PeerId(99)));
+        // Including ids inside the tail word but past the population: bits
+        // beyond `len` are zero and the bound check rejects them anyway.
+        assert!(!l.is_online(PeerId(3)));
+        assert!(!l.is_online(PeerId(63)));
     }
 
     #[test]
@@ -118,9 +161,84 @@ mod tests {
     }
 
     #[test]
+    fn iter_online_crosses_word_boundaries_in_index_order() {
+        let mut l = Liveness::all_offline(200);
+        for &i in &[0u32, 63, 64, 65, 127, 128, 199] {
+            l.set(PeerId(i), true);
+        }
+        let ids: Vec<u32> = l.iter_online().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
     fn empty_population() {
         let l = Liveness::all_online(0);
         assert!(l.is_empty());
         assert_eq!(l.availability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut l = Liveness::all_online(3);
+        l.set(PeerId(3), true);
+    }
+
+    /// The byte-per-peer representation the bitmap replaced; the proptests
+    /// below hold the two equivalent under arbitrary set sequences.
+    struct VecRef {
+        online: Vec<bool>,
+    }
+
+    impl VecRef {
+        fn count(&self) -> usize {
+            self.online.iter().filter(|&&b| b).count()
+        }
+    }
+
+    proptest! {
+        /// set/is_online/online_count agree with the Vec<bool> reference
+        /// under any transition sequence, and out-of-range ids stay
+        /// offline.
+        #[test]
+        fn bitmap_matches_vec_bool_reference(
+            n in 0usize..300,
+            ops in prop::collection::vec((0u32..310, any::<bool>()), 0..64),
+        ) {
+            let mut l = Liveness::all_offline(n);
+            let mut r = VecRef { online: vec![false; n] };
+            for (peer, online) in ops {
+                if (peer as usize) < n {
+                    l.set(PeerId(peer), online);
+                    r.online[peer as usize] = online;
+                }
+                prop_assert_eq!(l.online_count(), r.count());
+            }
+            for i in 0..310u32 {
+                let expect = (i as usize) < n && r.online[i as usize];
+                prop_assert_eq!(l.is_online(PeerId(i)), expect, "peer {}", i);
+            }
+        }
+
+        /// iter_online yields exactly the online ids, ascending — the
+        /// draw-order invariant everything downstream of churn relies on.
+        #[test]
+        fn iter_online_is_the_ascending_online_subset(
+            n in 0usize..300,
+            offline in prop::collection::vec(0u32..300, 0..64),
+        ) {
+            let mut l = Liveness::all_online(n);
+            let mut r = vec![true; n];
+            for peer in offline {
+                if (peer as usize) < n {
+                    l.set(PeerId(peer), false);
+                    r[peer as usize] = false;
+                }
+            }
+            let got: Vec<u32> = l.iter_online().map(|p| p.0).collect();
+            let want: Vec<u32> =
+                (0..n as u32).filter(|&i| r[i as usize]).collect();
+            prop_assert_eq!(got, want);
+        }
     }
 }

@@ -185,6 +185,13 @@ impl RandomWalk {
         if self.messages >= self.max_steps {
             return WalkWave::Exhausted;
         }
+        // Every walker's position is known up front, so the adjacency rows
+        // this wave will touch can start streaming in before the serial
+        // per-walker loop reaches them. Each row is a random index into the
+        // CSR arrays — without the hint every step pays the full miss.
+        for pos in &self.positions {
+            topo.prefetch_neighbors(*pos);
+        }
         let mut any_alive = false;
         for pos in &mut self.positions {
             if self.messages >= self.max_steps {
@@ -192,21 +199,37 @@ impl RandomWalk {
             }
             // Step to a random online neighbor (walkers pass through the
             // online subgraph only — an offline peer cannot forward).
-            // Count-then-pick: one pass counts the online neighbors, one
-            // uniform draw over that count picks the step — the same
+            // Fused count-then-pick: one pass counts the online neighbors
+            // while recording where the first PICK_CACHE of them sit, then
+            // one uniform draw over that count picks the step — the same
             // single `random_range(0..count)` the old collect-then-choose
-            // consumed, with no candidates Vec.
+            // consumed, with no candidates Vec. Only a hub with more than
+            // PICK_CACHE online neighbors ever needs the rescan.
+            const PICK_CACHE: usize = 32;
             let neighbors = topo.neighbors(*pos);
-            let online = neighbors.iter().filter(|&&p| live.is_online(p)).count();
+            let mut online = 0usize;
+            let mut slots = [0u32; PICK_CACHE];
+            for (j, &p) in neighbors.iter().enumerate() {
+                if live.is_online(p) {
+                    if online < PICK_CACHE {
+                        slots[online] = j as u32;
+                    }
+                    online += 1;
+                }
+            }
             if online == 0 {
                 continue; // walker is stuck; others may proceed
             }
             let pick = rng.random_range(0..online);
-            let next = *neighbors
-                .iter()
-                .filter(|&&p| live.is_online(p))
-                .nth(pick)
-                .expect("pick < online count");
+            let next = if pick < PICK_CACHE {
+                neighbors[slots[pick] as usize]
+            } else {
+                *neighbors
+                    .iter()
+                    .filter(|&&p| live.is_online(p))
+                    .nth(pick)
+                    .expect("pick < online count")
+            };
             any_alive = true;
             self.messages += 1;
             metrics.record(MessageKind::WalkStep);

@@ -12,13 +12,65 @@ use rand::seq::{IndexedRandom, SliceRandom};
 use rand::Rng;
 
 /// An undirected overlay graph over a dense peer population.
+///
+/// Stored in compressed-sparse-row form: one flat `targets` array holding
+/// every adjacency list back to back, indexed by `offsets` (`n + 1`
+/// entries). Walk and flood inner loops read one contiguous slice per
+/// visited peer instead of chasing a per-node heap pointer — at 10⁵ peers
+/// the per-node `Vec<Vec<_>>` layout was the dominant cache miss in the
+/// query phase. Construction still goes through an ordinary adjacency-list
+/// builder (identical RNG draws), then flattens once; the graph never
+/// mutates afterwards except [`Topology::truncate`], which compacts the
+/// flat arrays in place.
 #[derive(Clone, Debug)]
 pub struct Topology {
-    adj: Vec<Vec<PeerId>>,
+    /// `targets[offsets[i] as usize .. offsets[i + 1] as usize]` are the
+    /// neighbors of peer `i`, in insertion order.
+    offsets: Vec<u32>,
+    targets: Vec<PeerId>,
     edges: usize,
     /// The edge count construction aimed for (== `edges` unless the
     /// retry budget ran out; see [`Topology::edge_shortfall`]).
     target_edges: usize,
+}
+
+/// Adjacency-list accumulator used during construction only. Keeping the
+/// build path on `Vec<Vec<PeerId>>` preserves the exact insertion order
+/// (and thus the RNG draw sequence of every traversal downstream); the
+/// final [`Builder::finish`] flattens into CSR without reordering.
+struct Builder {
+    adj: Vec<Vec<PeerId>>,
+    edges: usize,
+}
+
+impl Builder {
+    fn new(n: usize) -> Builder {
+        Builder { adj: vec![Vec::new(); n], edges: 0 }
+    }
+
+    /// Adds the undirected edge `(a, b)` if absent; returns whether added.
+    fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        debug_assert_ne!(a, b);
+        let pb = PeerId::from_idx(b);
+        if self.adj[a].contains(&pb) {
+            return false;
+        }
+        self.adj[a].push(pb);
+        self.adj[b].push(PeerId::from_idx(a));
+        self.edges += 1;
+        true
+    }
+
+    fn finish(self, target_edges: usize) -> Topology {
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut targets = Vec::with_capacity(2 * self.edges);
+        offsets.push(0u32);
+        for nbs in &self.adj {
+            targets.extend_from_slice(nbs);
+            offsets.push(targets.len() as u32);
+        }
+        Topology { offsets, targets, edges: self.edges, target_edges }
+    }
 }
 
 /// Multiple of the *expected* rejection-sampling cost granted per
@@ -54,7 +106,7 @@ impl Topology {
                 reason: "mean degree must be at least 2 for connectivity".into(),
             });
         }
-        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0, target_edges: 0 };
+        let mut topo = Builder::new(n);
 
         // Random cycle backbone.
         let mut order: Vec<usize> = (0..n).collect();
@@ -71,7 +123,6 @@ impl Topology {
         // to the old fixed-guard loop until the moment that guard tripped).
         let max_edges = n * (n - 1) / 2;
         let target_edges = (n * mean_degree / 2).min(max_edges).max(topo.edges);
-        topo.target_edges = target_edges;
         let next_edge_budget =
             |edges: usize| EDGE_RETRY_FACTOR * (n * n / (2 * (max_edges - edges)) + 1);
         let mut attempts_left =
@@ -84,7 +135,7 @@ impl Topology {
                 attempts_left = attempts_left.max(next_edge_budget(topo.edges));
             }
         }
-        Ok(topo)
+        Ok(topo.finish(target_edges))
     }
 
     /// A preferential-attachment graph (Barabási–Albert flavour): each new
@@ -106,7 +157,7 @@ impl Topology {
                 reason: "each peer must attach somewhere".into(),
             });
         }
-        let mut topo = Topology { adj: vec![Vec::new(); n], edges: 0, target_edges: 0 };
+        let mut topo = Builder::new(n);
         // Endpoint pool: each edge contributes both endpoints, so sampling
         // uniformly from the pool is degree-proportional sampling.
         let mut pool: Vec<usize> = Vec::with_capacity(2 * n * m);
@@ -129,8 +180,8 @@ impl Topology {
                 pool.extend_from_slice(&[v, v - 1]);
             }
         }
-        topo.target_edges = topo.edges;
-        Ok(topo)
+        let target_edges = topo.edges;
+        Ok(topo.finish(target_edges))
     }
 
     /// Edges [`Topology::random`] aimed for but could not place before its
@@ -140,27 +191,46 @@ impl Topology {
         self.target_edges - self.edges
     }
 
-    /// Adds the undirected edge `(a, b)` if absent; returns whether added.
-    fn add_edge(&mut self, a: usize, b: usize) -> bool {
-        debug_assert_ne!(a, b);
-        let pb = PeerId::from_idx(b);
-        if self.adj[a].contains(&pb) {
-            return false;
+    /// Drops every node with index `>= n` (and its edges), shrinking the
+    /// graph to `0..n`. Construction draws are already spent when this
+    /// runs, so truncating after [`Topology::random`] consumes exactly the
+    /// RNG stream the full-size build did — the trick the replica-group
+    /// padding fix relies on: build the 2-node minimum graph, then cut the
+    /// padding node out so no traversal ever has to filter it.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
         }
-        self.adj[a].push(pb);
-        self.adj[b].push(PeerId::from_idx(a));
-        self.edges += 1;
-        true
+        // Compact the CSR arrays in place: the write cursor never passes
+        // the read cursor, so surviving targets shift left one slice at a
+        // time while the offsets are rewritten behind them.
+        let mut write = 0usize;
+        for i in 0..n {
+            let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+            self.offsets[i] = write as u32;
+            for j in start..end {
+                let nb = self.targets[j];
+                if nb.idx() < n {
+                    self.targets[write] = nb;
+                    write += 1;
+                }
+            }
+        }
+        self.offsets[n] = write as u32;
+        self.offsets.truncate(n + 1);
+        self.targets.truncate(write);
+        self.edges = write / 2;
+        self.target_edges = self.target_edges.min(self.edges);
     }
 
     /// Number of peers.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// `true` if the graph has no peers.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
     }
 
     /// Number of undirected edges.
@@ -170,30 +240,42 @@ impl Topology {
 
     /// Mean degree.
     pub fn mean_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            2.0 * self.edges as f64 / self.adj.len() as f64
+            2.0 * self.edges as f64 / self.len() as f64
         }
     }
 
-    /// Neighbors of `peer`.
+    /// Neighbors of `peer` (one contiguous CSR slice).
     #[inline]
     pub fn neighbors(&self, peer: PeerId) -> &[PeerId] {
-        &self.adj[peer.idx()]
+        let i = peer.idx();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Warms the cache line that [`Topology::neighbors`]`(peer)` will read.
+    /// Walk waves know every walker's position before the serial step loop
+    /// runs; issuing these independent loads up front lets the core overlap
+    /// the random CSR row fetches instead of paying each miss in turn.
+    /// `black_box` keeps the otherwise-dead load from being optimised away;
+    /// there is no semantic effect.
+    #[inline]
+    pub fn prefetch_neighbors(&self, peer: PeerId) {
+        std::hint::black_box(self.offsets[peer.idx()]);
     }
 
     /// Is the whole graph connected? (BFS; test/diagnostic helper.)
     pub fn is_connected(&self) -> bool {
-        if self.adj.is_empty() {
+        if self.is_empty() {
             return true;
         }
-        let mut seen = vec![false; self.adj.len()];
+        let mut seen = vec![false; self.len()];
         let mut stack = vec![0usize];
         seen[0] = true;
         let mut count = 1usize;
         while let Some(v) = stack.pop() {
-            for &nb in &self.adj[v] {
+            for &nb in self.neighbors(PeerId::from_idx(v)) {
                 if !seen[nb.idx()] {
                     seen[nb.idx()] = true;
                     count += 1;
@@ -201,7 +283,7 @@ impl Topology {
                 }
             }
         }
-        count == self.adj.len()
+        count == self.len()
     }
 }
 
@@ -284,6 +366,39 @@ mod tests {
         assert_eq!(t.num_edges(), n * (n - 1) / 2, "must build the complete graph");
         assert_eq!(t.edge_shortfall(), 0);
         assert!((t.mean_degree() - (n - 1) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncate_drops_high_nodes_and_their_edges() {
+        let mut t = Topology::random(10, 4, &mut rng()).unwrap();
+        let full = t.clone();
+        t.truncate(6);
+        assert_eq!(t.len(), 6);
+        for i in 0..6 {
+            let me = PeerId::from_idx(i);
+            for &nb in t.neighbors(me) {
+                assert!(nb.idx() < 6, "edge to truncated node survived");
+                assert!(t.neighbors(nb).contains(&me), "edges stay symmetric");
+                assert!(full.neighbors(me).contains(&nb), "no new edges appear");
+            }
+        }
+        // Truncating to the current size (or larger) is a no-op.
+        let before = t.num_edges();
+        t.truncate(6);
+        t.truncate(100);
+        assert_eq!(t.num_edges(), before);
+        assert_eq!(t.len(), 6);
+        // Truncation never leaves a phantom shortfall.
+        assert_eq!(t.edge_shortfall(), 0);
+    }
+
+    #[test]
+    fn truncate_to_single_node_clears_adjacency() {
+        let mut t = Topology::random(2, 2, &mut rng()).unwrap();
+        t.truncate(1);
+        assert_eq!(t.len(), 1);
+        assert!(t.neighbors(PeerId(0)).is_empty());
+        assert_eq!(t.num_edges(), 0);
     }
 
     #[test]
