@@ -19,12 +19,13 @@ fn main() {
     reject_peers_override(&args, "sim_adaptivity");
     println!(
         "S3 configuration: overlay = {:?}, latency = {:?}, threads = {}, shards = {}, \
-         gossip codec = {:?}{}",
+         gossip codec = {:?}, gen size = {}{}",
         args.overlay,
         args.latency,
         args.threads,
         args.effective_shards(),
         args.gossip_codec,
+        args.gen_size,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario = Scenario::table1_scaled(20); // 1 000 peers, 2 000 keys
@@ -79,6 +80,7 @@ fn main() {
             f1(rep.indexed_keys),
             f1(rep.msgs_per_round),
             f3(rep.wasted_bandwidth),
+            f1(rep.gossip_bytes_per_round),
         ]);
         if end < shift_round && end + window >= shift_round {
             hit_before = rep.p_indexed;
@@ -113,7 +115,14 @@ fn main() {
 
     let path = write_csv(
         "sim_adaptivity",
-        &["window_start", "p_indexed", "indexed_keys", "msgs_per_round", "wasted_bandwidth"],
+        &[
+            "window_start",
+            "p_indexed",
+            "indexed_keys",
+            "msgs_per_round",
+            "wasted_bandwidth",
+            "gossip_bytes_per_round",
+        ],
         &csv_rows,
     )
     .expect("write results CSV");

@@ -92,6 +92,8 @@ fn main() {
             .collect();
         let unit = if display_us {
             " (ms)"
+        } else if metric.ends_with("_bytes") {
+            " (bytes/wave)"
         } else if metric.starts_with("gossip_wave") {
             " (receives/wave)"
         } else {

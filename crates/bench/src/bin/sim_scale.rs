@@ -115,12 +115,14 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "S4 configuration: {num_peers} peers, overlay = {:?}, latency = {:?}, \
-         threads = {}, shards = {}, gossip codec = {:?} ({host_cpus} host cpus){}",
+         threads = {}, shards = {}, gossip codec = {:?}, gen size = {} \
+         ({host_cpus} host cpus){}",
         args.overlay,
         args.latency,
         args.threads,
         args.effective_shards(),
         args.gossip_codec,
+        args.gen_size,
         if args.smoke { ", smoke mode" } else { "" }
     );
 
@@ -135,6 +137,7 @@ fn main() {
     cfg.overlay = args.overlay;
     cfg.latency = args.latency;
     cfg.gossip_codec = args.gossip_codec;
+    cfg.gossip_generation = args.gen_size as usize;
 
     let t0 = Instant::now();
     let mut net = PdhtNetwork::new(cfg).expect("network builds");
@@ -171,6 +174,7 @@ fn main() {
         f3(report.p_indexed),
         f1(report.indexed_keys),
         f3(report.wasted_bandwidth),
+        f1(report.gossip_bytes_per_round),
         f1(events_per_round),
         format!("{build_secs:.2}"),
         format!("{per_round_ms:.1}"),
@@ -186,6 +190,7 @@ fn main() {
             "pIndxd",
             "keys",
             "wasted",
+            "bytes/rnd",
             "ev/round",
             "build s",
             "ms/round",
@@ -232,6 +237,7 @@ fn main() {
         cfg.overlay = args.overlay;
         cfg.latency = args.latency;
         cfg.gossip_codec = args.gossip_codec;
+        cfg.gossip_generation = args.gen_size as usize;
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.run(1);
     }
@@ -240,10 +246,12 @@ fn main() {
         let mut cfg = scale_cfg(sweep_peers, SWEEP_SHARDS);
         cfg.overlay = args.overlay;
         cfg.latency = args.latency;
-        // The sweep inherits the codec so a `--gossip-codec rlnc` run also
-        // proves the coded waves thread-invariant (the msg/round equality
-        // gate below would trip on any divergence).
+        // The sweep inherits the codec and generation size so a
+        // `--gossip-codec rlnc --gen-size 32` run also proves the coded
+        // waves thread-invariant (the msg/round equality gate below would
+        // trip on any divergence).
         cfg.gossip_codec = args.gossip_codec;
+        cfg.gossip_generation = args.gen_size as usize;
         let t0 = Instant::now();
         let mut net = PdhtNetwork::new(cfg).expect("network builds");
         net.set_threads(threads as usize);
@@ -262,6 +270,19 @@ fn main() {
             speedup,
             phases: net.phase_breakdown().expect("phase timers enabled"),
         });
+    }
+    // The sweep times SWEEP_SHARDS-shard rounds at up to SWEEP_SHARDS
+    // worker threads; on hosts with fewer hardware cpus the workers
+    // timeshare and every timing row is oversubscription noise. The verdict
+    // is recorded in the artifact (`sweep_valid`) and announced on stderr
+    // so a human scanning the log doesn't mistake timeshared rows for a
+    // real speedup curve.
+    let sweep_valid = host_cpus >= SWEEP_SHARDS as usize;
+    if !sweep_valid {
+        eprintln!(
+            "note: threads_sweep rows are timing noise on this host ({host_cpus} cpus < \
+             {SWEEP_SHARDS} sweep threads) — recorded with sweep_valid=false"
+        );
     }
     print_table(
         &format!(
@@ -310,6 +331,7 @@ fn main() {
             "p_indexed",
             "indexed_keys",
             "wasted_bandwidth",
+            "gossip_bytes_per_round",
             "events_per_round",
             "build_secs",
             "ms_per_round",
@@ -351,13 +373,9 @@ fn main() {
     let gossip_innovative = report.gossip_innovative;
     let gossip_redundant = report.gossip_redundant;
     let wasted_bandwidth = report.wasted_bandwidth;
-    // The sweep times SWEEP_SHARDS-shard rounds at up to SWEEP_SHARDS
-    // worker threads; on hosts with fewer hardware cpus the workers
-    // timeshare and every timing row is oversubscription noise. Recording
-    // the verdict in the artifact lets downstream consumers (the CI soft
-    // events/sec guard, plotting) key off it instead of re-deriving the
-    // host condition.
-    let sweep_valid = host_cpus >= SWEEP_SHARDS as usize;
+    let gossip_bytes = report.gossip_bytes;
+    let gossip_bytes_per_round = report.gossip_bytes_per_round;
+    let gen_size = args.gen_size;
     let json = write_json(
         "BENCH_sim_scale",
         &format!(
@@ -366,9 +384,12 @@ fn main() {
              \"threads\": {},\n  \"shards\": {engine_shards},\n  \
              \"host_cpus\": {host_cpus},\n  \
              \"gossip_codec\": \"{codec_label}\",\n  \
+             \"gen_size\": {gen_size},\n  \
              \"gossip_innovative\": {gossip_innovative},\n  \
              \"gossip_redundant\": {gossip_redundant},\n  \
              \"wasted_bandwidth\": {wasted_bandwidth:.6},\n  \
+             \"gossip_bytes\": {gossip_bytes},\n  \
+             \"gossip_bytes_per_round\": {gossip_bytes_per_round:.1},\n  \
              \"build_secs\": {build_secs:.4},\n  \"wall_clock_secs\": {run_secs:.4},\n  \
              \"ms_per_round\": {per_round_ms:.3},\n  \
              \"events_dispatched\": {events_dispatched},\n  \

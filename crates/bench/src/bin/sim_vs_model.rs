@@ -27,6 +27,7 @@ struct RunResult {
     sim_p_indexed: f64,
     sim_indexed_keys: f64,
     wasted_bandwidth: f64,
+    gossip_bytes_per_round: f64,
 }
 
 fn run_strategy(
@@ -65,12 +66,13 @@ fn main() {
     reject_peers_override(&args, "sim_vs_model");
     println!(
         "S2 configuration: overlay = {:?}, latency = {:?}, threads = {}, shards = {}, \
-         gossip codec = {:?}{}",
+         gossip codec = {:?}, gen size = {}{}",
         args.overlay,
         args.latency,
         args.threads,
         args.effective_shards(),
         args.gossip_codec,
+        args.gen_size,
         if args.smoke { ", smoke mode" } else { "" }
     );
     let scenario =
@@ -100,6 +102,7 @@ fn main() {
             let (sim_msgs, p_indexed, indexed, rep) =
                 run_strategy(&scenario, f_qry, strategy, rounds, warmup, &args);
             let wasted_bandwidth = rep.wasted_bandwidth;
+            let gossip_bytes_per_round = rep.gossip_bytes_per_round;
             hist_reports.push((format!("{name}@{}", freq_label(f_qry)), rep));
             results.push(RunResult {
                 strategy: name,
@@ -108,6 +111,7 @@ fn main() {
                 sim_p_indexed: p_indexed,
                 sim_indexed_keys: indexed,
                 wasted_bandwidth,
+                gossip_bytes_per_round,
             });
         }
 
@@ -122,6 +126,7 @@ fn main() {
                     f3(r.sim_p_indexed),
                     f1(r.sim_indexed_keys),
                     f3(r.wasted_bandwidth),
+                    f1(r.gossip_bytes_per_round),
                 ]
             })
             .collect();
@@ -133,7 +138,16 @@ fn main() {
                 rounds,
                 sel.key_ttl
             ),
-            &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys", "wasted"],
+            &[
+                "strategy",
+                "model msg/s",
+                "sim msg/s",
+                "ratio",
+                "sim pIndxd",
+                "sim keys",
+                "wasted",
+                "bytes/rnd",
+            ],
             &rows,
         );
 
@@ -168,6 +182,7 @@ fn main() {
                 f3(r.sim_p_indexed),
                 f1(r.sim_indexed_keys),
                 f3(r.wasted_bandwidth),
+                f1(r.gossip_bytes_per_round),
             ]);
         }
     }
@@ -183,6 +198,7 @@ fn main() {
                 "sim_p_indexed",
                 "sim_indexed_keys",
                 "wasted_bandwidth",
+                "gossip_bytes_per_round",
             ],
             &csv_rows,
         )
@@ -235,6 +251,7 @@ fn main() {
             sim_p_indexed: rep.p_indexed,
             sim_indexed_keys: rep.indexed_keys,
             wasted_bandwidth: rep.wasted_bandwidth,
+            gossip_bytes_per_round: rep.gossip_bytes_per_round,
         });
         hist_reports.push((format!("{name}@full_scale_1_300"), rep));
     }
@@ -249,12 +266,22 @@ fn main() {
                 f3(r.sim_p_indexed),
                 f1(r.sim_indexed_keys),
                 f3(r.wasted_bandwidth),
+                f1(r.gossip_bytes_per_round),
             ]
         })
         .collect();
     print_table(
         &format!("S2 full Table-1 scale at fQry = 1/300 (keyTtl = {ttl}, {rounds} rounds)"),
-        &["strategy", "model msg/s", "sim msg/s", "ratio", "sim pIndxd", "sim keys", "wasted"],
+        &[
+            "strategy",
+            "model msg/s",
+            "sim msg/s",
+            "ratio",
+            "sim pIndxd",
+            "sim keys",
+            "wasted",
+            "bytes/rnd",
+        ],
         &rows,
     );
     let partial = results.iter().find(|r| r.strategy == "partial").unwrap();
@@ -282,6 +309,7 @@ fn main() {
             f3(r.sim_p_indexed),
             f1(r.sim_indexed_keys),
             f3(r.wasted_bandwidth),
+            f1(r.gossip_bytes_per_round),
         ]);
     }
 
@@ -295,6 +323,7 @@ fn main() {
             "sim_p_indexed",
             "sim_indexed_keys",
             "wasted_bandwidth",
+            "gossip_bytes_per_round",
         ],
         &csv_rows,
     )

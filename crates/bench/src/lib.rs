@@ -168,10 +168,14 @@ pub struct SimArgs {
     /// for back-compat with the old coupled flag, with a warning once
     /// that coupling starts changing semantics (threads > 1).
     pub shards: Option<u32>,
-    /// `--gossip-codec plain|chunked|rlnc`: how update-gossip packets are
-    /// encoded (`PdhtConfig::gossip_codec`; default plain, the legacy
-    /// accounting).
+    /// `--gossip-codec plain|chunked|rlnc|rlnc-sparse`: how update-gossip
+    /// packets are encoded (`PdhtConfig::gossip_codec`; default plain, the
+    /// legacy accounting).
     pub gossip_codec: pdht_core::GossipCodec,
+    /// `--gen-size G`: generation size for the coded codecs
+    /// (`PdhtConfig::gossip_generation`; default 8, the fixed-size
+    /// behavior; max [`pdht_gossip::MAX_GENERATION`]).
+    pub gen_size: u32,
     /// `--smoke`: shrink rounds/scale so CI can exercise the bin quickly.
     pub smoke: bool,
 }
@@ -189,6 +193,7 @@ impl SimArgs {
     pub fn apply_shards(&self, cfg: &mut pdht_core::PdhtConfig) {
         cfg.shards = self.effective_shards();
         cfg.gossip_codec = self.gossip_codec;
+        cfg.gossip_generation = self.gen_size as usize;
     }
 
     /// Applies the `--threads` knob to a built network (worker count).
@@ -209,7 +214,7 @@ pub fn parse_count_flag(flag: &str, value: &str, lo: u32, hi: u32) -> Result<u32
     }
 }
 
-/// Parses a gossip-codec spec (`plain`, `chunked`, `rlnc`).
+/// Parses a gossip-codec spec (`plain`, `chunked`, `rlnc`, `rlnc-sparse`).
 ///
 /// # Errors
 /// Returns a human-readable description of the rejected spelling.
@@ -219,7 +224,10 @@ pub fn parse_gossip_codec(spec: &str) -> Result<pdht_core::GossipCodec, String> 
         "plain" => Ok(GossipCodec::Plain),
         "chunked" => Ok(GossipCodec::Chunked),
         "rlnc" => Ok(GossipCodec::Rlnc),
-        other => Err(format!("unknown gossip codec {other:?} (want plain|chunked|rlnc)")),
+        "rlnc-sparse" => Ok(GossipCodec::RlncSparse),
+        other => {
+            Err(format!("unknown gossip codec {other:?} (want plain|chunked|rlnc|rlnc-sparse)"))
+        }
     }
 }
 
@@ -237,7 +245,7 @@ pub fn parse_sim_args() -> SimArgs {
             "usage: [--overlay trie|chord|kademlia] \
              [--latency zero|uniform:LO_MS,HI_MS|lognormal:MEDIAN_MS,SIGMA] \
              [--peers N] [--threads N] [--shards N] \
-             [--gossip-codec plain|chunked|rlnc] [--smoke]"
+             [--gossip-codec plain|chunked|rlnc|rlnc-sparse] [--gen-size G] [--smoke]"
         );
         let _ = std::io::stderr().flush();
         std::process::exit(2);
@@ -249,6 +257,7 @@ pub fn parse_sim_args() -> SimArgs {
         threads: 1,
         shards: None,
         gossip_codec: GossipCodec::Plain,
+        gen_size: pdht_gossip::GENERATION_SIZE as u32,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -286,6 +295,12 @@ pub fn parse_sim_args() -> SimArgs {
             "--gossip-codec" => {
                 let v = it.next().unwrap_or_else(|| usage("--gossip-codec needs a value"));
                 args.gossip_codec = parse_gossip_codec(&v).unwrap_or_else(|e| usage(&e));
+            }
+            "--gen-size" => {
+                let v = it.next().unwrap_or_else(|| usage("--gen-size needs a value"));
+                args.gen_size =
+                    parse_count_flag("--gen-size", &v, 1, pdht_gossip::MAX_GENERATION as u32)
+                        .unwrap_or_else(|e| usage(&e));
             }
             "--smoke" => args.smoke = true,
             other => usage(&format!("unknown flag {other:?}")),
@@ -420,6 +435,9 @@ pub fn write_histograms_csv(
         if let Some(h) = &report.gossip_wave_redundant {
             rows.push(histogram_csv_row(label, "gossip_wave_redundant", h));
         }
+        if let Some(h) = &report.gossip_wave_bytes {
+            rows.push(histogram_csv_row(label, "gossip_wave_bytes", h));
+        }
     }
     write_csv(name, &HISTOGRAM_CSV_HEADER, &rows)
 }
@@ -551,9 +569,33 @@ mod flag_spec_tests {
         assert_eq!(parse_gossip_codec("plain"), Ok(GossipCodec::Plain));
         assert_eq!(parse_gossip_codec("chunked"), Ok(GossipCodec::Chunked));
         assert_eq!(parse_gossip_codec("rlnc"), Ok(GossipCodec::Rlnc));
-        for bad in ["Plain", "RLNC", "rlnC", "fountain", "raptor", ""] {
+        assert_eq!(parse_gossip_codec("rlnc-sparse"), Ok(GossipCodec::RlncSparse));
+        for bad in [
+            "Plain",
+            "RLNC",
+            "rlnC",
+            "fountain",
+            "raptor",
+            "rlncsparse",
+            "sparse",
+            "RLNC-SPARSE",
+            "",
+        ] {
             let err = parse_gossip_codec(bad).unwrap_err();
-            assert!(err.contains("plain|chunked|rlnc"), "{err}");
+            assert!(err.contains("plain|chunked|rlnc|rlnc-sparse"), "{err}");
+        }
+    }
+
+    #[test]
+    fn gen_size_rejections_name_the_spelling() {
+        let hi = pdht_gossip::MAX_GENERATION as u32;
+        assert_eq!(parse_count_flag("--gen-size", "1", 1, hi), Ok(1));
+        assert_eq!(parse_count_flag("--gen-size", "8", 1, hi), Ok(8));
+        assert_eq!(parse_count_flag("--gen-size", "32", 1, hi), Ok(32));
+        for bad in ["0", "33", "64", "eight", "-8", "8.0", ""] {
+            let err = parse_count_flag("--gen-size", bad, 1, hi).unwrap_err();
+            assert!(err.contains("--gen-size") && err.contains("1..=32"), "{err}");
+            assert!(err.contains(bad), "{err}");
         }
     }
 
@@ -568,6 +610,7 @@ mod flag_spec_tests {
             threads: 4,
             shards: None,
             gossip_codec: GossipCodec::Rlnc,
+            gen_size: 32,
             smoke: true,
         };
         assert_eq!(args.effective_shards(), 4, "back-compat: follow --threads");
@@ -578,5 +621,6 @@ mod flag_spec_tests {
         args.apply_shards(&mut cfg);
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.gossip_codec, GossipCodec::Rlnc);
+        assert_eq!(cfg.gossip_generation, 32, "apply_shards carries --gen-size");
     }
 }

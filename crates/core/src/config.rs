@@ -218,6 +218,13 @@ pub struct PdhtConfig {
     /// classify every receive innovative vs redundant — the
     /// wasted-bandwidth columns in `SimReport` and the bench artifacts).
     pub gossip_codec: GossipCodec,
+    /// Generation size for the coded gossip codecs: how many chunks an
+    /// update is cut into (`1..=MAX_GENERATION`). The default,
+    /// [`pdht_gossip::GENERATION_SIZE`] = 8, reproduces the fixed-size
+    /// behavior bit-for-bit; larger generations trade per-push payload for
+    /// coefficient-vector overhead (the bytes-per-round sweep's subject).
+    /// Ignored by [`GossipCodec::Plain`].
+    pub gossip_generation: usize,
     /// Master seed; every component derives its own stream from it.
     pub seed: u64,
 }
@@ -245,6 +252,7 @@ impl PdhtConfig {
             adaptive_window: 50,
             shards: 1,
             gossip_codec: GossipCodec::Plain,
+            gossip_generation: pdht_gossip::GENERATION_SIZE,
             seed: DEFAULT_SEED,
         }
     }
@@ -299,6 +307,16 @@ impl PdhtConfig {
             return Err(PdhtError::InvalidConfig {
                 param: "shards",
                 reason: format!("must be in 1..=256, got {}", self.shards),
+            });
+        }
+        if self.gossip_generation == 0 || self.gossip_generation > pdht_gossip::MAX_GENERATION {
+            return Err(PdhtError::InvalidConfig {
+                param: "gossip_generation",
+                reason: format!(
+                    "must be in 1..={}, got {}",
+                    pdht_gossip::MAX_GENERATION,
+                    self.gossip_generation
+                ),
             });
         }
         if self.mean_degree < 2 {
@@ -384,6 +402,18 @@ mod tests {
         let mut c = base();
         c.shards = 257;
         assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.gossip_generation = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.gossip_generation = pdht_gossip::MAX_GENERATION + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.gossip_generation = pdht_gossip::MAX_GENERATION;
+        assert!(c.validate().is_ok());
 
         let mut c = base();
         c.shards = 256;

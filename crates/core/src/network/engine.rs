@@ -332,6 +332,9 @@ pub(crate) struct Counters {
     pub(crate) gossip_innovative: u64,
     /// Gossip receives that carried nothing new — wasted bandwidth.
     pub(crate) gossip_redundant: u64,
+    /// Bytes gossip waves put on the wire (codec-weighted pushes plus
+    /// anti-entropy pull transfers — the byte-accurate cost model).
+    pub(crate) gossip_bytes: u64,
 }
 
 impl Counters {
@@ -346,6 +349,7 @@ impl Counters {
         self.query_timeouts += other.query_timeouts;
         self.gossip_innovative += other.gossip_innovative;
         self.gossip_redundant += other.gossip_redundant;
+        self.gossip_bytes += other.gossip_bytes;
     }
 }
 
@@ -388,9 +392,19 @@ pub struct SimReport {
     /// Wasted gossip bandwidth: `redundant / (innovative + redundant)`
     /// over the window, `0.0` when no gossip receive was classified.
     pub wasted_bandwidth: f64,
+    /// Bytes update-gossip waves put on the wire within the window:
+    /// codec-weighted pushes (value fraction + offer bitmap / coefficient
+    /// vector) plus anti-entropy pull transfers.
+    pub gossip_bytes: u64,
+    /// Mean gossip bytes per round over the window — the bytes-per-round
+    /// column beside `msgs_per_round`.
+    pub gossip_bytes_per_round: f64,
     /// Per-completed-wave redundant-receive counts, cumulative over the
     /// whole run so far — histograms are not windowed.
     pub gossip_wave_redundant: Option<HistogramSummary>,
+    /// Per-completed-wave wire bytes, cumulative over the whole run so
+    /// far — histograms are not windowed.
+    pub gossip_wave_bytes: Option<HistogramSummary>,
     /// Per-query forwarding steps (message hops/waves), cumulative over the
     /// whole run so far — histograms are not windowed.
     pub query_hops: Option<HistogramSummary>,
@@ -1010,6 +1024,7 @@ impl PdhtNetwork {
             self.counters.gossip_innovative as f64,
         );
         self.metrics.gauge("gossip_redundant", Round(round), self.counters.gossip_redundant as f64);
+        self.metrics.gauge("gossip_bytes", Round(round), self.counters.gossip_bytes as f64);
         self.metrics.gauge("ttl_rounds", Round(round), self.ttl_rounds as f64);
         self.metrics.mark_round(Round(round));
     }
@@ -1032,6 +1047,7 @@ impl PdhtNetwork {
         let answered = hits + misses;
         let innovative = Self::gauge_window_delta(&self.metrics, "gossip_innovative", from, to);
         let redundant = Self::gauge_window_delta(&self.metrics, "gossip_redundant", from, to);
+        let gossip_bytes = Self::gauge_window_delta(&self.metrics, "gossip_bytes", from, to);
         SimReport {
             rounds: (from, to),
             msgs_per_round: counts.total() as f64 / span,
@@ -1061,9 +1077,15 @@ impl PdhtNetwork {
             } else {
                 0.0
             },
+            gossip_bytes: gossip_bytes as u64,
+            gossip_bytes_per_round: gossip_bytes / span,
             gossip_wave_redundant: self
                 .metrics
                 .histogram("gossip_wave_redundant")
+                .map(pdht_sim::Histogram::summary),
+            gossip_wave_bytes: self
+                .metrics
+                .histogram("gossip_wave_bytes")
                 .map(pdht_sim::Histogram::summary),
             query_hops: self.metrics.histogram("query_hops").map(pdht_sim::Histogram::summary),
             query_latency_us: self

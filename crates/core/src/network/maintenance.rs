@@ -359,6 +359,7 @@ impl QueryExec<'_> {
                             group.push_begin(
                                 at,
                                 self.world.gossip_codec,
+                                self.world.gen_size,
                                 |member_local| {
                                     let member = group.members()[member_local];
                                     // "Fresh" means this delivery changed
@@ -386,7 +387,7 @@ impl QueryExec<'_> {
 
             UpdateStage::Gossip { ref mut wave } => {
                 let value = VersionedValue { version: new_version, data: u64::from(ki) };
-                let before = (wave.innovative(), wave.redundant());
+                let before = (wave.innovative(), wave.redundant(), wave.bytes());
                 let done = {
                     let o = self.world.overlay.expect("update implies overlay");
                     let group = &self.world.groups[o.group_of_key(key)];
@@ -435,14 +436,17 @@ impl QueryExec<'_> {
                     wave.release(self.lane.waves);
                 }
                 // Fold this step's innovative/redundant classifications
-                // into the lane counters (incremental: handoffs and parked
-                // waves never double-count).
+                // and byte spend into the lane counters (incremental:
+                // handoffs and parked waves never double-count).
                 self.lane.counters.gossip_innovative += wave.innovative() - before.0;
                 self.lane.counters.gossip_redundant += wave.redundant() - before.1;
+                self.lane.counters.gossip_bytes += wave.bytes() - before.2;
                 if done {
                     // One sample per completed wave: its total wasted
-                    // receives (the sim_hist_report wasted-bandwidth row).
+                    // receives (the sim_hist_report wasted-bandwidth row)
+                    // and its total wire bytes.
                     self.lane.metrics.observe("gossip_wave_redundant", wave.redundant());
+                    self.lane.metrics.observe("gossip_wave_bytes", wave.bytes());
                     self.next_update_key(ctx)
                 } else {
                     UpdateFate::Next

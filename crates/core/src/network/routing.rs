@@ -171,6 +171,8 @@ pub(crate) struct QueryWorld<'a> {
     pub(crate) query_timeout_secs: Option<f64>,
     /// How update-gossip packets are encoded (see [`crate::GossipCodec`]).
     pub(crate) gossip_codec: GossipCodec,
+    /// Generation size the coded codecs cut updates into.
+    pub(crate) gen_size: usize,
 }
 
 /// The exclusively-owned, mutable side of query execution: one lane's
@@ -268,6 +270,7 @@ impl PdhtNetwork {
                 purge_stride: self.cfg.purge_stride,
                 query_timeout_secs: self.cfg.query_timeout_secs,
                 gossip_codec: self.cfg.gossip_codec,
+                gen_size: self.cfg.gossip_generation,
             },
             lane: QueryLane {
                 stores: ShardStores { slot, shard_id: 0, shard: &mut shards[0] },

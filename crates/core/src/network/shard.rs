@@ -303,6 +303,7 @@ impl PdhtNetwork {
                     purge_stride: self.cfg.purge_stride,
                     query_timeout_secs: self.cfg.query_timeout_secs,
                     gossip_codec: self.cfg.gossip_codec,
+                    gen_size: self.cfg.gossip_generation,
                 };
                 let mut tasks: Vec<LaneTask<'_>> = st
                     .lanes

@@ -144,3 +144,39 @@ fn rlnc_reduces_redundant_receives_vs_plain_at_repl_64() {
     assert!(plain.gossip_wave_redundant.is_some(), "completed waves must publish the histogram");
     assert!(rlnc.gossip_wave_redundant.is_some());
 }
+
+/// Sparse RLNC at generation 32 against a 64-replica group: the byte cost
+/// model must show a strict win over plain flooding on every seed, not just
+/// on average — the chunked payloads (1024/32 = 32 bytes + 32 coefficient
+/// bytes per packet vs 1024 bytes per plain push) dominate any coding
+/// overshoot. Six seeds guard against a lucky draw.
+#[test]
+fn sparse_rlnc_at_generation_32_outbids_plain_on_bytes_at_repl_64() {
+    let run = |codec: pdht_core::GossipCodec, seed: u64| {
+        let scenario =
+            pdht_model::Scenario { repl: 64, f_upd: 1.0 / 1000.0, ..Scenario::table1_scaled(20) };
+        let mut c = PdhtConfig::new(scenario, 1.0 / 30.0, Strategy::IndexAll);
+        c.seed = seed;
+        c.gossip_codec = codec;
+        c.gossip_generation = 32;
+        let mut net = PdhtNetwork::new(c).expect("network builds");
+        net.run(40);
+        net.report(0, 39)
+    };
+    for seed in [0x5ea1u64, 0x5ea2, 0x5ea3, 0x5ea4, 0x5ea5, 0x5ea6] {
+        let plain = run(pdht_core::GossipCodec::Plain, seed);
+        let sparse = run(pdht_core::GossipCodec::RlncSparse, seed);
+        assert!(plain.gossip_bytes > 0, "plain run saw no update waves at seed {seed:#x}");
+        assert!(sparse.gossip_innovative > 0, "sparse run saw no update waves at seed {seed:#x}");
+        assert!(
+            sparse.gossip_bytes < plain.gossip_bytes,
+            "sparse RLNC at G=32 must spend strictly fewer bytes than plain at seed {seed:#x}: \
+             sparse {} vs plain {}",
+            sparse.gossip_bytes,
+            plain.gossip_bytes
+        );
+        // The per-wave byte histogram must surface for both codecs.
+        assert!(plain.gossip_wave_bytes.is_some(), "plain waves must publish the byte histogram");
+        assert!(sparse.gossip_wave_bytes.is_some());
+    }
+}

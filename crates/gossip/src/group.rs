@@ -13,7 +13,7 @@
 //! totals (duplicates and offline targets included) and the RNG draw
 //! order stay bit-for-bit identical to the per-query-`Vec` implementation.
 
-use crate::codec::{Decoder, GossipCodec};
+use crate::codec::{pull_bytes, CoeffVec, Decoder, GossipCodec, MAX_GENERATION};
 use crate::scratch::{words, FloodScratch, RumorScratch, WavePool, NO_SLOT};
 use crate::store::{VersionedStore, VersionedValue};
 use pdht_sim::Metrics;
@@ -112,8 +112,13 @@ pub struct RumorWave {
     innovative: u64,
     /// Receives that carried nothing new — the wave's wasted bandwidth.
     redundant: u64,
+    /// Bytes sent so far ([`GossipCodec::push_bytes`] per push,
+    /// [`pull_bytes`] per anti-entropy pull).
+    bytes: u64,
     /// Whether the slot carries decoder state (coded codec).
     coded: bool,
+    /// Generation size the wave's packets are coded at.
+    gen: u8,
 }
 
 impl RumorWave {
@@ -124,7 +129,9 @@ impl RumorWave {
             reached: 0,
             innovative: 0,
             redundant: 0,
+            bytes: 0,
             coded: false,
+            gen: 0,
         }
     }
 
@@ -147,6 +154,14 @@ impl RumorWave {
     /// Receives classified as redundant so far (wasted bandwidth).
     pub fn redundant(&self) -> u64 {
         self.redundant
+    }
+
+    /// Bytes the wave has put on the wire so far: every push (offline
+    /// targets included — the sender transmits regardless) at the codec's
+    /// [`GossipCodec::push_bytes`] weight, plus every anti-entropy pull at
+    /// its [`pull_bytes`] weight.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Returns the wave's scratch slot to the pool; call after the wave is
@@ -355,11 +370,13 @@ impl ReplicaGroup {
     /// immediately (no message) and returns the wave state to advance with
     /// [`ReplicaGroup::push_wave`]. Non-member or offline origins yield an
     /// already-dead wave. Under a coded `codec` the origin seeds a
-    /// full-rank decoder and every other member starts empty.
+    /// full-rank decoder at generation size `gen` and every other member
+    /// starts empty.
     pub fn push_begin<F>(
         &self,
         origin: PeerId,
         codec: GossipCodec,
+        gen: usize,
         mut deliver: F,
         live: &Liveness,
         pool: &mut WavePool,
@@ -367,6 +384,7 @@ impl ReplicaGroup {
     where
         F: FnMut(usize) -> bool,
     {
+        debug_assert!((1..=MAX_GENERATION).contains(&gen), "generation {gen} out of range");
         let Some(start) = self.local_index(origin) else {
             return RumorWave::dead();
         };
@@ -375,15 +393,24 @@ impl ReplicaGroup {
         }
         deliver(start);
         let coded = codec.is_coded();
-        let slot = pool.acquire_rumor(self.members.len(), coded);
+        let slot = pool.acquire_rumor(self.members.len(), coded, gen);
         let s = pool.rumor_mut(slot);
         s.infected[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
         s.active.push((start, 0));
         if coded {
-            s.decoders[start] = Decoder::full();
+            s.decoders[start] = Decoder::full(gen);
             s.delivered[start] = true;
         }
-        RumorWave { slot, alive: true, reached: 1, innovative: 0, redundant: 0, coded }
+        RumorWave {
+            slot,
+            alive: true,
+            reached: 1,
+            innovative: 0,
+            redundant: 0,
+            bytes: 0,
+            coded,
+            gen: gen as u8,
+        }
     }
 
     /// One gossip round of an in-progress rumor push: every active spreader
@@ -439,6 +466,7 @@ impl ReplicaGroup {
         if !wave.alive {
             return true;
         }
+        let push_cost = GossipCodec::Plain.push_bytes(usize::from(wave.gen).max(1));
         let RumorScratch { infected, active, next_active, .. } = pool.rumor_mut(wave.slot);
         next_active.clear();
         for &(spreader, fruitless) in active.iter() {
@@ -452,6 +480,7 @@ impl ReplicaGroup {
                 let &target = nbs.choose(rng).expect("non-empty");
                 let target = target.idx();
                 metrics.record(MessageKind::GossipPush);
+                wave.bytes += push_cost;
                 if !live.is_online(self.members[target]) {
                     continue;
                 }
@@ -513,6 +542,8 @@ impl ReplicaGroup {
         if !wave.alive {
             return true;
         }
+        let g = usize::from(wave.gen);
+        let push_cost = codec.push_bytes(g);
         let RumorScratch { infected, active, next_active, nbrs, decoders, delivered, heard_from } =
             pool.rumor_mut(wave.slot);
         next_active.clear();
@@ -537,6 +568,7 @@ impl ReplicaGroup {
                     continue;
                 }
                 metrics.record(MessageKind::GossipPush);
+                wave.bytes += push_cost;
                 if !live.is_online(self.members[target]) {
                     continue;
                 }
@@ -548,9 +580,9 @@ impl ReplicaGroup {
                         // the transmission.
                         let sender = &decoders[spreader];
                         let receiver = &decoders[target];
-                        let mut wanted = [0usize; crate::codec::GENERATION_SIZE];
+                        let mut wanted = [0usize; MAX_GENERATION];
                         let mut m = 0;
-                        for c in 0..crate::codec::GENERATION_SIZE {
+                        for c in 0..g {
                             if sender.holds(c) && !receiver.holds(c) {
                                 wanted[m] = c;
                                 m += 1;
@@ -558,13 +590,12 @@ impl ReplicaGroup {
                         }
                         if m > 0 {
                             let c = wanted[rng.random_range(0..m)];
-                            let mut v = [0u8; crate::codec::GENERATION_SIZE];
-                            v[c] = 1;
-                            Some(v)
+                            Some(CoeffVec::unit(g, c))
                         } else {
                             sender.pick_chunk(rng)
                         }
                     }
+                    GossipCodec::RlncSparse => Some(decoders[spreader].encode_sparse(rng)),
                     _ => Some(decoders[spreader].encode(rng)),
                 };
                 if !heard_from[target].contains(&(spreader as u16)) {
@@ -647,6 +678,7 @@ impl ReplicaGroup {
                 .expect("pick is in range");
             metrics.record_n(MessageKind::GossipPull, 2);
             let donor_space = decoders[usize::from(donor)].clone();
+            wave.bytes += pull_bytes(usize::from(wave.gen), donor_space.rank());
             let gained = decoders[me].absorb(&donor_space);
             if gained == 0 {
                 wave.redundant += 1;
@@ -681,7 +713,14 @@ impl ReplicaGroup {
         F: FnMut(usize) -> bool,
     {
         let mut pool = WavePool::new();
-        let mut wave = self.push_begin(origin, GossipCodec::Plain, &mut deliver, live, &mut pool);
+        let mut wave = self.push_begin(
+            origin,
+            GossipCodec::Plain,
+            crate::codec::GENERATION_SIZE,
+            &mut deliver,
+            live,
+            &mut pool,
+        );
         while !self.push_wave(
             &mut wave,
             GossipCodec::Plain,
@@ -1016,7 +1055,7 @@ mod tests {
             let mut wave = g.flood_begin(PeerId(100), |_| false, &live, &mut pool);
             while !g.flood_wave(&mut wave, |_| false, &live, &mut m, &mut pool) {}
             let mut rumor =
-                g.push_begin(PeerId(100), GossipCodec::Rlnc, |_| true, &live, &mut pool);
+                g.push_begin(PeerId(100), GossipCodec::Rlnc, 8, |_| true, &live, &mut pool);
             while !g.push_wave(
                 &mut rumor,
                 GossipCodec::Rlnc,
@@ -1033,9 +1072,15 @@ mod tests {
         assert_eq!(pool.acquires(), 20);
     }
 
-    /// Drives one full wave (push rounds + pull mop-up) under `codec`,
-    /// returning the finished wave and the metrics it spent.
-    fn run_wave(n: usize, codec: GossipCodec, seed: u64) -> (RumorWave, Metrics, Vec<bool>) {
+    /// Drives one full wave (push rounds + pull mop-up) under `codec` at
+    /// generation size `gen`, returning the finished wave and the metrics
+    /// it spent.
+    fn run_wave_at(
+        n: usize,
+        codec: GossipCodec,
+        gen: usize,
+        seed: u64,
+    ) -> (RumorWave, Metrics, Vec<bool>) {
         let members: Vec<PeerId> = (100..100 + n as u32).map(PeerId).collect();
         let g = ReplicaGroup::new(members, &mut rng()).unwrap();
         let live = all_online(n);
@@ -1048,16 +1093,20 @@ mod tests {
             got[local] = true;
             fresh
         };
-        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live, &mut pool);
+        let mut wave = g.push_begin(PeerId(100), codec, gen, &mut deliver, &live, &mut pool);
         while !g.push_wave(&mut wave, codec, &mut deliver, &live, &mut r, &mut m, &mut pool) {}
         g.pull_missing(&mut wave, &mut deliver, &live, &mut r, &mut m, &mut pool);
         wave.release(&mut pool);
         (wave, m, got)
     }
 
+    fn run_wave(n: usize, codec: GossipCodec, seed: u64) -> (RumorWave, Metrics, Vec<bool>) {
+        run_wave_at(n, codec, crate::codec::GENERATION_SIZE, seed)
+    }
+
     #[test]
     fn coded_waves_decode_most_members() {
-        for codec in [GossipCodec::Chunked, GossipCodec::Rlnc] {
+        for codec in [GossipCodec::Chunked, GossipCodec::Rlnc, GossipCodec::RlncSparse] {
             let (wave, _m, got) = run_wave(64, codec, 99);
             let decoded = got.iter().filter(|&&d| d).count();
             assert!(
@@ -1066,6 +1115,63 @@ mod tests {
             );
             assert_eq!(wave.reached(), decoded);
         }
+    }
+
+    #[test]
+    fn coded_waves_decode_most_members_at_generation_32() {
+        for codec in [GossipCodec::Chunked, GossipCodec::Rlnc, GossipCodec::RlncSparse] {
+            let (wave, _m, got) = run_wave_at(64, codec, 32, 7);
+            let decoded = got.iter().filter(|&&d| d).count();
+            assert!(
+                decoded >= 56,
+                "{codec:?} at G=32: only {decoded}/64 members decoded after push + pull"
+            );
+            assert_eq!(wave.reached(), decoded);
+        }
+    }
+
+    #[test]
+    fn wave_bytes_price_pushes_and_pulls() {
+        // Plain: every push is one whole value, pulls never run.
+        let (wave, m, _) = run_wave(50, GossipCodec::Plain, 4242);
+        assert_eq!(
+            wave.bytes(),
+            m.totals()[MessageKind::GossipPush] * crate::codec::VALUE_BYTES,
+            "plain bytes must be pushes x VALUE_BYTES"
+        );
+        // Coded: pushes are chunk-sized + header; pulls add donor-space
+        // transfers, so bytes strictly exceed pushes x push_bytes when any
+        // pull ran, and equal it otherwise.
+        for codec in [GossipCodec::Chunked, GossipCodec::Rlnc, GossipCodec::RlncSparse] {
+            let (wave, m, _) = run_wave(64, codec, 4242);
+            let push_floor = m.totals()[MessageKind::GossipPush] * codec.push_bytes(8);
+            assert!(
+                wave.bytes() >= push_floor,
+                "{codec:?}: bytes {} below push floor {push_floor}",
+                wave.bytes()
+            );
+            if m.totals()[MessageKind::GossipPull] == 0 {
+                assert_eq!(wave.bytes(), push_floor);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rlnc_at_generation_32_wastes_fewer_bytes_than_plain() {
+        // The headline the generation sweep quantifies: at repl 64 and
+        // G=32, a sparse-coded wave moves far fewer bytes than Plain's
+        // whole-value pushes, summed over several seeds so one lucky
+        // Plain run cannot flake it.
+        let mut plain_bytes = 0u64;
+        let mut sparse_bytes = 0u64;
+        for seed in 0..6 {
+            plain_bytes += run_wave_at(64, GossipCodec::Plain, 32, seed).0.bytes();
+            sparse_bytes += run_wave_at(64, GossipCodec::RlncSparse, 32, seed).0.bytes();
+        }
+        assert!(
+            sparse_bytes < plain_bytes,
+            "sparse rlnc bytes ({sparse_bytes}) should undercut plain ({plain_bytes})"
+        );
     }
 
     #[test]
@@ -1115,7 +1221,7 @@ mod tests {
             fresh
         };
         let codec = GossipCodec::Rlnc;
-        let mut wave = g.push_begin(PeerId(100), codec, &mut deliver, &live, &mut pool);
+        let mut wave = g.push_begin(PeerId(100), codec, 8, &mut deliver, &live, &mut pool);
         // Only a handful of push rounds: plenty of members hold partial
         // rank when the pull round runs.
         for _ in 0..4 {

@@ -20,7 +20,7 @@ pub mod group;
 pub mod scratch;
 pub mod store;
 
-pub use codec::{Decoder, GossipCodec, GENERATION_SIZE};
+pub use codec::{CoeffVec, Decoder, GossipCodec, GENERATION_SIZE, MAX_GENERATION, VALUE_BYTES};
 pub use group::{FloodWave, ReplicaGroup, RumorWave};
 pub use scratch::WavePool;
 pub use store::{VersionedStore, VersionedValue};

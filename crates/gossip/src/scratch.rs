@@ -126,8 +126,11 @@ impl WavePool {
     }
 
     /// Acquires a rumor slot reset for a group of `n` members; `coded`
-    /// additionally resets the decoder matrices and knowledge map.
-    pub(crate) fn acquire_rumor(&mut self, n: usize, coded: bool) -> u32 {
+    /// additionally resets the decoder matrices (to generation size `gen`)
+    /// and the knowledge map. Decoder rows are inline arrays, so raising
+    /// the generation size never touches the allocator — only the one-time
+    /// `Vec<Decoder>` growth to the group's member count does.
+    pub(crate) fn acquire_rumor(&mut self, n: usize, coded: bool, gen: usize) -> u32 {
         self.acquires += 1;
         let slot = match self.rumors_free.pop() {
             Some(slot) => slot,
@@ -146,12 +149,12 @@ impl WavePool {
         s.next_active.clear();
         if coded {
             if s.decoders.len() < n {
-                s.decoders.resize(n, Decoder::empty());
+                s.decoders.resize(n, Decoder::empty(gen));
                 s.delivered.resize(n, false);
                 s.heard_from.resize(n, Vec::new());
             }
             for d in &mut s.decoders[..n] {
-                *d = Decoder::empty();
+                d.reset(gen);
             }
             s.delivered[..n].fill(false);
             for h in &mut s.heard_from[..n] {
@@ -182,7 +185,7 @@ mod tests {
             let f = pool.acquire_flood(130);
             assert_eq!(f, 0, "sequential floods must reuse slot 0");
             pool.release_flood(f);
-            let r = pool.acquire_rumor(130, true);
+            let r = pool.acquire_rumor(130, true, 8);
             assert_eq!(r, 0, "sequential rumors must reuse slot 0");
             pool.release_rumor(r);
         }
@@ -221,18 +224,33 @@ mod tests {
     #[test]
     fn rumor_acquire_resets_coded_state() {
         let mut pool = WavePool::new();
-        let slot = pool.acquire_rumor(8, true);
+        let slot = pool.acquire_rumor(8, true, 8);
         {
             let s = pool.rumor_mut(slot);
-            s.decoders[3] = Decoder::full();
+            s.decoders[3] = Decoder::full(8);
             s.delivered[3] = true;
             s.heard_from[3].push(1);
         }
         pool.release_rumor(slot);
-        let slot = pool.acquire_rumor(8, true);
+        let slot = pool.acquire_rumor(8, true, 8);
         let s = pool.rumor_mut(slot);
         assert!(!s.decoders[3].is_complete());
         assert!(!s.delivered[3]);
         assert!(s.heard_from[3].is_empty());
+    }
+
+    /// A slot recycled at a different generation size resets every decoder
+    /// to an empty decoder *at the new size* — no allocation, no stale
+    /// rows from the previous generation.
+    #[test]
+    fn rumor_acquire_switches_generation_sizes_in_place() {
+        let mut pool = WavePool::new();
+        let slot = pool.acquire_rumor(8, true, 8);
+        pool.rumor_mut(slot).decoders[2] = Decoder::full(8);
+        pool.release_rumor(slot);
+        let slot = pool.acquire_rumor(8, true, 32);
+        let s = pool.rumor_mut(slot);
+        assert_eq!(s.decoders[2], Decoder::empty(32));
+        assert_eq!(s.decoders[2].generation(), 32);
     }
 }
